@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Design-choice ablation: control invocation frequency.
+ *
+ * SmartConf is invoked wherever the software *uses* the configuration
+ * (paper Sec. 4.2) — for HB3813 that is effectively every enqueue.
+ * This bench stretches the invocation period on HB3813 and shows how
+ * reaction latency erodes the hard-constraint guarantee: with 495 MB
+ * of heap and bursts growing the queue by tens of MB per second, a
+ * controller consulted once every few seconds reacts too late.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "scenarios/hb3813.h"
+
+int
+main()
+{
+    using namespace smartconf::scenarios;
+
+    std::printf("Ablation: control period (HB3813, tick = 0.1 s)\n\n");
+    std::printf("%12s | %6s %12s %10s %10s\n", "period (s)", "OOM?",
+                "crash t(s)", "worst MB", "ops/s");
+    std::printf("%s\n", std::string(58, '-').c_str());
+
+    for (int period : {1, 2, 5, 10, 20, 50}) {
+        Hb3813Options opts;
+        opts.control_period = period;
+        Hb3813Scenario scenario(opts);
+        const ScenarioResult r = scenario.run(Policy::smart(), 1);
+        std::printf("%12.1f | %6s %12.1f %10.1f %10.1f\n",
+                    period / 10.0, r.violated ? "YES" : "no",
+                    r.violation_time_s, r.worst_goal_metric,
+                    r.raw_tradeoff);
+    }
+
+    std::printf("\nInvoking the controller at every use (the paper's "
+                "design) keeps the\nburst overshoot inside the virtual-"
+                "goal margin; stretching the period\nlets bursts outrun "
+                "the controller.\n");
+    return 0;
+}

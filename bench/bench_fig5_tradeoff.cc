@@ -1,0 +1,152 @@
+/**
+ * @file
+ * Regenerates Figure 5: trade-off performance of SmartConf vs static
+ * configurations across all six case studies.
+ *
+ * For each issue this harness runs:
+ *   - SmartConf (profiling on a different seed than evaluation);
+ *   - Static-Buggy-Default  (the original default);
+ *   - Static-Patch-Default  (the developers' patched default);
+ *   - Static-Optimal        (exhaustive search over the candidate grid,
+ *                            feasible on every search seed, best mean
+ *                            trade-off — the paper's "best static
+ *                            configuration developers can choose");
+ *   - Static-Nonoptimal     (the most conservative feasible setting —
+ *                            what a cautious operator would pick).
+ *
+ * Bars are normalized to Static-Optimal, exactly like the figure;
+ * policies that violate the constraint are marked with an X.
+ */
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "scenarios/scenario.h"
+
+namespace {
+
+using namespace smartconf::scenarios;
+
+constexpr std::uint64_t kEvalSeed = 1;
+const std::vector<std::uint64_t> kSearchSeeds = {1, 2, 3, 4, 5, 6, 7, 8};
+
+struct Bar
+{
+    std::string label;
+    double value = 0.0;   // raw trade-off score (higher is better)
+    bool violated = false;
+    double conf = 0.0;    // the (mean) configuration value
+};
+
+/** Run one candidate across the search seeds; feasible iff all pass. */
+bool
+feasibleEverywhere(const Scenario &s, double candidate, double *mean)
+{
+    double acc = 0.0;
+    for (const std::uint64_t seed : kSearchSeeds) {
+        const ScenarioResult r =
+            s.run(Policy::makeStatic(candidate), seed);
+        if (r.violated)
+            return false;
+        acc += r.tradeoff;
+    }
+    *mean = acc / static_cast<double>(kSearchSeeds.size());
+    return true;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("Figure 5. Trade-off performance comparison\n");
+    std::printf("(bars normalized to Static-Optimal; X = constraint "
+                "violated)\n\n");
+    std::printf("%-8s %-22s %9s %9s %6s  %s\n", "issue", "policy",
+                "score", "speedup", "conf", "");
+    std::printf("%s\n", std::string(78, '-').c_str());
+
+    double smart_speedup_product = 1.0;
+    int scenarios_won = 0, scenario_count = 0;
+
+    for (const auto &s : makeAllScenarios()) {
+        const ScenarioInfo &info = s->info();
+
+        // --- exhaustive search for the best static configuration.
+        double best_value = -1.0, best_conf = 0.0;
+        double worst_feasible_value = -1.0, worst_feasible_conf = 0.0;
+        for (const double c : info.static_candidates) {
+            double mean = 0.0;
+            if (!feasibleEverywhere(*s, c, &mean))
+                continue;
+            if (mean > best_value) {
+                best_value = mean;
+                best_conf = c;
+            }
+            if (worst_feasible_value < 0.0) {
+                worst_feasible_value = mean;
+                worst_feasible_conf = c;
+            }
+        }
+
+        std::vector<Bar> bars;
+        {
+            const ScenarioResult r = s->run(Policy::smart(), kEvalSeed);
+            bars.push_back({"SmartConf", r.tradeoff, r.violated,
+                            r.mean_conf});
+        }
+        if (best_value > 0.0) {
+            const ScenarioResult r =
+                s->run(Policy::makeStatic(best_conf), kEvalSeed);
+            bars.push_back({"Static-Optimal", r.tradeoff, r.violated,
+                            best_conf});
+        }
+        if (worst_feasible_value > 0.0 &&
+            worst_feasible_conf != best_conf) {
+            const ScenarioResult r = s->run(
+                Policy::makeStatic(worst_feasible_conf), kEvalSeed);
+            bars.push_back({"Static-Nonoptimal", r.tradeoff,
+                            r.violated, worst_feasible_conf});
+        }
+        {
+            const ScenarioResult r = s->run(
+                Policy::makeStatic(info.patch_default), kEvalSeed);
+            bars.push_back({"Static-Patch-Default", r.tradeoff,
+                            r.violated, info.patch_default});
+        }
+        {
+            const ScenarioResult r = s->run(
+                Policy::makeStatic(info.buggy_default), kEvalSeed);
+            bars.push_back({"Static-Buggy-Default", r.tradeoff,
+                            r.violated, info.buggy_default});
+        }
+
+        const double norm = bars[1].value > 0.0 ? bars[1].value : 1.0;
+        for (const Bar &b : bars) {
+            std::printf("%-8s %-22s %9.3f %8.2fx %6.0f  %s\n",
+                        info.id.c_str(), b.label.c_str(), b.value,
+                        b.value / norm, b.conf,
+                        b.violated ? "X (constraint violated)" : "");
+        }
+        std::printf("%s\n", std::string(78, '-').c_str());
+
+        ++scenario_count;
+        if (!bars[0].violated && bars[0].value >= norm * 0.999)
+            ++scenarios_won;
+        smart_speedup_product *= bars[0].value / norm;
+    }
+
+    const double geo_mean =
+        std::pow(smart_speedup_product, 1.0 / scenario_count);
+    std::printf("\nSmartConf matches or beats the best static setting "
+                "in %d of %d cases;\n", scenarios_won, scenario_count);
+    std::printf("geometric-mean speedup over Static-Optimal: %.2fx\n",
+                geo_mean);
+    std::printf("(paper: SmartConf satisfies every constraint and "
+                "outperforms the best\nstatic configuration, e.g. "
+                "1.36x on HB3813 and 1.50x on MR2820)\n");
+    return 0;
+}

@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Regenerates Figure 6: SmartConf vs the static-optimal setting on
+ * HB3813 — cumulative throughput (a), used memory (b) and the
+ * dynamically adjusted max.queue.size (c), with the workload shift at
+ * ~200 s.  Series are printed as aligned columns plus CSV blocks for
+ * replotting.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "scenarios/hb3813.h"
+
+int
+main()
+{
+    using namespace smartconf::scenarios;
+
+    Hb3813Scenario scenario;
+    const ScenarioResult smart = scenario.run(Policy::smart(), 1);
+
+    // The paper's static-optimal for this experiment was 90; ours is
+    // discovered by the Fig. 5 search — 80 on the default grid.
+    const double static_opt = 80.0;
+    const ScenarioResult fixed =
+        scenario.run(Policy::makeStatic(static_opt, "Static-Optimal"),
+                     1);
+
+    std::printf("Figure 6. SmartConf vs static optimal on HB3813 "
+                "(workload changes at ~200 s)\n\n");
+    const double lambda_goal = smart.goal_value;
+    std::printf("hard memory constraint: %.0f MB\n\n", lambda_goal);
+
+    std::printf("%8s | %12s %12s | %12s %12s | %12s\n", "time(s)",
+                "ops(smart)", "ops(static)", "mem(smart)",
+                "mem(static)", "queue(smart)");
+    std::printf("%s\n", std::string(80, '-').c_str());
+
+    const auto so = smart.tradeoff_series.downsampleMax(28);
+    const auto fo = fixed.tradeoff_series.downsampleMax(28);
+    const auto sm = smart.perf_series.downsampleMax(28);
+    const auto fm = fixed.perf_series.downsampleMax(28);
+    const auto sq = smart.conf_series.downsampleMax(28);
+    const std::size_t rows = sm.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+        std::printf("%8.1f | %12.0f %12.0f | %12.1f %12.1f | %12.0f\n",
+                    static_cast<double>(sm[i].tick) / 10.0,
+                    i < so.size() ? so[i].value : 0.0,
+                    i < fo.size() ? fo[i].value : 0.0, sm[i].value,
+                    i < fm.size() ? fm[i].value : 0.0,
+                    i < sq.size() ? sq[i].value : 0.0);
+    }
+
+    std::printf("\n(a) throughput: SmartConf %.1f ops/s vs static-%g "
+                "%.1f ops/s -> %.2fx speedup\n", smart.raw_tradeoff,
+                static_opt, fixed.raw_tradeoff,
+                smart.raw_tradeoff / fixed.raw_tradeoff);
+    std::printf("(b) worst memory: SmartConf %.1f MB, static %.1f MB "
+                "(constraint %.0f MB)%s\n", smart.worst_goal_metric,
+                fixed.worst_goal_metric, smart.goal_value,
+                smart.violated ? "  [SmartConf VIOLATED]" : "");
+    std::printf("(c) queue bound: starts at 0, settles around the safe "
+                "level,\n    and drops to ~half after the 2 MB shift "
+                "(mean %.0f items)\n", smart.mean_conf);
+
+    std::printf("\n--- CSV (downsampled): seconds,mem_smart ---\n");
+    for (const auto &pt : smart.perf_series.downsampleMax(70))
+        std::printf("%.1f,%.1f\n", pt.tick / 10.0, pt.value);
+    return 0;
+}

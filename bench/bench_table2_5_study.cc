@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Regenerates the empirical-study tables (paper Tables 2-5) and the
+ * Sec. 2.2 headline statistics from the reproduced issue/post dataset.
+ */
+
+#include <cstdio>
+
+#include "study/tables.h"
+
+int
+main()
+{
+    using namespace smartconf::study;
+    const StudyDataset ds = StudyDataset::paper();
+
+    std::printf("=============================================================\n");
+    std::printf("SmartConf reproduction -- empirical study (paper Sec. 2)\n");
+    std::printf("=============================================================\n\n");
+    std::printf("%s\n", formatTable2(ds).c_str());
+    std::printf("%s\n", formatTable3(ds).c_str());
+    std::printf("%s\n", formatTable4(ds).c_str());
+    std::printf("%s\n", formatTable5(ds).c_str());
+    std::printf("%s\n", formatHeadlines(ds).c_str());
+    return 0;
+}

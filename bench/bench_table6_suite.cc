@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Regenerates Table 6: the benchmark suite — issue descriptions, the
+ * conditional/direct/hard flags and the profiling/evaluation workloads
+ * — straight from the scenario registry, so the table cannot drift
+ * from what the benches actually run.
+ */
+
+#include <cstdio>
+
+#include "scenarios/scenario.h"
+
+int
+main()
+{
+    using namespace smartconf::scenarios;
+
+    std::printf("Table 6. Benchmark suite and workload\n");
+    std::printf("(?-?-? = conditional - direct - hard)\n");
+    std::printf("%s\n", std::string(100, '-').c_str());
+    for (const auto &s : makeAllScenarios()) {
+        const ScenarioInfo &i = s->info();
+        std::printf("%-8s %c-%c-%c  %s\n", i.id.c_str(),
+                    i.conditional ? 'Y' : 'N', i.direct ? 'Y' : 'N',
+                    i.hard ? 'Y' : 'N', i.description.c_str());
+        std::printf("          constraint: %s; trade-off: %s\n",
+                    i.constraint_desc.c_str(), i.tradeoff_desc.c_str());
+        std::printf("          profiling: %-28s  phase-1: %-22s "
+                    "phase-2: %s\n",
+                    i.profiling_workload.c_str(),
+                    i.phase1_workload.c_str(),
+                    i.phase2_workload.c_str());
+        std::printf("          defaults: buggy=%g patch=%g   profiled "
+                    "settings:", i.buggy_default, i.patch_default);
+        for (const double v : i.profiling_settings)
+            std::printf(" %g", v);
+        std::printf("\n%s\n", std::string(100, '-').c_str());
+    }
+    return 0;
+}

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Fig. 8 walkthrough: two PerfConfs coordinating on one memory goal.
+ *
+ * HB3813's request queue and HB6728's response queue both consume the
+ * same JVM heap.  Declaring the goal *super-hard* makes SmartConf split
+ * the control effort across the two controllers (interaction factor
+ * N = 2, paper Sec. 5.4): when reads flood in at 50 s, the response
+ * queue claims memory and the request queue is throttled — and the
+ * heap constraint holds throughout.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/smartconf.h"
+#include "kvstore/server.h"
+#include "scenarios/hb3813.h"
+#include "workload/ycsb.h"
+
+int
+main()
+{
+    using namespace smartconf;
+    using namespace smartconf::scenarios;
+
+    // Synthesize controller parameters from an HB3813 profiling pass.
+    Hb3813Scenario donor;
+    const ProfileSummary model = donor.profile(42);
+
+    SmartConfRuntime rt;
+    rt.declareConf({"ipc.server.max.queue.size", "mem", 0.0, 0.0,
+                    5000.0});
+    rt.declareConf({"ipc.server.response.queue.maxsize", "mem", 8.0,
+                    1.0, 5000.0});
+    Goal goal;
+    goal.metric = "mem";
+    goal.value = 495.0;
+    goal.superHard = true; // the paper's safety net for interaction
+    goal.hard = true;
+    rt.declareGoal(goal);
+    rt.installProfile("ipc.server.max.queue.size", model);
+    rt.installProfile("ipc.server.response.queue.maxsize", model);
+
+    SmartConfI req(rt, "ipc.server.max.queue.size");
+    SmartConfI resp(rt, "ipc.server.response.queue.maxsize");
+    std::printf("interaction factor N = %zu\n\n",
+                rt.coordinator().interactionCount("mem"));
+
+    kvstore::KvServerParams sp;
+    sp.heap_mb = 495.0;
+    sp.request_queue_items = 0;
+    sp.response_queue_mb = 8.0;
+    sp.other_base_mb = 150.0;
+    sp.other_walk_mb = 5.0;
+    sp.other_max_mb = 220.0;
+    kvstore::KvServer server(sp, sim::Rng(7));
+
+    workload::YcsbParams wp;
+    wp.write_fraction = 1.0; // writes only at first
+    wp.ops_per_tick = 18.0;  // above the service rate: queues back up
+    workload::YcsbGenerator gen(wp, sim::Rng(8));
+
+    std::printf("%8s %12s %16s %18s\n", "time(s)", "mem(MB)",
+                "req queue cap", "resp queue cap(MB)");
+    double worst = 0.0;
+    for (sim::Tick t = 0; t < 2400; ++t) {
+        if (t == 500) {
+            auto p = gen.params();
+            p.write_fraction = 0.5; // the read workload joins
+            p.request_size_mb = 1.5;
+            gen.setParams(p);
+            std::printf("    -- read workload joins --\n");
+        }
+        server.accept(gen.tick(), t);
+        server.step(t);
+        const double mem = server.heap().usedMb();
+        worst = std::max(worst, mem);
+
+        req.setPerf(mem, static_cast<double>(
+                             server.requestQueue().size()));
+        server.requestQueue().setMaxItems(static_cast<std::size_t>(
+            std::max(0, req.getConf())));
+        resp.setPerf(server.heap().usedMb(),
+                     server.responseQueue().bytesMb());
+        server.responseQueue().setMaxMb(
+            std::max(1.0, resp.getConfReal()));
+
+        if (t % 200 == 0) {
+            std::printf("%8.1f %12.1f %16zu %18.1f\n", t / 10.0, mem,
+                        server.requestQueue().maxItems(),
+                        server.responseQueue().maxMb());
+        }
+    }
+    std::printf("\nworst memory %.1f MB vs constraint 495 MB -> %s\n",
+                worst, server.crashed() ? "OOM" : "never violated");
+    return 0;
+}

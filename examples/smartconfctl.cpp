@@ -1,0 +1,148 @@
+/**
+ * @file
+ * smartconfctl — command-line companion for SmartConf deployments.
+ *
+ *     smartconfctl lint  <SmartConf.sys> <user.conf>
+ *         cross-check the developer and user files; exit 1 on errors.
+ *
+ *     smartconfctl check <Conf.SmartConf.sys> <SmartConf.sys>
+ *         validate a profiling store against its declaration.
+ *
+ *     smartconfctl synth <Conf.SmartConf.sys>
+ *         re-derive controller parameters from the store's raw samples
+ *         and print them next to the stored values.
+ *
+ *     smartconfctl demo
+ *         write a small valid deployment into ./smartconf-demo/ and
+ *         lint it — a template to start from.
+ */
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/lint.h"
+#include "core/profiler.h"
+#include "core/sysfile.h"
+
+namespace {
+
+using namespace smartconf;
+
+int
+usage()
+{
+    std::fprintf(stderr,
+                 "usage: smartconfctl lint <SmartConf.sys> <user.conf>\n"
+                 "       smartconfctl check <store> <SmartConf.sys>\n"
+                 "       smartconfctl synth <store>\n"
+                 "       smartconfctl demo\n");
+    return 2;
+}
+
+int
+report(const std::vector<LintIssue> &issues)
+{
+    if (issues.empty()) {
+        std::printf("OK: no findings\n");
+        return 0;
+    }
+    std::printf("%s", formatLintIssues(issues).c_str());
+    return hasLintErrors(issues) ? 1 : 0;
+}
+
+int
+cmdLint(const char *sys_path, const char *user_path)
+{
+    const SysFile sys = parseSysFile(readTextFile(sys_path));
+    const UserConf user = parseUserConf(readTextFile(user_path));
+    std::printf("%zu configuration(s), %zu goal(s)\n",
+                sys.entries.size(), user.goals.size());
+    return report(lintDeployment(sys, user));
+}
+
+int
+cmdCheck(const char *store_path, const char *sys_path)
+{
+    const ProfileFile store = parseProfileFile(readTextFile(store_path));
+    const SysFile sys = parseSysFile(readTextFile(sys_path));
+    const ConfEntry *entry = sys.find(store.conf);
+    if (entry == nullptr) {
+        std::fprintf(stderr,
+                     "error: store is for '%s', which %s does not "
+                     "declare\n", store.conf.c_str(), sys_path);
+        return 1;
+    }
+    return report(lintProfile(store, *entry));
+}
+
+int
+cmdSynth(const char *store_path)
+{
+    const ProfileFile store = parseProfileFile(readTextFile(store_path));
+    std::printf("configuration: %s\n", store.conf.c_str());
+    std::printf("%-14s %12s %12s\n", "", "stored", "re-derived");
+    Profiler profiler;
+    for (const ProfilePoint &pt : store.samples)
+        profiler.record(pt.config, pt.perf, pt.config);
+    const ProfileSummary fresh = profiler.summarize();
+    const ProfileSummary &s = store.summary;
+    std::printf("%-14s %12.4f %12.4f\n", "alpha", s.alpha, fresh.alpha);
+    std::printf("%-14s %12.4f %12.4f\n", "lambda", s.lambda,
+                fresh.lambda);
+    std::printf("%-14s %12.4f %12.4f\n", "delta", s.delta, fresh.delta);
+    std::printf("%-14s %12.4f %12.4f\n", "pole", s.pole, fresh.pole);
+    std::printf("%-14s %12s %12s\n", "monotonic",
+                s.monotonic ? "yes" : "NO",
+                fresh.monotonic ? "yes" : "NO");
+    return 0;
+}
+
+int
+cmdDemo()
+{
+    namespace fs = std::filesystem;
+    const fs::path dir = "smartconf-demo";
+    fs::create_directories(dir);
+
+    SysFile sys;
+    sys.entries.push_back({"max.queue.size", "memory_consumption_max",
+                           50.0, 0.0, 5000.0});
+    writeTextFile((dir / "SmartConf.sys").string(), formatSysFile(sys));
+
+    UserConf user;
+    Goal g;
+    g.metric = "memory_consumption_max";
+    g.value = 1024.0;
+    g.hard = true;
+    user.goals[g.metric] = g;
+    writeTextFile((dir / "app.conf").string(), formatUserConf(user));
+
+    std::printf("wrote %s/SmartConf.sys and %s/app.conf\n",
+                dir.string().c_str(), dir.string().c_str());
+    return report(lintDeployment(sys, user));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2)
+        return usage();
+    try {
+        if (std::strcmp(argv[1], "lint") == 0 && argc == 4)
+            return cmdLint(argv[2], argv[3]);
+        if (std::strcmp(argv[1], "check") == 0 && argc == 4)
+            return cmdCheck(argv[2], argv[3]);
+        if (std::strcmp(argv[1], "synth") == 0 && argc == 3)
+            return cmdSynth(argv[2]);
+        if (std::strcmp(argv[1], "demo") == 0)
+            return cmdDemo();
+    } catch (const std::exception &e) {
+        std::fprintf(stderr, "error: %s\n", e.what());
+        return 1;
+    }
+    return usage();
+}

@@ -1,0 +1,90 @@
+#include "core/controller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace smartconf {
+
+Controller::Controller(const ControllerParams &params, const Goal &goal)
+    : params_(params), goal_(goal)
+{
+    assert(params_.alpha != 0.0 && "controller needs a non-zero gain");
+    assert(params_.pole >= 0.0 && params_.pole < 1.0);
+    assert(params_.aggressivePole >= 0.0 && params_.aggressivePole < 1.0);
+    assert(params_.interactionFactor >= 1.0);
+    recomputeVirtualGoal();
+}
+
+void
+Controller::recomputeVirtualGoal()
+{
+    if (goal_.hard && params_.useVirtualGoal) {
+        virtual_goal_ = virtualGoalFor(goal_, params_.lambda);
+    } else {
+        virtual_goal_ = goal_.value;
+    }
+}
+
+double
+Controller::setPoint() const
+{
+    return virtual_goal_;
+}
+
+bool
+Controller::inDangerZone(double perf) const
+{
+    if (goal_.direction == GoalDirection::UpperBound)
+        return perf > virtual_goal_;
+    return perf < virtual_goal_;
+}
+
+double
+Controller::effectivePole(double perf) const
+{
+    if (goal_.hard && params_.useContextAwarePoles && inDangerZone(perf))
+        return params_.aggressivePole;
+    return params_.pole;
+}
+
+double
+Controller::update(double measured_perf, double current_conf)
+{
+    const double e = setPoint() - measured_perf;
+    const double p = effectivePole(measured_perf);
+    const double step =
+        (1.0 - p) / (params_.interactionFactor * params_.alpha) * e;
+    double next = current_conf + step;
+
+    if (next <= params_.confMin) {
+        next = params_.confMin;
+        // Still being pushed below the clamp: candidate unreachable goal.
+        saturation_ = (step < 0.0) ? saturation_ + 1 : 0;
+    } else if (next >= params_.confMax) {
+        next = params_.confMax;
+        saturation_ = (step > 0.0) ? saturation_ + 1 : 0;
+    } else {
+        saturation_ = 0;
+    }
+
+    last_output_ = next;
+    return next;
+}
+
+void
+Controller::setGoal(const Goal &goal)
+{
+    goal_ = goal;
+    saturation_ = 0;
+    recomputeVirtualGoal();
+}
+
+void
+Controller::setInteractionFactor(double n)
+{
+    assert(n >= 1.0);
+    params_.interactionFactor = n;
+}
+
+} // namespace smartconf

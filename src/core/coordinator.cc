@@ -1,0 +1,90 @@
+#include "core/coordinator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/controller.h"
+
+namespace smartconf {
+
+void
+GoalCoordinator::declareGoal(const Goal &goal)
+{
+    goals_[goal.metric] = goal;
+}
+
+const Goal &
+GoalCoordinator::goalFor(const std::string &metric) const
+{
+    const auto it = goals_.find(metric);
+    if (it == goals_.end())
+        throw std::out_of_range("no goal declared for metric '" + metric +
+                                "'");
+    return it->second;
+}
+
+bool
+GoalCoordinator::hasGoal(const std::string &metric) const
+{
+    return goals_.count(metric) > 0;
+}
+
+void
+GoalCoordinator::attach(const std::string &metric, Controller *controller)
+{
+    attached_[metric].push_back(controller);
+    refreshInteractionFactors(metric);
+}
+
+void
+GoalCoordinator::detach(const std::string &metric, Controller *controller)
+{
+    auto it = attached_.find(metric);
+    if (it == attached_.end())
+        return;
+    auto &vec = it->second;
+    vec.erase(std::remove(vec.begin(), vec.end(), controller), vec.end());
+    if (vec.empty()) {
+        attached_.erase(it);
+    } else {
+        refreshInteractionFactors(metric);
+    }
+}
+
+std::size_t
+GoalCoordinator::interactionCount(const std::string &metric) const
+{
+    const auto it = attached_.find(metric);
+    return it == attached_.end() ? 0 : it->second.size();
+}
+
+void
+GoalCoordinator::updateGoalValue(const std::string &metric, double value)
+{
+    auto it = goals_.find(metric);
+    if (it == goals_.end())
+        throw std::out_of_range("no goal declared for metric '" + metric +
+                                "'");
+    it->second.value = value;
+    const auto att = attached_.find(metric);
+    if (att == attached_.end())
+        return;
+    for (Controller *c : att->second)
+        c->setGoal(it->second);
+}
+
+void
+GoalCoordinator::refreshInteractionFactors(const std::string &metric)
+{
+    const auto g = goals_.find(metric);
+    if (g == goals_.end() || !g->second.superHard)
+        return;
+    const auto att = attached_.find(metric);
+    if (att == attached_.end())
+        return;
+    const double n = static_cast<double>(att->second.size());
+    for (Controller *c : att->second)
+        c->setInteractionFactor(std::max(1.0, n));
+}
+
+} // namespace smartconf

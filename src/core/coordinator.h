@@ -1,0 +1,77 @@
+#ifndef SMARTCONF_CORE_COORDINATOR_H_
+#define SMARTCONF_CORE_COORDINATOR_H_
+
+/**
+ * @file
+ * Coordination of multiple PerfConfs sharing one goal (paper Sec. 5.4).
+ *
+ * SmartConf deliberately does not synthesize one big MIMO controller.
+ * Instead, each configuration keeps its own controller, and controllers
+ * that share a *super-hard* goal split the error evenly via an interaction
+ * factor N (the count of registered configurations for that metric).  The
+ * coordinator is the registry that knows N for every metric and fans out
+ * run-time goal updates (setGoal) to all affected controllers.
+ */
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/goal.h"
+
+namespace smartconf {
+
+class Controller;
+
+/**
+ * Per-metric registry of goals and of the controllers tracking them.
+ */
+class GoalCoordinator
+{
+  public:
+    /** Install (or replace) the goal for @p goal.metric. */
+    void declareGoal(const Goal &goal);
+
+    /** Goal lookup. @throws std::out_of_range when undeclared. */
+    const Goal &goalFor(const std::string &metric) const;
+
+    /** True when a goal was declared for @p metric. */
+    bool hasGoal(const std::string &metric) const;
+
+    /**
+     * Register a controller against its goal metric.
+     *
+     * For super-hard goals, the interaction factor of *every* registered
+     * sibling (including the newcomer) is updated to the new count, so
+     * late registration — configurations added as software evolves — is
+     * handled transparently.
+     */
+    void attach(const std::string &metric, Controller *controller);
+
+    /** Remove a controller (e.g. its SmartConf object was destroyed). */
+    void detach(const std::string &metric, Controller *controller);
+
+    /** Number of configurations registered against @p metric. */
+    std::size_t interactionCount(const std::string &metric) const;
+
+    /** All declared goals, keyed by metric. */
+    const std::map<std::string, Goal> &goals() const { return goals_; }
+
+    /**
+     * Run-time goal update (users can call setGoal, Sec. 4.3): replaces
+     * the stored value and pushes the new goal into every controller
+     * attached to the metric.
+     */
+    void updateGoalValue(const std::string &metric, double value);
+
+  private:
+    void refreshInteractionFactors(const std::string &metric);
+
+    std::map<std::string, Goal> goals_;
+    std::map<std::string, std::vector<Controller *>> attached_;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_COORDINATOR_H_

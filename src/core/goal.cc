@@ -1,0 +1,13 @@
+#include "core/goal.h"
+
+namespace smartconf {
+
+double
+virtualGoalFor(const Goal &goal, double lambda)
+{
+    if (goal.direction == GoalDirection::UpperBound)
+        return (1.0 - lambda) * goal.value;
+    return (1.0 + lambda) * goal.value;
+}
+
+} // namespace smartconf

@@ -1,0 +1,132 @@
+#include "core/lint.h"
+
+#include <set>
+#include <sstream>
+
+namespace smartconf {
+
+namespace {
+
+void
+add(std::vector<LintIssue> &out, LintSeverity severity,
+    const std::string &subject, const std::string &message)
+{
+    out.push_back({severity, subject, message});
+}
+
+} // namespace
+
+std::vector<LintIssue>
+lintDeployment(const SysFile &sys, const UserConf &user)
+{
+    std::vector<LintIssue> out;
+
+    std::set<std::string> used_metrics;
+    for (const ConfEntry &e : sys.entries) {
+        used_metrics.insert(e.metric);
+
+        if (e.metric.empty()) {
+            add(out, LintSeverity::Error, e.name,
+                "no 'conf @ metric' mapping: SmartConf cannot know "
+                "which goal this configuration serves");
+        } else if (user.goals.count(e.metric) == 0) {
+            add(out, LintSeverity::Error, e.name,
+                "metric '" + e.metric +
+                    "' has no goal in the user configuration; the "
+                    "controller can never be synthesized");
+        }
+
+        if (e.confMin > e.confMax) {
+            add(out, LintSeverity::Error, e.name,
+                "clamp is inverted (min > max)");
+        } else {
+            if (e.initial < e.confMin || e.initial > e.confMax) {
+                add(out, LintSeverity::Warning, e.name,
+                    "initial value lies outside the [min, max] clamp; "
+                    "the first getConf() will move it");
+            }
+            if (e.confMin == e.confMax) {
+                add(out, LintSeverity::Warning, e.name,
+                    "min == max pins the configuration: nothing to "
+                    "adjust");
+            }
+        }
+    }
+
+    for (const auto &[metric, goal] : user.goals) {
+        if (used_metrics.count(metric) == 0) {
+            add(out, LintSeverity::Warning, metric,
+                "goal is not referenced by any configuration in "
+                "SmartConf.sys");
+        }
+        if (goal.hard && goal.value <= 0.0 &&
+            goal.direction == GoalDirection::UpperBound) {
+            add(out, LintSeverity::Warning, metric,
+                "hard upper-bound goal of <= 0 can never hold");
+        }
+    }
+    return out;
+}
+
+std::vector<LintIssue>
+lintProfile(const ProfileFile &profile, const ConfEntry &entry)
+{
+    std::vector<LintIssue> out;
+    const ProfileSummary &s = profile.summary;
+
+    if (!s.monotonic) {
+        add(out, LintSeverity::Warning, profile.conf,
+            "profile is non-monotonic; SmartConf cannot manage such "
+            "configurations reliably (paper Sec. 6.6)");
+    }
+    if (s.pole < 0.0 || s.pole >= 1.0) {
+        add(out, LintSeverity::Error, profile.conf,
+            "pole outside [0, 1): the closed loop would be unstable");
+    }
+    if (s.lambda < 0.0 || s.lambda > 0.9) {
+        add(out, LintSeverity::Warning, profile.conf,
+            "lambda outside [0, 0.9]: virtual goal would be degenerate");
+    }
+    if (s.alpha == 0.0) {
+        add(out, LintSeverity::Error, profile.conf,
+            "zero gain: the configuration does not move the metric");
+    }
+    if (profile.samples.size() < 40) {
+        add(out, LintSeverity::Warning, profile.conf,
+            "fewer than 40 samples (the paper profiles 4 settings x "
+            "10 samples)");
+    }
+    for (const ProfilePoint &pt : profile.samples) {
+        if (pt.config < entry.confMin || pt.config > entry.confMax) {
+            add(out, LintSeverity::Warning, profile.conf,
+                "a profiling sample lies outside the configuration's "
+                "clamp; the store may belong to another deployment");
+            break;
+        }
+    }
+    return out;
+}
+
+std::string
+formatLintIssues(const std::vector<LintIssue> &issues)
+{
+    std::ostringstream out;
+    for (const LintIssue &issue : issues) {
+        out << (issue.severity == LintSeverity::Error ? "error: "
+                                                      : "warning: ")
+            << issue.subject << ": " << issue.message << "\n";
+    }
+    return out.str();
+}
+
+bool
+hasLintErrors(const std::vector<LintIssue> &issues)
+{
+    for (const LintIssue &issue : issues) {
+        if (issue.severity == LintSeverity::Error)
+            return true;
+    }
+    return false;
+}
+
+} // namespace smartconf

@@ -1,0 +1,69 @@
+#ifndef SMARTCONF_CORE_LINT_H_
+#define SMARTCONF_CORE_LINT_H_
+
+/**
+ * @file
+ * Static validation of SmartConf deployments.
+ *
+ * The paper's empirical study shows misconfiguration is largely a
+ * human problem; SmartConf narrows the surface to two small files, and
+ * this linter closes the remaining gaps before the software even
+ * starts: configurations whose goal metric no user configured, goals
+ * no configuration can influence, nonsensical clamps, hard goals with
+ * non-positive values, and profiling stores that disagree with the
+ * declared configurations.
+ */
+
+#include <string>
+#include <vector>
+
+#include "core/sysfile.h"
+
+namespace smartconf {
+
+/** Severity of a lint finding. */
+enum class LintSeverity
+{
+    Warning, ///< suspicious but the runtime can proceed
+    Error,   ///< the deployment cannot work as written
+};
+
+/** One finding. */
+struct LintIssue
+{
+    LintSeverity severity = LintSeverity::Warning;
+    std::string subject; ///< configuration or metric concerned
+    std::string message;
+};
+
+/**
+ * Cross-check a SmartConf.sys against the user configuration.
+ *
+ * Errors: a configuration whose metric has no declared goal (the
+ * controller could never be synthesized); min/max clamps that exclude
+ * the initial value or invert.  Warnings: goals without any attached
+ * configuration, hard goals with non-positive values, upper-bound
+ * goals of zero.
+ */
+std::vector<LintIssue> lintDeployment(const SysFile &sys,
+                                      const UserConf &user);
+
+/**
+ * Check a profiling store against its declared configuration entry.
+ *
+ * Warnings: non-monotonic profile, pole outside [0, 1), lambda outside
+ * [0, 0.9], fewer samples than the paper's 4x10 recipe, samples
+ * outside the configuration's clamp.
+ */
+std::vector<LintIssue> lintProfile(const ProfileFile &profile,
+                                   const ConfEntry &entry);
+
+/** Render findings as text lines ("error: ..." / "warning: ..."). */
+std::string formatLintIssues(const std::vector<LintIssue> &issues);
+
+/** True when any finding is an error. */
+bool hasLintErrors(const std::vector<LintIssue> &issues);
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_LINT_H_

@@ -1,0 +1,93 @@
+#include "core/model.h"
+
+#include <cmath>
+
+namespace smartconf {
+
+namespace {
+
+/** Pearson correlation of the sample set; 0 when either axis is constant. */
+double
+pearson(const std::vector<ProfilePoint> &points)
+{
+    const std::size_t n = points.size();
+    if (n < 2)
+        return 0.0;
+    double mc = 0.0, ms = 0.0;
+    for (const auto &p : points) {
+        mc += p.config;
+        ms += p.perf;
+    }
+    mc /= static_cast<double>(n);
+    ms /= static_cast<double>(n);
+    double num = 0.0, dc = 0.0, ds = 0.0;
+    for (const auto &p : points) {
+        num += (p.config - mc) * (p.perf - ms);
+        dc += (p.config - mc) * (p.config - mc);
+        ds += (p.perf - ms) * (p.perf - ms);
+    }
+    if (dc <= 0.0 || ds <= 0.0)
+        return 0.0;
+    return num / std::sqrt(dc * ds);
+}
+
+} // namespace
+
+LinearModel
+LinearModel::fitProportional(const std::vector<ProfilePoint> &points)
+{
+    LinearModel m;
+    double num = 0.0, den = 0.0;
+    for (const auto &p : points) {
+        num += p.config * p.perf;
+        den += p.config * p.config;
+    }
+    if (den > 0.0)
+        m.alpha_ = num / den;
+    m.base_ = 0.0;
+    m.correlation_ = pearson(points);
+    m.samples_ = points.size();
+    return m;
+}
+
+LinearModel
+LinearModel::fitAffine(const std::vector<ProfilePoint> &points)
+{
+    LinearModel m;
+    const std::size_t n = points.size();
+    if (n == 0)
+        return m;
+    double mc = 0.0, ms = 0.0;
+    for (const auto &p : points) {
+        mc += p.config;
+        ms += p.perf;
+    }
+    mc /= static_cast<double>(n);
+    ms /= static_cast<double>(n);
+    double num = 0.0, den = 0.0;
+    for (const auto &p : points) {
+        num += (p.config - mc) * (p.perf - ms);
+        den += (p.config - mc) * (p.config - mc);
+    }
+    if (den > 0.0) {
+        m.alpha_ = num / den;
+        m.base_ = ms - m.alpha_ * mc;
+    } else {
+        // All samples share one setting: the best constant predictor.
+        m.alpha_ = 0.0;
+        m.base_ = ms;
+    }
+    m.correlation_ = pearson(points);
+    m.samples_ = n;
+    return m;
+}
+
+bool
+LinearModel::plausiblyMonotonic(double threshold) const
+{
+    if (samples_ < 2)
+        return true; // too little data to refute monotonicity
+    return std::abs(correlation_) >= threshold;
+}
+
+} // namespace smartconf

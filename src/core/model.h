@@ -1,0 +1,94 @@
+#ifndef SMARTCONF_CORE_MODEL_H_
+#define SMARTCONF_CORE_MODEL_H_
+
+/**
+ * @file
+ * Linear performance model fitted from profiling samples.
+ *
+ * The baseline controller synthesis (paper Eq. 1) approximates system
+ * behaviour as s(k) = alpha * c(k-1): performance is proportional to the
+ * previous configuration value.  The gain alpha is obtained by linear
+ * regression over (configuration, performance) profiling samples.
+ */
+
+#include <cstddef>
+#include <vector>
+
+namespace smartconf {
+
+/** One profiling observation: performance measured under a setting. */
+struct ProfilePoint
+{
+    double config = 0.0; ///< configuration (or deputy variable) value
+    double perf = 0.0;   ///< measured performance metric
+};
+
+/**
+ * The fitted model s = alpha * c (+ base for diagnostics).
+ *
+ * SmartConf's controller only consumes alpha; the affine intercept and the
+ * correlation coefficient are retained because they feed the monotonicity
+ * sanity check the paper lists as a precondition (Sec. 6.6).
+ */
+class LinearModel
+{
+  public:
+    /**
+     * Fit s = alpha * c through the origin by least squares.
+     *
+     * @param points profiling samples; at least one with config != 0.
+     * @return the fitted model; alpha = 0 when unfittable.
+     */
+    static LinearModel fitProportional(
+        const std::vector<ProfilePoint> &points);
+
+    /**
+     * Fit s = alpha * c + base by ordinary least squares.
+     *
+     * Used when the metric has a workload-determined floor (e.g. baseline
+     * heap usage) that should not pollute the gain estimate.
+     */
+    static LinearModel fitAffine(const std::vector<ProfilePoint> &points);
+
+    /** Gain alpha of Eq. 1; may be negative (e.g. MR2820). */
+    double alpha() const { return alpha_; }
+
+    /** Intercept; 0 for proportional fits. */
+    double base() const { return base_; }
+
+    /** Pearson correlation between config and perf; 0 if degenerate. */
+    double correlation() const { return correlation_; }
+
+    /** Number of samples used by the fit. */
+    std::size_t sampleCount() const { return samples_; }
+
+    /** Predicted performance at configuration value c. */
+    double predict(double c) const { return alpha_ * c + base_; }
+
+    /**
+     * Invert the model: configuration that would yield performance s.
+     *
+     * @pre alpha() != 0.
+     */
+    double invert(double s) const { return (s - base_) / alpha_; }
+
+    /**
+     * Whether the sampled relationship looks monotonic.
+     *
+     * SmartConf requires a monotonic config -> performance relationship
+     * (paper Sec. 6.6).  We flag a fit as non-monotonic when the absolute
+     * correlation of per-setting means falls below @p threshold, which
+     * catches U-shaped responses such as MR5420's chunk count.
+     */
+    bool plausiblyMonotonic(double threshold = 0.5) const;
+
+  private:
+    double alpha_ = 0.0;
+    double base_ = 0.0;
+    double correlation_ = 0.0;
+    std::size_t samples_ = 0;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_MODEL_H_

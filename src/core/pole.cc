@@ -1,0 +1,66 @@
+#include "core/pole.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace smartconf {
+
+double
+poleFromDelta(double delta)
+{
+    if (!(delta > 2.0))
+        return 0.0;
+    const double clamped = std::min(delta, kMaxDelta);
+    return 1.0 - 2.0 / clamped;
+}
+
+double
+deltaFromProfile(const std::vector<RunningStats> &perSetting)
+{
+    // Performance "measured w.r.t minimum performance": shift every
+    // per-setting mean by the smallest per-setting mean, so the ratio
+    // sigma_i / m'_i gauges noise relative to the part of the metric the
+    // configuration actually moved.  The minimum setting itself defines
+    // the floor and is skipped (its shifted mean is zero).
+    double floor = std::numeric_limits<double>::infinity();
+    for (const auto &s : perSetting) {
+        if (s.count() >= 2)
+            floor = std::min(floor, s.mean());
+    }
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto &s : perSetting) {
+        if (s.count() < 2)
+            continue;
+        const double shifted_mean = s.mean() - floor;
+        if (shifted_mean <= 0.0)
+            continue; // the floor-defining setting carries no signal
+        const double ratio =
+            std::min(3.0 * s.stddev() / shifted_mean, kMaxDelta);
+        acc += ratio;
+        ++n;
+    }
+    if (n == 0)
+        return 1.0;
+    const double delta = 1.0 + acc / static_cast<double>(n);
+    return std::clamp(delta, 1.0, kMaxDelta);
+}
+
+double
+lambdaFromProfile(const std::vector<RunningStats> &perSetting)
+{
+    double acc = 0.0;
+    std::size_t n = 0;
+    for (const auto &s : perSetting) {
+        if (s.count() < 2)
+            continue;
+        acc += s.coefficientOfVariation();
+        ++n;
+    }
+    if (n == 0)
+        return 0.0;
+    return std::clamp(acc / static_cast<double>(n), 0.0, 0.9);
+}
+
+} // namespace smartconf

@@ -1,0 +1,62 @@
+#ifndef SMARTCONF_CORE_POLE_H_
+#define SMARTCONF_CORE_POLE_H_
+
+/**
+ * @file
+ * Automatic pole selection (paper Sec. 5.1).
+ *
+ * The pole p in Eq. 2 sets how aggressively the controller closes the gap
+ * between measured performance and the goal.  Classical synthesis asks an
+ * expert for the multiplicative model error Delta = s_true / s_model and
+ * sets p = 1 - 2/Delta (Delta > 2), which guarantees convergence.
+ * SmartConf instead *projects* Delta from profiling instability so that no
+ * control-specific input is required from developers or users:
+ *
+ *     Delta = 1 + (1/N) * sum_i 3 * sigma_i / m'_i
+ *
+ * where sigma_i and m'_i are the standard deviation and mean of the
+ * performance under the i-th profiled setting, measured with respect to
+ * the minimum performance (per-setting means shifted so the smallest
+ * setting's mean is the origin; that setting defines the floor and is
+ * skipped).  The 3-sigma scaling yields the
+ * paper's probabilistic convergence guarantee: the controller converges
+ * as long as the true model error stays within three standard deviations
+ * (~99.7% of the time).
+ */
+
+#include <vector>
+
+#include "core/stats.h"
+
+namespace smartconf {
+
+/** Upper clamp applied to the projected Delta; keeps p <= 0.98. */
+inline constexpr double kMaxDelta = 100.0;
+
+/**
+ * p = 1 - 2/Delta for Delta > 2, else 0 (paper Sec. 5.1).
+ *
+ * The result always lies in [0, 1), the stability region of Eq. 2.
+ */
+double poleFromDelta(double delta);
+
+/**
+ * Project the model-error bound Delta from per-setting profiling stats.
+ *
+ * @param perSetting one accumulator per profiled configuration setting.
+ * @return Delta in [1, kMaxDelta]; 1 when profiling was noise-free.
+ */
+double deltaFromProfile(const std::vector<RunningStats> &perSetting);
+
+/**
+ * Mean coefficient of variation lambda = (1/N) * sum_i sigma_i / m_i
+ * (paper Sec. 5.2); feeds the automated virtual goal.
+ *
+ * @return lambda clamped into [0, 0.9] so the virtual goal stays a
+ *         meaningful fraction of the real goal.
+ */
+double lambdaFromProfile(const std::vector<RunningStats> &perSetting);
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_POLE_H_

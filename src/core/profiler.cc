@@ -1,0 +1,99 @@
+#include "core/profiler.h"
+
+#include <algorithm>
+
+#include "core/pole.h"
+
+namespace smartconf {
+
+void
+Profiler::record(double config, double perf)
+{
+    record(config, perf, config);
+}
+
+void
+Profiler::record(double config, double perf, double group)
+{
+    samples_.push_back({config, perf});
+    groups_[group].push(perf);
+}
+
+bool
+Profiler::sufficient(std::size_t min_settings, std::size_t min_samples) const
+{
+    return groups_.size() >= min_settings && samples_.size() >= min_samples;
+}
+
+ProfileSummary
+Profiler::summarize() const
+{
+    ProfileSummary out;
+    out.settings = groups_.size();
+    out.samples = samples_.size();
+    if (samples_.empty())
+        return out;
+
+    const LinearModel affine = LinearModel::fitAffine(samples_);
+    out.alpha = affine.alpha();
+    out.base = affine.base();
+    out.correlation = affine.correlation();
+
+    std::vector<RunningStats> per_setting;
+    per_setting.reserve(groups_.size());
+    for (const auto &[conf, stats] : groups_)
+        per_setting.push_back(stats);
+
+    // Monotonicity check (paper Sec. 6.6).  Pearson correlation on raw
+    // samples misses U-shapes whose settings are unevenly spaced, so
+    // with three or more profiled settings we check whether any
+    // interior per-setting mean escapes the envelope spanned by the
+    // first and last settings; noise wiggles inside the envelope (or
+    // within 25% of the overall spread beyond it) stay monotonic,
+    // while a U/valley sticks far outside.
+    if (per_setting.size() >= 3) {
+        double lo = per_setting.front().mean();
+        double hi = lo;
+        for (const auto &g : per_setting) {
+            lo = std::min(lo, g.mean());
+            hi = std::max(hi, g.mean());
+        }
+        // The escape must be large relative to both the overall spread
+        // and the per-setting noise (slow disturbances shift whole
+        // setting means around).
+        double mean_sigma = 0.0;
+        for (const auto &g : per_setting)
+            mean_sigma += g.stddev();
+        mean_sigma /= static_cast<double>(per_setting.size());
+        const double tolerance =
+            std::max(0.25 * (hi - lo), 2.0 * mean_sigma);
+        const double first = per_setting.front().mean();
+        const double last = per_setting.back().mean();
+        const double env_lo = std::min(first, last) - tolerance;
+        const double env_hi = std::max(first, last) + tolerance;
+        out.monotonic = true;
+        for (std::size_t i = 1; i + 1 < per_setting.size(); ++i) {
+            const double m = per_setting[i].mean();
+            if (m < env_lo || m > env_hi) {
+                out.monotonic = false;
+                break;
+            }
+        }
+    } else {
+        out.monotonic = affine.plausiblyMonotonic();
+    }
+
+    out.lambda = lambdaFromProfile(per_setting);
+    out.delta = deltaFromProfile(per_setting);
+    out.pole = poleFromDelta(out.delta);
+    return out;
+}
+
+void
+Profiler::reset()
+{
+    samples_.clear();
+    groups_.clear();
+}
+
+} // namespace smartconf

@@ -1,0 +1,96 @@
+#ifndef SMARTCONF_CORE_PROFILER_H_
+#define SMARTCONF_CORE_PROFILER_H_
+
+/**
+ * @file
+ * Profiling sample collection and controller synthesis (paper Sec. 5.5).
+ *
+ * In profiling mode, every SmartConf::setPerf call records the pair
+ * (current configuration value, measured performance).  Once enough
+ * samples are gathered — the paper's recipe is 4 settings x 10 samples —
+ * the profiler fits the linear gain alpha, projects the model-error bound
+ * Delta (and from it the pole), and computes the instability coefficient
+ * lambda that scales the virtual goal.
+ */
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/model.h"
+#include "core/stats.h"
+
+namespace smartconf {
+
+/** Everything controller synthesis derives from a profile. */
+struct ProfileSummary
+{
+    double alpha = 0.0;     ///< fitted gain of Eq. 1
+    double base = 0.0;      ///< affine intercept (diagnostic)
+    double lambda = 0.0;    ///< mean coefficient of variation (Sec. 5.2)
+    double delta = 1.0;     ///< projected model-error bound (Sec. 5.1)
+    double pole = 0.0;      ///< p = 1 - 2/Delta for Delta > 2, else 0
+    double correlation = 0.0; ///< config-vs-perf Pearson correlation
+    std::size_t settings = 0; ///< number of distinct profiled settings
+    std::size_t samples = 0;  ///< total number of samples
+    bool monotonic = true;    ///< monotonicity sanity check (Sec. 6.6)
+};
+
+/**
+ * Accumulates (config, perf) samples and synthesizes controller params.
+ *
+ * The regression runs over the raw (config, perf) pairs — for indirect
+ * configurations `config` is the deputy variable's observed value — while
+ * the per-setting noise statistics (lambda, Delta) are grouped by the
+ * *setting in force* when the sample was taken, matching the paper's
+ * methodology of profiling a handful of discrete settings (e.g. HB3813
+ * profiles max.queue.size in {40, 80, 120, 160}).
+ */
+class Profiler
+{
+  public:
+    /**
+     * Record one observation.
+     *
+     * @param config the controlled variable's value (deputy for indirect
+     *               configurations).
+     * @param perf   the measured performance.
+     * @param group  the profiled setting this sample belongs to; defaults
+     *               to @p config (correct for direct configurations).
+     */
+    void record(double config, double perf);
+    void record(double config, double perf, double group);
+
+    /** All raw samples in insertion order. */
+    const std::vector<ProfilePoint> &samples() const { return samples_; }
+
+    /** Number of distinct settings observed. */
+    std::size_t settingCount() const { return groups_.size(); }
+
+    /** Total number of recorded samples. */
+    std::size_t sampleCount() const { return samples_.size(); }
+
+    /** True when at least @p min_settings and @p min_samples were seen. */
+    bool sufficient(std::size_t min_settings = 2,
+                    std::size_t min_samples = 8) const;
+
+    /**
+     * Synthesize controller parameters from the recorded samples.
+     *
+     * The gain is fitted by affine regression (the intercept absorbs
+     * workload floors such as baseline heap usage); lambda and Delta come
+     * from the per-setting accumulators.
+     */
+    ProfileSummary summarize() const;
+
+    /** Drop all recorded samples. */
+    void reset();
+
+  private:
+    std::vector<ProfilePoint> samples_;
+    std::map<double, RunningStats> groups_;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_PROFILER_H_

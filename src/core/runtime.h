@@ -1,0 +1,214 @@
+#ifndef SMARTCONF_CORE_RUNTIME_H_
+#define SMARTCONF_CORE_RUNTIME_H_
+
+/**
+ * @file
+ * SmartConfRuntime — the per-process registry behind the SmartConf API.
+ *
+ * The runtime owns everything the paper stores in files and global state:
+ * the SmartConf.sys configuration entries, the user goals, the per-conf
+ * profiling stores, the synthesized controllers, and the goal coordinator
+ * that couples interacting configurations.  SmartConf objects (Fig. 3/4)
+ * are thin handles into this registry.
+ *
+ * Both file-based and programmatic setup are supported: server software
+ * would call loadSysText/loadUserConfText at startup, while tests and
+ * simulations declare entries directly.
+ */
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/controller.h"
+#include "core/lint.h"
+#include "core/coordinator.h"
+#include "core/profiler.h"
+#include "core/sysfile.h"
+
+namespace smartconf {
+
+/**
+ * Per-configuration knobs for ablation studies (Fig. 7).
+ *
+ * Production use never touches these; the evaluation harness uses them to
+ * build the "single pole" and "no virtual goal" alternative controllers.
+ */
+struct ControllerOverrides
+{
+    std::optional<double> pole;   ///< force the regular pole
+    std::optional<double> lambda; ///< force the instability coefficient
+    bool useVirtualGoal = true;
+    bool useContextAwarePoles = true;
+
+    /**
+     * Clamp for the *controlled variable* when it differs from the
+     * configuration (indirect configs with a non-identity transducer,
+     * e.g. HD4995 controls lock-hold seconds but configures a file
+     * count).  Defaults to the configuration's own clamp.
+     */
+    std::optional<double> deputyMin;
+    std::optional<double> deputyMax;
+};
+
+/**
+ * Registry and factory for SmartConf-managed configurations.
+ */
+class SmartConfRuntime
+{
+  public:
+    using AlertHandler =
+        std::function<void(const std::string &conf, const std::string &msg)>;
+
+    SmartConfRuntime();
+    ~SmartConfRuntime();
+
+    SmartConfRuntime(const SmartConfRuntime &) = delete;
+    SmartConfRuntime &operator=(const SmartConfRuntime &) = delete;
+
+    /// @name Setup from SmartConf file formats
+    /// @{
+
+    /** Parse SmartConf.sys text and declare all entries. */
+    void loadSysText(const std::string &text);
+
+    /** Parse user configuration text and declare all goals. */
+    void loadUserConfText(const std::string &text);
+
+    /** Parse a <Conf>.SmartConf.sys profiling store and install it. */
+    void loadProfileText(const std::string &text);
+
+    /// @}
+    /// @name Programmatic setup
+    /// @{
+
+    /** Declare one configuration entry (name, metric, init, clamps). */
+    void declareConf(const ConfEntry &entry);
+
+    /** Declare the goal for a metric. */
+    void declareGoal(const Goal &goal);
+
+    /** Install synthesized parameters for @p conf directly. */
+    void installProfile(const std::string &conf,
+                        const ProfileSummary &summary);
+
+    /** Apply evaluation-only overrides (must precede controller use). */
+    void setOverrides(const std::string &conf,
+                      const ControllerOverrides &overrides);
+
+    /// @}
+    /// @name Profiling mode (paper Sec. 5.5)
+    /// @{
+
+    /** Enable/disable sample recording in setPerf. */
+    void setProfiling(bool enabled) { profiling_ = enabled; }
+    bool profiling() const { return profiling_; }
+
+    /** Access recorded samples for @p conf. */
+    const Profiler &profilerFor(const std::string &conf) const;
+
+    /**
+     * Pin the current configuration value of @p conf.
+     *
+     * Profiling harnesses use this to tell SmartConf which static
+     * setting is in force, so that setPerf records (setting, perf)
+     * pairs; at run time the controller manages the value itself.
+     */
+    void setCurrentValue(const std::string &conf, double value);
+
+    /** Current value of @p conf without running any controller. */
+    double currentValue(const std::string &conf) const;
+
+    /**
+     * Summarize recorded samples for @p conf, install the result and
+     * return it.  Equivalent to flushing the profiling store to disk and
+     * re-reading it, without the file system round trip.
+     */
+    ProfileSummary finishProfiling(const std::string &conf);
+
+    /** Serialize the profiling store of @p conf (file format 3). */
+    std::string formatProfileStore(const std::string &conf) const;
+
+    /**
+     * Flush every configuration's profiling store to
+     * `<dir>/<ConfName>.SmartConf.sys` (paper Sec. 5.5: profiling
+     * results are "periodically flushed to file").  Configurations
+     * without samples or an installed summary are skipped.
+     *
+     * @return number of files written.
+     */
+    int flushProfiles(const std::string &dir) const;
+
+    /**
+     * Load every `*.SmartConf.sys` profiling store found in @p dir and
+     * install it (the startup counterpart of flushProfiles).  Stores
+     * naming undeclared configurations are ignored.
+     *
+     * @return number of stores installed.
+     */
+    int loadProfiles(const std::string &dir);
+
+    /// @}
+
+    /** Shared goal registry (interaction factors, setGoal fan-out). */
+    GoalCoordinator &coordinator() { return coordinator_; }
+    const GoalCoordinator &coordinator() const { return coordinator_; }
+
+    /**
+     * Validate the loaded deployment: every configuration's metric has
+     * a goal, clamps make sense, goals are attached (see core/lint.h).
+     * Call after loading/declaring everything, before serving.
+     */
+    std::vector<LintIssue> lint() const;
+
+    /** Install the unreachable-goal alert callback (Sec. 4.3). */
+    void setAlertHandler(AlertHandler handler);
+
+    /** Number of alerts raised so far (all configurations). */
+    int alertCount() const { return alert_count_; }
+
+    /** True when @p conf was declared. */
+    bool hasConf(const std::string &conf) const;
+
+    /** Declared entry. @throws std::out_of_range when undeclared. */
+    const ConfEntry &entryFor(const std::string &conf) const;
+
+  private:
+    friend class SmartConf;
+    friend class SmartConfI;
+
+    /** Everything the runtime tracks for one configuration. */
+    struct ConfState
+    {
+        ConfEntry entry;
+        ControllerOverrides overrides;
+        std::optional<ProfileSummary> summary;
+        std::unique_ptr<Controller> controller;
+        Profiler profiler;
+        double current = 0.0;      ///< current configuration value
+        double last_perf = 0.0;    ///< latest setPerf measurement
+        bool perf_seen = false;
+        bool alerted = false;      ///< alert already raised this episode
+    };
+
+    ConfState &stateFor(const std::string &conf);
+    const ConfState &stateForConst(const std::string &conf) const;
+
+    /** Build the controller for @p state if goal + profile are ready. */
+    void maybeSynthesize(ConfState &state);
+
+    /** Raise the unreachable-goal alert (deduplicated per episode). */
+    void raiseAlert(ConfState &state, const std::string &msg);
+
+    std::map<std::string, ConfState> confs_;
+    GoalCoordinator coordinator_;
+    AlertHandler alert_handler_;
+    int alert_count_ = 0;
+    bool profiling_ = false;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_RUNTIME_H_

@@ -1,0 +1,57 @@
+#include "core/sensor.h"
+
+#include <cmath>
+
+namespace smartconf {
+
+void
+EwmaSensor::observe(double value)
+{
+    if (!primed_) {
+        value_ = value;
+        primed_ = true;
+    } else {
+        value_ = (1.0 - weight_) * value_ + weight_ * value;
+    }
+}
+
+void
+WindowMaxSensor::observe(double value)
+{
+    buffer_.push_back(value);
+    while (buffer_.size() > window_)
+        buffer_.pop_front();
+}
+
+double
+WindowMaxSensor::read() const
+{
+    double best = 0.0;
+    for (const double v : buffer_)
+        best = std::max(best, v);
+    return best;
+}
+
+void
+WindowPercentileSensor::observe(double value)
+{
+    buffer_.push_back(value);
+    while (buffer_.size() > window_)
+        buffer_.pop_front();
+}
+
+double
+WindowPercentileSensor::read() const
+{
+    if (buffer_.empty())
+        return 0.0;
+    std::vector<double> sorted(buffer_.begin(), buffer_.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        std::ceil(percentile_ / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t idx = static_cast<std::size_t>(
+        std::max(1.0, std::min(rank, static_cast<double>(sorted.size()))));
+    return sorted[idx - 1];
+}
+
+} // namespace smartconf

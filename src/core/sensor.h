@@ -1,0 +1,119 @@
+#ifndef SMARTCONF_CORE_SENSOR_H_
+#define SMARTCONF_CORE_SENSOR_H_
+
+/**
+ * @file
+ * Performance sensors (paper Sec. 4.1.1).
+ *
+ * The only developer obligation SmartConf cannot remove is producing a
+ * measurement of the goal metric — "developers must provide a sensor that
+ * measures the performance metric M to be controlled".  This header
+ * provides the handful of sensor shapes the paper's case studies need:
+ * instantaneous gauges (heap usage), exponentially weighted averages
+ * (request latency, like MapReduce's RpcProcessingAvgTime), sliding-window
+ * maxima (worst-case write-block time) and window percentiles (tail
+ * latency SLAs).
+ */
+
+#include <algorithm>
+#include <cstddef>
+#include <deque>
+#include <vector>
+
+namespace smartconf {
+
+/**
+ * A source of performance measurements for one metric.
+ */
+class Sensor
+{
+  public:
+    virtual ~Sensor() = default;
+
+    /** Feed one raw observation into the sensor. */
+    virtual void observe(double value) = 0;
+
+    /** Current measurement to hand to SmartConf::setPerf. */
+    virtual double read() const = 0;
+
+    /** Forget all state (e.g. at a phase boundary). */
+    virtual void reset() = 0;
+};
+
+/** Latest-value sensor: read() returns the last observation. */
+class GaugeSensor : public Sensor
+{
+  public:
+    void observe(double value) override { value_ = value; }
+    double read() const override { return value_; }
+    void reset() override { value_ = 0.0; }
+
+  private:
+    double value_ = 0.0;
+};
+
+/**
+ * Exponentially weighted moving average.
+ *
+ * read() = (1 - weight) * previous + weight * observation; the first
+ * observation seeds the average directly.
+ */
+class EwmaSensor : public Sensor
+{
+  public:
+    /** @param weight smoothing factor in (0, 1]. */
+    explicit EwmaSensor(double weight = 0.3) : weight_(weight) {}
+
+    void observe(double value) override;
+    double read() const override { return value_; }
+    void reset() override { value_ = 0.0; primed_ = false; }
+
+  private:
+    double weight_;
+    double value_ = 0.0;
+    bool primed_ = false;
+};
+
+/** Maximum over the last @p window observations (worst-case metrics). */
+class WindowMaxSensor : public Sensor
+{
+  public:
+    explicit WindowMaxSensor(std::size_t window = 16) : window_(window) {}
+
+    void observe(double value) override;
+    double read() const override;
+    void reset() override { buffer_.clear(); }
+
+  private:
+    std::size_t window_;
+    std::deque<double> buffer_;
+};
+
+/**
+ * Percentile over the last @p window observations (tail-latency SLAs).
+ *
+ * Uses nearest-rank on a copy of the window; windows are small (tens to
+ * hundreds of entries) so the O(n log n) read is negligible.
+ */
+class WindowPercentileSensor : public Sensor
+{
+  public:
+    /** @param percentile in (0, 100]; @param window history length. */
+    WindowPercentileSensor(double percentile = 99.0,
+                           std::size_t window = 128)
+        : percentile_(percentile), window_(window)
+    {}
+
+    void observe(double value) override;
+    double read() const override;
+    void reset() override { buffer_.clear(); }
+
+  private:
+    double percentile_;
+    std::size_t window_;
+    std::deque<double> buffer_;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_SENSOR_H_

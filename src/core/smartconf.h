@@ -1,0 +1,150 @@
+#ifndef SMARTCONF_CORE_SMARTCONF_H_
+#define SMARTCONF_CORE_SMARTCONF_H_
+
+/**
+ * @file
+ * The developer-facing SmartConf classes (paper Fig. 3 and Fig. 4).
+ *
+ * Usage mirrors the paper exactly.  Instead of reading a configuration
+ * value from a file, developers create a SmartConf handle and, wherever
+ * the software uses the configuration, call setPerf with the latest
+ * sensor measurement followed by getConf to obtain the adjusted setting:
+ *
+ * @code
+ *     SmartConfRuntime rt;                    // process-wide registry
+ *     rt.loadSysText(...);                    // SmartConf.sys
+ *     rt.loadUserConfText(...);               // user goals
+ *     rt.loadProfileText(...);                // <Conf>.SmartConf.sys
+ *
+ *     SmartConf sc(rt, "max.queue.size");
+ *     ...
+ *     sc.setPerf(heap_used_mb);               // sensor reading
+ *     queue.setCapacity(sc.getConf());        // adjusted configuration
+ * @endcode
+ *
+ * Indirect configurations (thresholds on a deputy variable, Sec. 5.3) use
+ * SmartConfI and additionally pass the deputy's current value to setPerf.
+ */
+
+#include <memory>
+#include <string>
+
+#include "core/runtime.h"
+#include "core/transducer.h"
+
+namespace smartconf {
+
+/**
+ * Handle for a *direct* configuration: its value immediately moves the
+ * goal metric (e.g. a cache size moving memory consumption).
+ */
+class SmartConf
+{
+  public:
+    /**
+     * Bind to configuration @p conf_name in @p runtime.
+     *
+     * Reads the configuration's current setting, its performance goal and
+     * the auto-generated controller parameters from the runtime (which
+     * loaded them from the SmartConf system files), mirroring the paper's
+     * constructor semantics.
+     *
+     * @throws std::out_of_range when the configuration is undeclared.
+     */
+    SmartConf(SmartConfRuntime &runtime, std::string conf_name);
+
+    virtual ~SmartConf() = default;
+
+    SmartConf(const SmartConf &) = delete;
+    SmartConf &operator=(const SmartConf &) = delete;
+
+    /**
+     * Feed the latest measurement of the goal metric to the controller.
+     * In profiling mode the (configuration, performance) pair is also
+     * recorded into the profiling store.
+     */
+    void setPerf(double actual);
+
+    /**
+     * Compute and return the adjusted configuration value, rounded to the
+     * nearest integer (PerfConfs are dominated by integer types, paper
+     * Table 5).  Until a controller is synthesized — i.e. during the
+     * first profiling runs — this returns the current value unchanged.
+     */
+    int getConf();
+
+    /** Same as getConf() without rounding, for floating-point configs. */
+    double getConfReal();
+
+    /**
+     * Update the performance goal at run time (users/administrators can
+     * change goals while the system runs, Sec. 4.3).  The new goal fans
+     * out to every configuration attached to the same metric.
+     */
+    void setGoal(double goal);
+
+    /** Current configuration value without running the controller. */
+    double currentValue() const;
+
+    /** Configuration name this handle is bound to. */
+    const std::string &name() const { return name_; }
+
+    /** True once a controller has been synthesized for this conf. */
+    bool managed() const;
+
+  protected:
+    /** Runs the controller and clamps/stores the result. */
+    double adjust();
+
+    /** Registry state for this configuration. */
+    SmartConfRuntime::ConfState &state();
+    const SmartConfRuntime::ConfState &state() const;
+
+    SmartConfRuntime &runtime_;
+    std::string name_;
+};
+
+/**
+ * Handle for an *indirect* configuration: a threshold on a deputy
+ * variable that is what actually drives performance (Sec. 5.3).
+ *
+ * The controller operates on the deputy; the transducer maps the desired
+ * deputy value back to the configuration (identity by default).
+ */
+class SmartConfI : public SmartConf
+{
+  public:
+    /**
+     * @param transducer deputy -> configuration mapping; pass nullptr for
+     *                    the identity transducer.
+     */
+    SmartConfI(SmartConfRuntime &runtime, std::string conf_name,
+               std::unique_ptr<Transducer> transducer = nullptr);
+
+    /**
+     * Feed the latest measurement plus the deputy's current value (the
+     * controller adjusts from where the deputy *is*, not from where the
+     * threshold was set — the threshold only takes effect eventually).
+     */
+    void setPerf(double actual, double deputy_value);
+
+    /** Adjusted threshold = transduce(controller-desired deputy value). */
+    int getConf();
+
+    /** Same as getConf() without rounding. */
+    double getConfReal();
+
+    /** Deputy value most recently passed to setPerf. */
+    double lastDeputy() const { return last_deputy_; }
+
+  private:
+    double adjustIndirect();
+
+    std::unique_ptr<Transducer> transducer_;
+    double last_deputy_ = 0.0;
+    bool deputy_seen_ = false;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_SMARTCONF_H_

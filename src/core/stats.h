@@ -1,0 +1,79 @@
+#ifndef SMARTCONF_CORE_STATS_H_
+#define SMARTCONF_CORE_STATS_H_
+
+/**
+ * @file
+ * Streaming statistics used by the SmartConf profiler.
+ *
+ * The profiling phase (paper Sec. 5.5) collects performance samples under a
+ * handful of configuration settings.  The controller-synthesis math
+ * (Sec. 5.1 and 5.2) only needs per-setting means and standard deviations,
+ * so a numerically stable single-pass accumulator is sufficient.
+ */
+
+#include <cstddef>
+#include <limits>
+
+namespace smartconf {
+
+/**
+ * Single-pass mean / variance accumulator (Welford's algorithm).
+ *
+ * Tracks count, mean, variance, min and max of a stream of doubles.
+ * Variance is the unbiased sample variance (divides by n - 1).
+ */
+class RunningStats
+{
+  public:
+    RunningStats() = default;
+
+    /** Add one observation to the stream. */
+    void push(double x);
+
+    /** Merge another accumulator into this one (parallel Welford). */
+    void merge(const RunningStats &other);
+
+    /** Discard all observations. */
+    void reset();
+
+    /** Number of observations seen so far. */
+    std::size_t count() const { return n_; }
+
+    /** Arithmetic mean; 0 when empty. */
+    double mean() const { return n_ > 0 ? mean_ : 0.0; }
+
+    /** Unbiased sample variance; 0 when fewer than two samples. */
+    double variance() const;
+
+    /** Square root of variance(). */
+    double stddev() const;
+
+    /**
+     * Coefficient of variation sigma/mu.
+     *
+     * This is the per-setting instability term the paper averages into
+     * lambda (Sec. 5.2).  Returns 0 when the mean is 0 to keep the virtual
+     * goal well defined for idle metrics.
+     */
+    double coefficientOfVariation() const;
+
+    /** Smallest observation; +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation; -inf when empty. */
+    double max() const { return max_; }
+
+    /** Sum of all observations. */
+    double sum() const { return mean_ * static_cast<double>(n_); }
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_STATS_H_

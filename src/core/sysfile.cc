@@ -1,0 +1,335 @@
+#include "core/sysfile.h"
+
+#include <cctype>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace smartconf {
+
+namespace {
+
+/** Strip `#`/`//` line comments and surrounding whitespace. */
+std::string
+stripLine(std::string line)
+{
+    for (const char *marker : {"#", "//"}) {
+        const auto pos = line.find(marker);
+        if (pos != std::string::npos)
+            line.erase(pos);
+    }
+    const auto first = line.find_first_not_of(" \t\r\n");
+    if (first == std::string::npos)
+        return "";
+    const auto last = line.find_last_not_of(" \t\r\n");
+    return line.substr(first, last - first + 1);
+}
+
+/** Remove C-style block comments across the whole text. */
+std::string
+stripBlockComments(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size());
+    bool in_comment = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (!in_comment && text.compare(i, 2, "/*") == 0) {
+            in_comment = true;
+            ++i;
+        } else if (in_comment && text.compare(i, 2, "*/") == 0) {
+            in_comment = false;
+            ++i;
+        } else if (!in_comment) {
+            out.push_back(text[i]);
+        } else if (text[i] == '\n') {
+            out.push_back('\n'); // keep line numbers stable
+        }
+    }
+    return out;
+}
+
+[[noreturn]] void
+parseFail(int line_no, const std::string &what)
+{
+    throw std::runtime_error(
+        "SmartConf parse error at line " + std::to_string(line_no) + ": " +
+        what);
+}
+
+double
+parseNumber(const std::string &s, int line_no)
+{
+    try {
+        std::size_t used = 0;
+        const double v = std::stod(s, &used);
+        while (used < s.size() && std::isspace(
+                   static_cast<unsigned char>(s[used]))) {
+            ++used;
+        }
+        if (used != s.size())
+            parseFail(line_no, "trailing characters after number '" + s + "'");
+        return v;
+    } catch (const std::invalid_argument &) {
+        parseFail(line_no, "expected a number, got '" + s + "'");
+    } catch (const std::out_of_range &) {
+        parseFail(line_no, "number out of range: '" + s + "'");
+    }
+}
+
+/** Split `key = value`; returns false when no '=' is present. */
+bool
+splitAssign(const std::string &line, std::string &key, std::string &value)
+{
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+        return false;
+    key = stripLine(line.substr(0, eq));
+    value = stripLine(line.substr(eq + 1));
+    return true;
+}
+
+/** Iterate cleaned, non-empty lines with their 1-based line numbers. */
+template <typename Fn>
+void
+forEachLine(const std::string &text, Fn &&fn)
+{
+    std::istringstream in(stripBlockComments(text));
+    std::string raw;
+    int line_no = 0;
+    while (std::getline(in, raw)) {
+        ++line_no;
+        const std::string line = stripLine(raw);
+        if (!line.empty())
+            fn(line, line_no);
+    }
+}
+
+} // namespace
+
+const ConfEntry *
+SysFile::find(const std::string &name) const
+{
+    for (const auto &e : entries) {
+        if (e.name == name)
+            return &e;
+    }
+    return nullptr;
+}
+
+SysFile
+parseSysFile(const std::string &text)
+{
+    SysFile out;
+    auto entryFor = [&out](const std::string &name) -> ConfEntry & {
+        for (auto &e : out.entries) {
+            if (e.name == name)
+                return e;
+        }
+        out.entries.push_back(ConfEntry{name, "", 0.0, 0.0, 1e18});
+        return out.entries.back();
+    };
+
+    forEachLine(text, [&](const std::string &line, int line_no) {
+        const auto at = line.find('@');
+        if (at != std::string::npos && line.find('=') == std::string::npos) {
+            // `conf @ metric` mapping line.
+            const std::string name = stripLine(line.substr(0, at));
+            const std::string metric = stripLine(line.substr(at + 1));
+            if (name.empty() || metric.empty())
+                parseFail(line_no, "malformed 'conf @ metric' mapping");
+            entryFor(name).metric = metric;
+            return;
+        }
+        std::string key, value;
+        if (!splitAssign(line, key, value) || key.empty() || value.empty())
+            parseFail(line_no, "expected 'conf @ metric' or 'key = value'");
+        if (key == "profiling") {
+            out.profilingEnabled = parseNumber(value, line_no) != 0.0;
+        } else if (key.size() > 4 &&
+                   key.compare(key.size() - 4, 4, ".min") == 0) {
+            entryFor(key.substr(0, key.size() - 4)).confMin =
+                parseNumber(value, line_no);
+        } else if (key.size() > 4 &&
+                   key.compare(key.size() - 4, 4, ".max") == 0) {
+            entryFor(key.substr(0, key.size() - 4)).confMax =
+                parseNumber(value, line_no);
+        } else {
+            entryFor(key).initial = parseNumber(value, line_no);
+        }
+    });
+    return out;
+}
+
+UserConf
+parseUserConf(const std::string &text)
+{
+    UserConf out;
+    auto goalFor = [&out](const std::string &metric) -> Goal & {
+        auto [it, inserted] = out.goals.try_emplace(metric);
+        if (inserted) {
+            it->second.metric = metric;
+            it->second.direction = GoalDirection::UpperBound;
+        }
+        return it->second;
+    };
+
+    forEachLine(text, [&](const std::string &line, int line_no) {
+        std::string key, value;
+        if (!splitAssign(line, key, value) || key.empty() || value.empty())
+            parseFail(line_no, "expected 'key = value'");
+
+        auto endsWith = [&key](const char *suffix) {
+            const std::string s(suffix);
+            return key.size() > s.size() &&
+                   key.compare(key.size() - s.size(), s.size(), s) == 0;
+        };
+        auto baseOf = [&key](const char *suffix) {
+            return key.substr(0, key.size() - std::string(suffix).size());
+        };
+
+        if (endsWith(".hard")) {
+            goalFor(baseOf(".hard")).hard = parseNumber(value, line_no) != 0.0;
+        } else if (endsWith(".superhard")) {
+            Goal &g = goalFor(baseOf(".superhard"));
+            g.superHard = parseNumber(value, line_no) != 0.0;
+            if (g.superHard)
+                g.hard = true; // super-hard implies hard
+        } else if (endsWith(".direction")) {
+            Goal &g = goalFor(baseOf(".direction"));
+            if (value == "upper") {
+                g.direction = GoalDirection::UpperBound;
+            } else if (value == "lower") {
+                g.direction = GoalDirection::LowerBound;
+            } else {
+                parseFail(line_no, "direction must be 'upper' or 'lower'");
+            }
+        } else {
+            goalFor(key).value = parseNumber(value, line_no);
+        }
+    });
+    return out;
+}
+
+ProfileFile
+parseProfileFile(const std::string &text)
+{
+    ProfileFile out;
+    forEachLine(text, [&](const std::string &line, int line_no) {
+        std::string key, value;
+        if (!splitAssign(line, key, value) || key.empty() || value.empty())
+            parseFail(line_no, "expected 'key = value'");
+        if (key == "conf") {
+            out.conf = value;
+        } else if (key == "alpha") {
+            out.summary.alpha = parseNumber(value, line_no);
+        } else if (key == "base") {
+            out.summary.base = parseNumber(value, line_no);
+        } else if (key == "lambda") {
+            out.summary.lambda = parseNumber(value, line_no);
+        } else if (key == "delta") {
+            out.summary.delta = parseNumber(value, line_no);
+        } else if (key == "pole") {
+            out.summary.pole = parseNumber(value, line_no);
+        } else if (key == "correlation") {
+            out.summary.correlation = parseNumber(value, line_no);
+        } else if (key == "settings") {
+            out.summary.settings =
+                static_cast<std::size_t>(parseNumber(value, line_no));
+        } else if (key == "samples") {
+            out.summary.samples =
+                static_cast<std::size_t>(parseNumber(value, line_no));
+        } else if (key == "monotonic") {
+            out.summary.monotonic = parseNumber(value, line_no) != 0.0;
+        } else if (key == "sample") {
+            std::istringstream pair(value);
+            ProfilePoint pt;
+            if (!(pair >> pt.config >> pt.perf))
+                parseFail(line_no, "sample needs '<config> <perf>'");
+            out.samples.push_back(pt);
+        } else {
+            parseFail(line_no, "unknown profile key '" + key + "'");
+        }
+    });
+    return out;
+}
+
+std::string
+formatSysFile(const SysFile &file)
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "# SmartConf.sys -- generated\n";
+    out << "profiling = " << (file.profilingEnabled ? 1 : 0) << "\n";
+    for (const auto &e : file.entries) {
+        out << e.name << " @ " << e.metric << "\n";
+        out << e.name << " = " << e.initial << "\n";
+        out << e.name << ".min = " << e.confMin << "\n";
+        out << e.name << ".max = " << e.confMax << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatUserConf(const UserConf &conf)
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "# SmartConf user configuration -- generated\n";
+    for (const auto &[metric, goal] : conf.goals) {
+        out << metric << " = " << goal.value << "\n";
+        out << metric << ".hard = " << (goal.hard ? 1 : 0) << "\n";
+        if (goal.superHard)
+            out << metric << ".superhard = 1\n";
+        out << metric << ".direction = "
+            << (goal.direction == GoalDirection::UpperBound ? "upper"
+                                                            : "lower")
+            << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatProfileFile(const ProfileFile &file)
+{
+    std::ostringstream out;
+    out << std::setprecision(17);
+    out << "# " << file.conf << ".SmartConf.sys -- profiling store\n";
+    out << "conf = " << file.conf << "\n";
+    out << "alpha = " << file.summary.alpha << "\n";
+    out << "base = " << file.summary.base << "\n";
+    out << "lambda = " << file.summary.lambda << "\n";
+    out << "delta = " << file.summary.delta << "\n";
+    out << "pole = " << file.summary.pole << "\n";
+    out << "correlation = " << file.summary.correlation << "\n";
+    out << "settings = " << file.summary.settings << "\n";
+    out << "samples = " << file.summary.samples << "\n";
+    out << "monotonic = " << (file.summary.monotonic ? 1 : 0) << "\n";
+    for (const auto &pt : file.samples)
+        out << "sample = " << pt.config << " " << pt.perf << "\n";
+    return out.str();
+}
+
+std::string
+readTextFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("cannot open '" + path + "' for reading");
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    return buf.str();
+}
+
+void
+writeTextFile(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+    out << text;
+    if (!out)
+        throw std::runtime_error("failed writing '" + path + "'");
+}
+
+} // namespace smartconf

@@ -1,0 +1,70 @@
+#ifndef SMARTCONF_CORE_TRANSDUCER_H_
+#define SMARTCONF_CORE_TRANSDUCER_H_
+
+/**
+ * @file
+ * Transducers for indirect configurations (paper Sec. 5.3, Fig. 4).
+ *
+ * An indirect PerfConf C is a threshold on a deputy variable C' that is
+ * what actually moves performance (e.g. max.queue.size bounds queue.size,
+ * and queue.size drives memory).  The controller reasons about the deputy;
+ * the transducer maps the controller-desired deputy value back onto the
+ * configuration.  The default is the identity: "if we want queue.size to
+ * drop to K, we drop max.queue.size to K".
+ */
+
+#include <functional>
+#include <utility>
+
+namespace smartconf {
+
+/**
+ * Maps a desired deputy value onto a configuration value.
+ *
+ * Mirrors the paper's Transducer superclass; developers subclass (or use
+ * FunctionTransducer) when the threshold relationship is not one-to-one.
+ */
+class Transducer
+{
+  public:
+    virtual ~Transducer() = default;
+
+    /** Configuration value that realizes desired deputy value @p input. */
+    virtual double transduce(double input) const { return input; }
+};
+
+/** Affine deputy -> configuration mapping: conf = scale * input + offset. */
+class LinearTransducer : public Transducer
+{
+  public:
+    LinearTransducer(double scale, double offset = 0.0)
+        : scale_(scale), offset_(offset)
+    {}
+
+    double transduce(double input) const override
+    {
+        return scale_ * input + offset_;
+    }
+
+  private:
+    double scale_;
+    double offset_;
+};
+
+/** Wraps an arbitrary callable; convenient for scenario adapters. */
+class FunctionTransducer : public Transducer
+{
+  public:
+    explicit FunctionTransducer(std::function<double(double)> fn)
+        : fn_(std::move(fn))
+    {}
+
+    double transduce(double input) const override { return fn_(input); }
+
+  private:
+    std::function<double(double)> fn_;
+};
+
+} // namespace smartconf
+
+#endif // SMARTCONF_CORE_TRANSDUCER_H_

@@ -1,0 +1,120 @@
+#include "dfs/namenode.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartconf::dfs {
+
+Namenode::Namenode(const NamenodeParams &params,
+                   std::uint64_t summary_limit)
+    : params_(params), summary_limit_(std::max<std::uint64_t>(1,
+                                                              summary_limit))
+{
+    tree_.makeDirs(params_.du_root);
+}
+
+void
+Namenode::submit(const workload::DfsRequest &req, sim::Tick now)
+{
+    switch (req.type) {
+      case workload::DfsRequest::Type::WriteFile:
+        // Namespace mutation: queue behind the global lock.
+        pending_writes_.push_back(now);
+        tree_.addFiles(params_.du_root + "/client" +
+                       std::to_string(req.client));
+        break;
+      case workload::DfsRequest::Type::ContentSummary: {
+        if (du_.has_value())
+            break; // one admin du at a time; extra commands are dropped
+        DuJob job;
+        job.total = req.file_count > 0
+                        ? req.file_count
+                        : tree_.filesUnder(params_.du_root);
+        job.remaining = job.total;
+        job.submitted = now;
+        job.holds_lock = true; // acquires the lock on arrival
+        job.acquired_at = now;
+        job.chunk_done = 0.0;
+        du_ = job;
+        break;
+      }
+    }
+}
+
+void
+Namenode::setSummaryLimit(std::uint64_t files)
+{
+    summary_limit_ = std::max<std::uint64_t>(1, files);
+}
+
+double
+Namenode::takeRecentMaxWait()
+{
+    const double out = recent_max_wait_;
+    recent_max_wait_ = 0.0;
+    return out;
+}
+
+void
+Namenode::step(sim::Tick now)
+{
+    if (du_ && du_->holds_lock) {
+        // du traversal under the global lock; client writes are blocked.
+        DuJob &job = *du_;
+        const double chunk_budget =
+            static_cast<double>(summary_limit_) - job.chunk_done;
+        const double walk = std::min(
+            {params_.traversal_files_per_tick, chunk_budget,
+             static_cast<double>(job.remaining)});
+        job.chunk_done += walk;
+        job.remaining -= static_cast<std::uint64_t>(walk);
+
+        const bool chunk_full =
+            job.chunk_done >= static_cast<double>(summary_limit_);
+        if (job.remaining == 0 || chunk_full) {
+            last_hold_ticks_ =
+                static_cast<double>(now - job.acquired_at) + 1.0;
+            ++chunks_completed_;
+            job.holds_lock = false;
+            job.chunk_done = 0.0;
+            if (job.remaining == 0) {
+                DuResult result;
+                result.files = job.total;
+                result.latency_ticks =
+                    static_cast<double>(now - job.submitted) + 1.0;
+                result.yields = job.yields;
+                du_results_.push_back(result);
+                du_.reset();
+            } else {
+                ++job.yields;
+                job.yield_remaining = params_.yield_overhead_ticks;
+            }
+        }
+        return;
+    }
+
+    // Lock is free: serve blocked client writes.
+    auto budget = static_cast<std::size_t>(
+        std::max(0.0, std::round(params_.write_service_per_tick)));
+    while (budget > 0 && !pending_writes_.empty()) {
+        const sim::Tick arrived = pending_writes_.front();
+        pending_writes_.pop_front();
+        const double wait = static_cast<double>(now - arrived);
+        write_waits_.record(wait);
+        recent_max_wait_ = std::max(recent_max_wait_, wait);
+        ++served_writes_;
+        --budget;
+    }
+
+    // A yielded du reacquires once the release overhead has elapsed and
+    // the write backlog has drained.
+    if (du_ && !du_->holds_lock) {
+        du_->yield_remaining -= 1.0;
+        if (du_->yield_remaining <= 0.0 && pending_writes_.empty()) {
+            du_->holds_lock = true;
+            du_->acquired_at = now + 1; // holds from the next tick on
+        }
+    }
+}
+
+} // namespace smartconf::dfs

@@ -1,0 +1,128 @@
+#include "dfs/namespace_tree.h"
+
+namespace smartconf::dfs {
+
+NamespaceTree::NamespaceTree() : root_(std::make_unique<Node>()) {}
+
+std::vector<std::string>
+NamespaceTree::split(const std::string &path)
+{
+    std::vector<std::string> parts;
+    std::string current;
+    for (const char c : path) {
+        if (c == '/') {
+            if (!current.empty()) {
+                parts.push_back(current);
+                current.clear();
+            }
+        } else {
+            current.push_back(c);
+        }
+    }
+    if (!current.empty())
+        parts.push_back(current);
+    return parts;
+}
+
+NamespaceTree::Node *
+NamespaceTree::resolve(const std::string &path, bool create)
+{
+    Node *node = root_.get();
+    for (const auto &part : split(path)) {
+        auto it = node->children.find(part);
+        if (it == node->children.end()) {
+            if (!create)
+                return nullptr;
+            it = node->children
+                     .emplace(part, std::make_unique<Node>())
+                     .first;
+        }
+        node = it->second.get();
+    }
+    return node;
+}
+
+const NamespaceTree::Node *
+NamespaceTree::resolveConst(const std::string &path) const
+{
+    const Node *node = root_.get();
+    for (const auto &part : split(path)) {
+        const auto it = node->children.find(part);
+        if (it == node->children.end())
+            return nullptr;
+        node = it->second.get();
+    }
+    return node;
+}
+
+void
+NamespaceTree::makeDirs(const std::string &path)
+{
+    resolve(path, true);
+}
+
+void
+NamespaceTree::addFiles(const std::string &path, std::uint64_t count)
+{
+    resolve(path, true)->files += count;
+}
+
+std::uint64_t
+NamespaceTree::filesAt(const std::string &path) const
+{
+    const Node *node = resolveConst(path);
+    return node ? node->files : 0;
+}
+
+std::uint64_t
+NamespaceTree::countFiles(const Node &node)
+{
+    std::uint64_t total = node.files;
+    for (const auto &[name, child] : node.children)
+        total += countFiles(*child);
+    return total;
+}
+
+std::uint64_t
+NamespaceTree::countDirs(const Node &node)
+{
+    std::uint64_t total = 1;
+    for (const auto &[name, child] : node.children)
+        total += countDirs(*child);
+    return total;
+}
+
+std::uint64_t
+NamespaceTree::filesUnder(const std::string &path) const
+{
+    const Node *node = resolveConst(path);
+    return node ? countFiles(*node) : 0;
+}
+
+std::uint64_t
+NamespaceTree::dirsUnder(const std::string &path) const
+{
+    const Node *node = resolveConst(path);
+    return node ? countDirs(*node) : 0;
+}
+
+std::vector<std::string>
+NamespaceTree::list(const std::string &path) const
+{
+    std::vector<std::string> out;
+    const Node *node = resolveConst(path);
+    if (!node)
+        return out;
+    out.reserve(node->children.size());
+    for (const auto &[name, child] : node->children)
+        out.push_back(name);
+    return out;
+}
+
+bool
+NamespaceTree::exists(const std::string &path) const
+{
+    return resolveConst(path) != nullptr;
+}
+
+} // namespace smartconf::dfs

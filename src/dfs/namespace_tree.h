@@ -1,0 +1,78 @@
+#ifndef SMARTCONF_DFS_NAMESPACE_TREE_H_
+#define SMARTCONF_DFS_NAMESPACE_TREE_H_
+
+/**
+ * @file
+ * HDFS-style namespace: a directory tree with per-directory file counts.
+ *
+ * The HD4995 case study concerns `du` (getContentSummary) walking a large
+ * subtree under the namenode's global lock.  The tree gives the traversal
+ * a real object to walk: directories, nested children, and file counts
+ * that client traffic keeps growing during the run.
+ */
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace smartconf::dfs {
+
+/**
+ * In-memory directory tree.
+ *
+ * Paths are '/'-separated absolute strings ("/data/client3").  Missing
+ * intermediate directories are created on demand, like HDFS's
+ * mkdirs(-p) semantics.
+ */
+class NamespaceTree
+{
+  public:
+    NamespaceTree();
+
+    /** Ensure directory @p path exists (creates parents). */
+    void makeDirs(const std::string &path);
+
+    /**
+     * Record @p count new files in directory @p path (created with
+     * parents when missing).
+     */
+    void addFiles(const std::string &path, std::uint64_t count = 1);
+
+    /** Files directly inside @p path; 0 when the directory is missing. */
+    std::uint64_t filesAt(const std::string &path) const;
+
+    /** Files in the whole subtree rooted at @p path. */
+    std::uint64_t filesUnder(const std::string &path) const;
+
+    /** Number of directories in the subtree (including @p path). */
+    std::uint64_t dirsUnder(const std::string &path) const;
+
+    /** Immediate subdirectory names of @p path (sorted). */
+    std::vector<std::string> list(const std::string &path) const;
+
+    /** True when @p path names an existing directory. */
+    bool exists(const std::string &path) const;
+
+  private:
+    struct Node
+    {
+        std::uint64_t files = 0;
+        std::map<std::string, std::unique_ptr<Node>> children;
+    };
+
+    static std::vector<std::string> split(const std::string &path);
+
+    Node *resolve(const std::string &path, bool create);
+    const Node *resolveConst(const std::string &path) const;
+
+    static std::uint64_t countFiles(const Node &node);
+    static std::uint64_t countDirs(const Node &node);
+
+    std::unique_ptr<Node> root_;
+};
+
+} // namespace smartconf::dfs
+
+#endif // SMARTCONF_DFS_NAMESPACE_TREE_H_

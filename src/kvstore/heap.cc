@@ -1,0 +1,44 @@
+#include "kvstore/heap.h"
+
+#include <algorithm>
+
+namespace smartconf::kvstore {
+
+void
+JvmHeap::setComponent(const std::string &name, double mb)
+{
+    components_[name] = std::max(0.0, mb);
+}
+
+void
+JvmHeap::addComponent(const std::string &name, double mb)
+{
+    auto &slot = components_[name];
+    slot = std::max(0.0, slot + mb);
+}
+
+double
+JvmHeap::component(const std::string &name) const
+{
+    const auto it = components_.find(name);
+    return it == components_.end() ? 0.0 : it->second;
+}
+
+double
+JvmHeap::usedMb() const
+{
+    double total = 0.0;
+    for (const auto &[name, mb] : components_)
+        total += mb;
+    return total;
+}
+
+bool
+JvmHeap::checkOom(sim::Tick now)
+{
+    if (oom_tick_ < 0 && usedMb() > capacity_mb_)
+        oom_tick_ = now;
+    return oom();
+}
+
+} // namespace smartconf::kvstore

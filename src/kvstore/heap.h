@@ -1,0 +1,68 @@
+#ifndef SMARTCONF_KVSTORE_HEAP_H_
+#define SMARTCONF_KVSTORE_HEAP_H_
+
+/**
+ * @file
+ * JVM-heap model with out-of-memory detection.
+ *
+ * The hard goals in the key-value case studies are all "do not OOM the
+ * JVM" (paper Table 6: CA6059, HB3813, HB6728).  The heap model tracks
+ * named components — queue payloads, memtable contents, read caches, a
+ * workload-dependent "other objects" floor — and records the first tick
+ * at which total usage exceeded capacity.  Once OOM, the simulated server
+ * is dead: scenario drivers stop serving requests, exactly like a crashed
+ * region server.
+ */
+
+#include <map>
+#include <string>
+
+#include "sim/clock.h"
+
+namespace smartconf::kvstore {
+
+/**
+ * Accounting heap: component gauges plus an OOM latch.
+ */
+class JvmHeap
+{
+  public:
+    /** @param capacity_mb JVM max heap (e.g. 495 MB in Fig. 6). */
+    explicit JvmHeap(double capacity_mb) : capacity_mb_(capacity_mb) {}
+
+    /** Set the current size of one named component. */
+    void setComponent(const std::string &name, double mb);
+
+    /** Add to a named component (may be negative). */
+    void addComponent(const std::string &name, double mb);
+
+    /** Current size of a component; 0 when absent. */
+    double component(const std::string &name) const;
+
+    /** Total heap usage across all components. */
+    double usedMb() const;
+
+    /** Configured capacity. */
+    double capacityMb() const { return capacity_mb_; }
+
+    /**
+     * Latch OOM if usage exceeds capacity at @p now.
+     * @return true when the heap is (now or previously) OOM.
+     */
+    bool checkOom(sim::Tick now);
+
+    /** True once usage ever exceeded capacity. */
+    bool oom() const { return oom_tick_ >= 0; }
+
+    /** Tick of the first OOM; -1 when it never happened. */
+    sim::Tick oomTick() const { return oom_tick_; }
+
+  private:
+    double capacity_mb_;
+    std::map<std::string, double> components_;
+    sim::Tick oom_tick_ = -1;
+};
+
+} // namespace smartconf::kvstore
+
+#endif // SMARTCONF_KVSTORE_HEAP_H_

@@ -1,0 +1,51 @@
+#include "kvstore/memstore.h"
+
+#include <algorithm>
+
+namespace smartconf::kvstore {
+
+bool
+Memstore::write(double size_mb, sim::Tick now)
+{
+    if (blocking_) {
+        ++blocked_writes_;
+        return false;
+    }
+    occupancy_mb_ += size_mb;
+    if (occupancy_mb_ >= params_.upper_limit_mb) {
+        // Hit the upper watermark: block writes, flush down by the
+        // configured amount.
+        blocking_ = true;
+        ++flush_count_;
+        block_started_ = now;
+        setup_remaining_ = params_.flush_setup_ticks;
+        flush_target_mb_ = std::max(
+            0.0, occupancy_mb_ - flush_amount_mb_);
+    }
+    return true;
+}
+
+void
+Memstore::step(sim::Tick now)
+{
+    if (!blocking_)
+        return;
+    if (setup_remaining_ > 0.0) {
+        setup_remaining_ -= 1.0;
+        return;
+    }
+    occupancy_mb_ = std::max(
+        flush_target_mb_, occupancy_mb_ - params_.flush_rate_mb_per_tick);
+    if (occupancy_mb_ <= flush_target_mb_) {
+        blocking_ = false;
+        last_block_ticks_ = static_cast<double>(now - block_started_) + 1.0;
+    }
+}
+
+void
+Memstore::setFlushAmountMb(double mb)
+{
+    flush_amount_mb_ = std::max(0.0, mb);
+}
+
+} // namespace smartconf::kvstore

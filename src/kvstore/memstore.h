@@ -1,0 +1,88 @@
+#ifndef SMARTCONF_KVSTORE_MEMSTORE_H_
+#define SMARTCONF_KVSTORE_MEMSTORE_H_
+
+/**
+ * @file
+ * HBase-style memstore with upper/lower flush watermarks (HB2149).
+ *
+ * HBase blocks writes when the aggregate memstore hits its upper limit
+ * and flushes until it drops to the lower limit.  The distance between
+ * the two watermarks — what `global.memstore.lowerLimit` effectively
+ * selects — is the *flush amount*: how much data each blocking flush
+ * evicts.
+ *
+ *  - large flush amount: writes block rarely but each block lasts long
+ *    ("Too big, write blocked for too long" — the constraint);
+ *  - small flush amount: short blocks but frequent, and each flush pays a
+ *    fixed setup cost, hurting throughput ("Too small, write blocked too
+ *    often" — the trade-off).
+ *
+ * The block duration is flush_amount / flush_rate + setup, so the config
+ * directly determines the latency metric: a *direct* PerfConf (Table 6:
+ * HB2149 is Y-Y-N).
+ */
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace smartconf::kvstore {
+
+/** Mechanics of the memstore flush path. */
+struct MemstoreParams
+{
+    double upper_limit_mb = 256.0;       ///< block-writes watermark
+    double flush_rate_mb_per_tick = 4.0; ///< drain rate during a flush
+    double flush_setup_ticks = 4.0;      ///< fixed per-flush cost
+};
+
+/**
+ * Aggregate memstore whose blocking-flush amount is the PerfConf.
+ */
+class Memstore
+{
+  public:
+    /** @param flush_amount_mb initial flush amount (the config). */
+    Memstore(double flush_amount_mb, const MemstoreParams &params)
+        : flush_amount_mb_(flush_amount_mb), params_(params)
+    {}
+
+    /**
+     * Apply one write of @p size_mb at @p now.
+     *
+     * @return false when writes are currently blocked by a flush.
+     */
+    bool write(double size_mb, sim::Tick now);
+
+    /** Advance flushing by one tick. */
+    void step(sim::Tick now);
+
+    /** Adjust the flush amount (SmartConf-controlled, float config). */
+    void setFlushAmountMb(double mb);
+    double flushAmountMb() const { return flush_amount_mb_; }
+
+    double occupancyMb() const { return occupancy_mb_; }
+    bool blocked() const { return blocking_; }
+
+    /** Duration of the last completed blocking flush (ticks). */
+    double lastBlockTicks() const { return last_block_ticks_; }
+
+    std::uint64_t flushCount() const { return flush_count_; }
+    std::uint64_t blockedWrites() const { return blocked_writes_; }
+
+  private:
+    double flush_amount_mb_;
+    MemstoreParams params_;
+    double occupancy_mb_ = 0.0;
+    bool blocking_ = false;
+    double flush_target_mb_ = 0.0;
+    sim::Tick block_started_ = 0;
+    double setup_remaining_ = 0.0;
+    double last_block_ticks_ = 0.0;
+    std::uint64_t flush_count_ = 0;
+    std::uint64_t blocked_writes_ = 0;
+};
+
+} // namespace smartconf::kvstore
+
+#endif // SMARTCONF_KVSTORE_MEMSTORE_H_

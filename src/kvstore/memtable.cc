@@ -1,0 +1,55 @@
+#include "kvstore/memtable.h"
+
+#include <algorithm>
+
+namespace smartconf::kvstore {
+
+double
+Memtable::write(double size_mb, sim::Tick now)
+{
+    (void)now;
+    // A shrunk cap can leave the active buffer over the threshold
+    // without a flush running (dynamic adjustment, Sec. 4.2): the
+    // flush decision happens on every write attempt, accepted or not.
+    if (!flushing_ && active_mb_ >= cap_mb_) {
+        flushing_ = true;
+        flushing_mb_ = active_mb_;
+        active_mb_ = 0.0;
+        stall_remaining_ = params_.flush_stall_ticks;
+        ++flush_count_;
+    }
+    if (stall_remaining_ > 0.0 ||
+        active_mb_ + flushing_mb_ >=
+            cap_mb_ * params_.emergency_headroom) {
+        ++blocked_;
+        return -1.0; // blocked: flush-start stall or emergency pressure
+    }
+    active_mb_ += size_mb;
+    if (!flushing_ && active_mb_ >= cap_mb_) {
+        // Snapshot the active buffer and start flushing it; a fresh
+        // active buffer takes over after a short commit-log switch.
+        flushing_ = true;
+        flushing_mb_ = active_mb_;
+        active_mb_ = 0.0;
+        stall_remaining_ = params_.flush_stall_ticks;
+        ++flush_count_;
+    }
+    return flushing_ ? params_.base_write_latency * params_.flush_penalty
+                     : params_.base_write_latency;
+}
+
+void
+Memtable::step(sim::Tick now)
+{
+    (void)now;
+    if (stall_remaining_ > 0.0)
+        stall_remaining_ -= 1.0;
+    if (!flushing_)
+        return;
+    flushing_mb_ = std::max(
+        0.0, flushing_mb_ - params_.flush_rate_mb_per_tick);
+    if (flushing_mb_ <= 0.0)
+        flushing_ = false;
+}
+
+} // namespace smartconf::kvstore

@@ -1,0 +1,94 @@
+#ifndef SMARTCONF_KVSTORE_MEMTABLE_H_
+#define SMARTCONF_KVSTORE_MEMTABLE_H_
+
+/**
+ * @file
+ * Cassandra-style memtable (CA6059).
+ *
+ * `memtable_total_space_in_mb` caps the in-memory write buffer.  When
+ * the active buffer reaches the cap, it is snapshotted and a flush to
+ * disk starts: the snapshot drains at a fixed rate while a fresh active
+ * buffer keeps absorbing writes (Cassandra's memtable swap).  Flush
+ * start pays a short commit-log-switch stall that blocks writes, and
+ * writes running concurrently with a flush pay a latency penalty.  If
+ * total occupancy (active + flushing) overshoots an emergency margin
+ * above the cap, writes block entirely until the flush catches up.
+ *
+ * Too large a cap threatens OOM (heap = memtable + read cache + other);
+ * too small a cap means constant flushing and poor write latency — the
+ * exact trade-off CA6059 describes.
+ */
+
+#include <cstdint>
+
+#include "sim/clock.h"
+
+namespace smartconf::kvstore {
+
+/** Tunable mechanics of the memtable. */
+struct MemtableParams
+{
+    double flush_rate_mb_per_tick = 25.0; ///< flush drain rate
+    double flush_penalty = 4.0;  ///< write-latency multiplier during flush
+    double base_write_latency = 1.0; ///< ticks per write when idle
+    double emergency_headroom = 1.25; ///< block writes above cap * this
+    double flush_stall_ticks = 3.0; ///< commit-log switch: writes blocked
+};
+
+/**
+ * In-memory write buffer with threshold-triggered flushes.
+ */
+class Memtable
+{
+  public:
+    /** @param cap_mb initial `memtable_total_space_in_mb`. */
+    Memtable(double cap_mb, const MemtableParams &params)
+        : cap_mb_(cap_mb), params_(params)
+    {}
+
+    /**
+     * Apply one write of @p size_mb at @p now.
+     *
+     * @return the write's latency in ticks, or a negative value when the
+     *         write was blocked (emergency: buffer far above cap).
+     */
+    double write(double size_mb, sim::Tick now);
+
+    /** Advance flushing by one tick. */
+    void step(sim::Tick now);
+
+    /** Dynamically adjust the cap (the SmartConf-controlled value). */
+    void setCapMb(double cap_mb) { cap_mb_ = cap_mb; }
+    double capMb() const { return cap_mb_; }
+
+    /** Total occupancy (MB) — the deputy variable and heap component. */
+    double occupancyMb() const { return active_mb_ + flushing_mb_; }
+
+    /** Active (accepting) buffer occupancy. */
+    double activeMb() const { return active_mb_; }
+
+    /** Snapshot still draining to disk. */
+    double flushingMb() const { return flushing_mb_; }
+
+    bool flushing() const { return flushing_; }
+
+    /** True while the flush-start stall is blocking writes. */
+    bool stalled() const { return stall_remaining_ > 0.0; }
+
+    std::uint64_t flushCount() const { return flush_count_; }
+    std::uint64_t blockedWrites() const { return blocked_; }
+
+  private:
+    double cap_mb_;
+    MemtableParams params_;
+    double active_mb_ = 0.0;
+    double flushing_mb_ = 0.0;
+    bool flushing_ = false;
+    double stall_remaining_ = 0.0;
+    std::uint64_t flush_count_ = 0;
+    std::uint64_t blocked_ = 0;
+};
+
+} // namespace smartconf::kvstore
+
+#endif // SMARTCONF_KVSTORE_MEMTABLE_H_

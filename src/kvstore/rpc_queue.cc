@@ -1,0 +1,79 @@
+#include "kvstore/rpc_queue.h"
+
+#include <algorithm>
+
+namespace smartconf::kvstore {
+
+bool
+RpcRequestQueue::offer(const RpcItem &item, sim::Tick now)
+{
+    if (items_.size() >= max_items_) {
+        ++rejected_;
+        return false;
+    }
+    RpcItem queued = item;
+    queued.enqueued = now;
+    items_.push_back(queued);
+    bytes_mb_ += queued.size_mb;
+    ++accepted_;
+    return true;
+}
+
+std::size_t
+RpcRequestQueue::drain(std::size_t n)
+{
+    std::size_t done = 0;
+    while (done < n && !items_.empty()) {
+        bytes_mb_ -= items_.front().size_mb;
+        items_.pop_front();
+        ++done;
+    }
+    if (items_.empty())
+        bytes_mb_ = 0.0; // clear accumulated float error
+    return done;
+}
+
+RpcItem
+RpcRequestQueue::pop()
+{
+    RpcItem out = items_.front();
+    items_.pop_front();
+    bytes_mb_ -= out.size_mb;
+    if (items_.empty())
+        bytes_mb_ = 0.0;
+    return out;
+}
+
+bool
+RpcResponseQueue::offer(double size_mb)
+{
+    if (bytes_mb_ + size_mb > max_mb_) {
+        ++stalled_;
+        return false;
+    }
+    chunks_.push_back(size_mb);
+    bytes_mb_ += size_mb;
+    ++accepted_;
+    return true;
+}
+
+double
+RpcResponseQueue::drain(double mb)
+{
+    double drained = 0.0;
+    while (mb > 0.0 && !chunks_.empty()) {
+        double &front = chunks_.front();
+        const double take = std::min(front, mb);
+        front -= take;
+        bytes_mb_ -= take;
+        drained += take;
+        mb -= take;
+        if (front <= 1e-12)
+            chunks_.pop_front();
+    }
+    if (chunks_.empty())
+        bytes_mb_ = 0.0;
+    return drained;
+}
+
+} // namespace smartconf::kvstore

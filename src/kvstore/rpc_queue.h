@@ -1,0 +1,122 @@
+#ifndef SMARTCONF_KVSTORE_RPC_QUEUE_H_
+#define SMARTCONF_KVSTORE_RPC_QUEUE_H_
+
+/**
+ * @file
+ * Bounded RPC queues (HB3813 request queue, HB6728 response queue).
+ *
+ * Both case studies are *indirect* PerfConfs: the configuration caps a
+ * queue, the queue's occupancy is what drives heap usage.  The request
+ * queue is item-bounded (`ipc.server.max.queue.size`); the response
+ * queue is byte-bounded (`ipc.server.response.queue.maxsize`).
+ *
+ * Capacity drops below current occupancy are tolerated: the queue simply
+ * refuses new entries until it drains back under the threshold — the
+ * "temporary inconsistency between C and its deputy C'" the paper says
+ * dynamic adjustment must tolerate (Sec. 4.2).
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "sim/clock.h"
+
+namespace smartconf::kvstore {
+
+/** One queued RPC request. */
+struct RpcItem
+{
+    double size_mb = 0.0;   ///< heap held while queued
+    double resp_mb = 0.0;   ///< response payload produced when serviced
+    sim::Tick enqueued = 0; ///< for queueing-delay accounting
+    bool is_write = false;
+};
+
+/**
+ * Item-bounded FIFO request queue (HB3813).
+ */
+class RpcRequestQueue
+{
+  public:
+    /** @param max_items initial `max.queue.size`. */
+    explicit RpcRequestQueue(std::size_t max_items)
+        : max_items_(max_items)
+    {}
+
+    /**
+     * Try to enqueue; fails (request rejected / client throttled) when
+     * the queue is at or above its current capacity.
+     */
+    bool offer(const RpcItem &item, sim::Tick now);
+
+    /** Dequeue up to @p n items (service). @return items dequeued. */
+    std::size_t drain(std::size_t n);
+
+    /** Oldest queued item; nullptr when empty. */
+    const RpcItem *front() const
+    {
+        return items_.empty() ? nullptr : &items_.front();
+    }
+
+    /** Remove and return the oldest item. @pre !empty. */
+    RpcItem pop();
+
+    /** Dynamically adjust capacity; shrinking below size() is legal. */
+    void setMaxItems(std::size_t max_items) { max_items_ = max_items; }
+
+    std::size_t maxItems() const { return max_items_; }
+    std::size_t size() const { return items_.size(); }
+
+    /** Heap held by queued payloads (MB). */
+    double bytesMb() const { return bytes_mb_; }
+
+    /** Total accepted / rejected counters. */
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t rejected() const { return rejected_; }
+
+  private:
+    std::size_t max_items_;
+    std::deque<RpcItem> items_;
+    double bytes_mb_ = 0.0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+/**
+ * Byte-bounded response queue (HB6728).
+ */
+class RpcResponseQueue
+{
+  public:
+    /** @param max_mb initial `response.queue.maxsize` in MB. */
+    explicit RpcResponseQueue(double max_mb) : max_mb_(max_mb) {}
+
+    /**
+     * Try to buffer a response of @p size_mb; fails when the buffer
+     * would exceed its current byte bound (the responder then stalls).
+     */
+    bool offer(double size_mb);
+
+    /** Network drains up to @p mb megabytes. @return MB drained. */
+    double drain(double mb);
+
+    void setMaxMb(double max_mb) { max_mb_ = max_mb; }
+    double maxMb() const { return max_mb_; }
+
+    /** Buffered bytes (MB) — the deputy variable. */
+    double bytesMb() const { return bytes_mb_; }
+
+    std::uint64_t accepted() const { return accepted_; }
+    std::uint64_t stalled() const { return stalled_; }
+
+  private:
+    double max_mb_;
+    std::deque<double> chunks_;
+    double bytes_mb_ = 0.0;
+    std::uint64_t accepted_ = 0;
+    std::uint64_t stalled_ = 0;
+};
+
+} // namespace smartconf::kvstore
+
+#endif // SMARTCONF_KVSTORE_RPC_QUEUE_H_

@@ -1,0 +1,46 @@
+#include "mapreduce/distcp.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartconf::mapreduce {
+
+double
+distCpLatency(const DistCpParams &params, std::uint64_t chunks,
+              sim::Rng &rng)
+{
+    if (chunks == 0)
+        chunks = 1;
+    const double chunk_mb =
+        params.total_mb / static_cast<double>(chunks);
+    // Round-robin assignment: the busiest worker gets ceil(K/W) chunks.
+    const std::uint64_t per_worker =
+        (chunks + params.workers - 1) / params.workers;
+    const double chunk_time =
+        chunk_mb / params.rate_mb_per_tick + params.chunk_setup_ticks;
+    const double noise =
+        std::max(0.5, rng.gaussian(1.0, params.jitter));
+    return static_cast<double>(per_worker) * chunk_time * noise;
+}
+
+std::uint64_t
+distCpBestChunks(const DistCpParams &params, std::uint64_t lo,
+                 std::uint64_t hi)
+{
+    sim::Rng quiet(0);
+    DistCpParams noiseless = params;
+    noiseless.jitter = 0.0;
+    std::uint64_t best = lo;
+    double best_latency = 1e300;
+    for (std::uint64_t k = lo; k <= hi; ++k) {
+        sim::Rng rng(1);
+        const double latency = distCpLatency(noiseless, k, rng);
+        if (latency < best_latency) {
+            best_latency = latency;
+            best = k;
+        }
+    }
+    return best;
+}
+
+} // namespace smartconf::mapreduce

@@ -1,0 +1,50 @@
+#ifndef SMARTCONF_MAPREDUCE_DISTCP_H_
+#define SMARTCONF_MAPREDUCE_DISTCP_H_
+
+/**
+ * @file
+ * Distributed-copy model for the MR5420 limitation study (Sec. 6.6).
+ *
+ * `max_chunks_tolerable` groups the input files into chunks that the
+ * copy workers process in parallel:
+ *
+ *  - too FEW chunks: load imbalance — some workers sit idle while the
+ *    unlucky ones copy oversized chunks;
+ *  - too MANY chunks: per-chunk setup overhead dominates.
+ *
+ * Copy latency is therefore U-shaped in the chunk count — the
+ * non-monotonic config->performance relationship the paper names as a
+ * case SmartConf cannot manage (machine learning would fit better).
+ */
+
+#include <cstdint>
+
+#include "sim/rng.h"
+
+namespace smartconf::mapreduce {
+
+/** Copy job and cluster mechanics. */
+struct DistCpParams
+{
+    double total_mb = 8192.0;       ///< bytes to copy
+    std::size_t workers = 8;        ///< parallel copy workers
+    double rate_mb_per_tick = 4.0;  ///< per-worker copy bandwidth
+    double chunk_setup_ticks = 6.0; ///< per-chunk negotiation/setup
+    double jitter = 0.05;           ///< relative noise on chunk time
+};
+
+/**
+ * Simulates one distributed copy with @p chunks chunks.
+ *
+ * @return completion latency in ticks (max over workers).
+ */
+double distCpLatency(const DistCpParams &params, std::uint64_t chunks,
+                     sim::Rng &rng);
+
+/** Chunk count minimizing the deterministic latency (for reference). */
+std::uint64_t distCpBestChunks(const DistCpParams &params,
+                               std::uint64_t lo, std::uint64_t hi);
+
+} // namespace smartconf::mapreduce
+
+#endif // SMARTCONF_MAPREDUCE_DISTCP_H_

@@ -1,0 +1,72 @@
+#include "scenarios/control.h"
+
+namespace smartconf::scenarios {
+
+ControllerOverrides
+overridesFor(const Policy &policy)
+{
+    ControllerOverrides ov;
+    switch (policy.kind) {
+      case Policy::Kind::Static:
+      case Policy::Kind::Smart:
+        break;
+      case Policy::Kind::SmartSinglePole:
+        ov.useContextAwarePoles = false;
+        break;
+      case Policy::Kind::SmartNoVirtualGoal:
+        ov.useVirtualGoal = false;
+        break;
+    }
+    if (policy.pole_override)
+        ov.pole = policy.pole_override;
+    return ov;
+}
+
+namespace {
+
+std::unique_ptr<SmartConfRuntime>
+makeRuntimeCommon(const ControlSpec &spec)
+{
+    auto rt = std::make_unique<SmartConfRuntime>();
+    ConfEntry entry;
+    entry.name = spec.conf_name;
+    entry.metric = spec.metric_name;
+    entry.initial = spec.initial;
+    entry.confMin = spec.conf_min;
+    entry.confMax = spec.conf_max;
+    rt->declareConf(entry);
+
+    Goal goal;
+    goal.metric = spec.metric_name;
+    goal.value = spec.goal_value;
+    goal.direction = GoalDirection::UpperBound;
+    goal.hard = spec.hard || spec.super_hard;
+    goal.superHard = spec.super_hard;
+    rt->declareGoal(goal);
+    return rt;
+}
+
+} // namespace
+
+std::unique_ptr<SmartConfRuntime>
+makeControlRuntime(const ControlSpec &spec, const Policy &policy,
+                   const ProfileSummary &summary)
+{
+    auto rt = makeRuntimeCommon(spec);
+    ControllerOverrides ov = overridesFor(policy);
+    ov.deputyMin = spec.deputy_min;
+    ov.deputyMax = spec.deputy_max;
+    rt->setOverrides(spec.conf_name, ov);
+    rt->installProfile(spec.conf_name, summary);
+    return rt;
+}
+
+std::unique_ptr<SmartConfRuntime>
+makeProfilingRuntime(const ControlSpec &spec)
+{
+    auto rt = makeRuntimeCommon(spec);
+    rt->setProfiling(true);
+    return rt;
+}
+
+} // namespace smartconf::scenarios

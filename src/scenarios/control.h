@@ -1,0 +1,61 @@
+#ifndef SMARTCONF_SCENARIOS_CONTROL_H_
+#define SMARTCONF_SCENARIOS_CONTROL_H_
+
+/**
+ * @file
+ * Shared wiring between scenarios and the SmartConf core.
+ *
+ * Every smart policy run follows the same recipe: declare the
+ * configuration entry and goal in a fresh runtime, apply the policy's
+ * ablation overrides (Fig. 7), install the profiling summary, and hand
+ * out a SmartConf/SmartConfI handle.  This header centralizes that
+ * recipe so the six scenario drivers stay small.
+ */
+
+#include <memory>
+#include <optional>
+
+#include "core/runtime.h"
+#include "scenarios/scenario.h"
+
+namespace smartconf::scenarios {
+
+/** Declarative description of the controlled configuration. */
+struct ControlSpec
+{
+    std::string conf_name;
+    std::string metric_name;
+    double initial = 0.0;
+    double conf_min = 0.0;
+    double conf_max = 1e18;
+    double goal_value = 0.0;
+    bool hard = false;
+    bool super_hard = false;
+
+    /** Deputy clamp when the controlled variable is not the config. */
+    std::optional<double> deputy_min;
+    std::optional<double> deputy_max;
+};
+
+/** Translate a Policy's ablation knobs into runtime overrides. */
+ControllerOverrides overridesFor(const Policy &policy);
+
+/**
+ * Build a runtime ready for control: conf + goal declared, overrides
+ * applied, profile installed (controller synthesized).
+ */
+std::unique_ptr<SmartConfRuntime> makeControlRuntime(
+    const ControlSpec &spec, const Policy &policy,
+    const ProfileSummary &summary);
+
+/**
+ * Build a runtime in profiling mode: conf + goal declared, no profile
+ * yet.  Scenario profiling drives setPerf through it and then calls
+ * finishProfiling.
+ */
+std::unique_ptr<SmartConfRuntime> makeProfilingRuntime(
+    const ControlSpec &spec);
+
+} // namespace smartconf::scenarios
+
+#endif // SMARTCONF_SCENARIOS_CONTROL_H_

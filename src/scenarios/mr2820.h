@@ -1,0 +1,63 @@
+#ifndef SMARTCONF_SCENARIOS_MR2820_H_
+#define SMARTCONF_SCENARIOS_MR2820_H_
+
+/**
+ * @file
+ * MR2820: `local.dir.minspacestart` decides whether a worker has enough
+ * local disk to start another task.  Too small, out-of-disk failures;
+ * too big, low utilization and job latency (conditional, direct, hard).
+ *
+ * This case exercises a *negative* controller gain: raising the
+ * configuration lowers peak disk usage.  The configuration is computed
+ * on the master and propagated to the workers with a delay, mirroring
+ * the paper's note that MR2820 needed extra code to deliver the value
+ * from the Master node to the Slave nodes (Table 7 "Others").
+ */
+
+#include "scenarios/scenario.h"
+#include "sim/clock.h"
+#include "workload/wordcount.h"
+
+namespace smartconf::scenarios {
+
+/** Cluster/job knobs for the MR2820 driver. */
+struct Mr2820Options
+{
+    double disk_capacity_mb = 900.0;
+    std::size_t workers = 2;
+    double other_base_mb = 500.0;
+    double other_walk_mb = 5.0;
+    double other_max_mb = 620.0;
+    sim::Tick task_duration = 40;
+    sim::Tick fetch_delay = 70;
+    sim::Tick max_ticks = 20000; ///< safety horizon for the whole run
+    sim::Tick control_period = 1;
+
+    /** Profiling job: WordCount(2G, 64MB, 1). */
+    workload::WordCountJob profiling_job{2048.0, 64.0, 1, 1.0};
+    /** Phase-1 job: WordCount(640MB, 64MB, 2). */
+    workload::WordCountJob phase1_job{640.0, 64.0, 2, 1.0};
+    /** Phase-2 job: WordCount(640MB, 128MB, 2). */
+    workload::WordCountJob phase2_job{640.0, 128.0, 2, 1.0};
+};
+
+/** The MR2820 case study. */
+class Mr2820Scenario : public Scenario
+{
+  public:
+    Mr2820Scenario();
+    explicit Mr2820Scenario(const Mr2820Options &opts);
+
+    ProfileSummary profile(std::uint64_t seed) const override;
+    ScenarioResult run(const Policy &policy,
+                       std::uint64_t seed) const override;
+
+    const Mr2820Options &options() const { return opts_; }
+
+  private:
+    Mr2820Options opts_;
+};
+
+} // namespace smartconf::scenarios
+
+#endif // SMARTCONF_SCENARIOS_MR2820_H_

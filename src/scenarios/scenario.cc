@@ -1,0 +1,81 @@
+#include "scenarios/scenario.h"
+
+#include "scenarios/ca6059.h"
+#include "scenarios/hb2149.h"
+#include "scenarios/hb3813.h"
+#include "scenarios/hb6728.h"
+#include "scenarios/hd4995.h"
+#include "scenarios/mr2820.h"
+
+namespace smartconf::scenarios {
+
+Policy
+Policy::makeStatic(double v, std::string label)
+{
+    Policy p;
+    p.kind = Kind::Static;
+    p.value = v;
+    p.label = label.empty() ? "Static-" + std::to_string(v) : label;
+    return p;
+}
+
+Policy
+Policy::smart()
+{
+    Policy p;
+    p.kind = Kind::Smart;
+    p.label = "SmartConf";
+    return p;
+}
+
+Policy
+Policy::singlePole(double pole)
+{
+    Policy p;
+    p.kind = Kind::SmartSinglePole;
+    p.label = "Single Pole";
+    p.pole_override = pole;
+    return p;
+}
+
+Policy
+Policy::noVirtualGoal()
+{
+    Policy p;
+    p.kind = Kind::SmartNoVirtualGoal;
+    p.label = "No Virtual Goal";
+    return p;
+}
+
+std::vector<std::unique_ptr<Scenario>>
+makeAllScenarios()
+{
+    std::vector<std::unique_ptr<Scenario>> out;
+    out.push_back(std::make_unique<Ca6059Scenario>());
+    out.push_back(std::make_unique<Hb2149Scenario>());
+    out.push_back(std::make_unique<Hb3813Scenario>());
+    out.push_back(std::make_unique<Hb6728Scenario>());
+    out.push_back(std::make_unique<Hd4995Scenario>());
+    out.push_back(std::make_unique<Mr2820Scenario>());
+    return out;
+}
+
+std::unique_ptr<Scenario>
+makeScenario(const std::string &id)
+{
+    if (id == "CA6059")
+        return std::make_unique<Ca6059Scenario>();
+    if (id == "HB2149")
+        return std::make_unique<Hb2149Scenario>();
+    if (id == "HB3813")
+        return std::make_unique<Hb3813Scenario>();
+    if (id == "HB6728")
+        return std::make_unique<Hb6728Scenario>();
+    if (id == "HD4995")
+        return std::make_unique<Hd4995Scenario>();
+    if (id == "MR2820")
+        return std::make_unique<Mr2820Scenario>();
+    return nullptr;
+}
+
+} // namespace smartconf::scenarios

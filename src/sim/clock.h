@@ -1,0 +1,70 @@
+#ifndef SMARTCONF_SIM_CLOCK_H_
+#define SMARTCONF_SIM_CLOCK_H_
+
+/**
+ * @file
+ * Virtual time for the discrete-event substrate.
+ *
+ * Time is an integer tick count; scenarios define the tick length (the
+ * case studies use 100 ms ticks, so 600 s of simulated server time is
+ * 6000 ticks).  Keeping ticks integral avoids floating-point drift in
+ * event ordering.
+ */
+
+#include <cstdint>
+
+namespace smartconf::sim {
+
+/** Simulated time in ticks. */
+using Tick = std::int64_t;
+
+/** Converts between ticks and seconds for reporting. */
+class TickConverter
+{
+  public:
+    /** @param ticks_per_second granularity of the simulation. */
+    explicit TickConverter(double ticks_per_second = 10.0)
+        : ticks_per_second_(ticks_per_second)
+    {}
+
+    double toSeconds(Tick t) const
+    {
+        return static_cast<double>(t) / ticks_per_second_;
+    }
+
+    Tick toTicks(double seconds) const
+    {
+        return static_cast<Tick>(seconds * ticks_per_second_ + 0.5);
+    }
+
+    double ticksPerSecond() const { return ticks_per_second_; }
+
+  private:
+    double ticks_per_second_;
+};
+
+/** Monotonic simulation clock advanced by the event loop. */
+class Clock
+{
+  public:
+    Tick now() const { return now_; }
+
+    /** Advance to @p t; time never moves backwards. */
+    void advanceTo(Tick t)
+    {
+        if (t > now_)
+            now_ = t;
+    }
+
+    /** Advance by @p dt ticks. */
+    void advanceBy(Tick dt) { now_ += dt; }
+
+    void reset() { now_ = 0; }
+
+  private:
+    Tick now_ = 0;
+};
+
+} // namespace smartconf::sim
+
+#endif // SMARTCONF_SIM_CLOCK_H_

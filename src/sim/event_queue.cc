@@ -1,0 +1,75 @@
+#include "sim/event_queue.h"
+
+#include <algorithm>
+#include <limits>
+#include <utility>
+
+namespace smartconf::sim {
+
+EventId
+EventQueue::scheduleAt(Tick when, Callback cb)
+{
+    const Tick effective = std::max(when, clock_.now());
+    const EventId id = next_id_++;
+    heap_.push(Entry{effective, next_seq_++, id, std::move(cb)});
+    ++size_;
+    return id;
+}
+
+EventId
+EventQueue::scheduleAfter(Tick delay, Callback cb)
+{
+    return scheduleAt(clock_.now() + std::max<Tick>(delay, 0),
+                      std::move(cb));
+}
+
+void
+EventQueue::cancel(EventId id)
+{
+    cancelled_.push_back(id);
+}
+
+bool
+EventQueue::isCancelled(EventId id) const
+{
+    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
+           cancelled_.end();
+}
+
+std::size_t
+EventQueue::runUntil(Tick horizon)
+{
+    std::size_t fired = 0;
+    while (!heap_.empty()) {
+        const Entry &top = heap_.top();
+        if (top.when > horizon)
+            break;
+        if (step())
+            ++fired;
+    }
+    if (clock_.now() < horizon && horizon < std::numeric_limits<Tick>::max())
+        clock_.advanceTo(horizon);
+    return fired;
+}
+
+bool
+EventQueue::step()
+{
+    while (!heap_.empty()) {
+        Entry top = std::move(const_cast<Entry &>(heap_.top()));
+        heap_.pop();
+        --size_;
+        if (isCancelled(top.id)) {
+            cancelled_.erase(std::remove(cancelled_.begin(),
+                                         cancelled_.end(), top.id),
+                             cancelled_.end());
+            continue;
+        }
+        clock_.advanceTo(top.when);
+        top.cb();
+        return true;
+    }
+    return false;
+}
+
+} // namespace smartconf::sim

@@ -1,0 +1,102 @@
+#ifndef SMARTCONF_SIM_EVENT_QUEUE_H_
+#define SMARTCONF_SIM_EVENT_QUEUE_H_
+
+/**
+ * @file
+ * Discrete-event engine.
+ *
+ * A minimal but complete event queue: schedule callbacks at future ticks,
+ * run until quiescence or a horizon, cancel pending events.  Events that
+ * share a tick fire in scheduling order (stable), which keeps runs
+ * deterministic.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace smartconf::sim {
+
+/** Identifier for a scheduled event; usable to cancel it. */
+using EventId = std::uint64_t;
+
+/**
+ * Time-ordered queue of callbacks driving a Clock.
+ */
+class EventQueue
+{
+  public:
+    using Callback = std::function<void()>;
+
+    explicit EventQueue(Clock &clock) : clock_(clock) {}
+
+    /**
+     * Schedule @p cb to run at absolute tick @p when.
+     *
+     * Scheduling in the past is clamped to "now" (fires next).
+     * @return id usable with cancel().
+     */
+    EventId scheduleAt(Tick when, Callback cb);
+
+    /** Schedule @p cb @p delay ticks from now. */
+    EventId scheduleAfter(Tick delay, Callback cb);
+
+    /** Cancel a pending event; no-op if already fired or cancelled. */
+    void cancel(EventId id);
+
+    /** Scheduled entries not yet fired (a cancelled entry is
+     *  counted until its tick is reached and it is discarded). */
+    std::size_t pending() const { return size_; }
+
+    /** True when no events remain. */
+    bool empty() const { return size_ == 0; }
+
+    /**
+     * Run events in time order until the queue is empty or the next
+     * event lies beyond @p horizon.  The clock ends at the last fired
+     * event's tick (or at @p horizon when it is finite and reached).
+     *
+     * @return number of events fired.
+     */
+    std::size_t runUntil(Tick horizon);
+
+    /** Run a single event if one is pending. @return true if fired. */
+    bool step();
+
+    Clock &clock() { return clock_; }
+
+  private:
+    struct Entry
+    {
+        Tick when;
+        std::uint64_t seq; // tie-breaker: FIFO within a tick
+        EventId id;
+        Callback cb;
+    };
+
+    struct Later
+    {
+        bool operator()(const Entry &a, const Entry &b) const
+        {
+            if (a.when != b.when)
+                return a.when > b.when;
+            return a.seq > b.seq;
+        }
+    };
+
+    Clock &clock_;
+    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+    std::vector<EventId> cancelled_;
+    std::uint64_t next_seq_ = 0;
+    EventId next_id_ = 1;
+    std::size_t size_ = 0;
+
+    bool isCancelled(EventId id) const;
+};
+
+} // namespace smartconf::sim
+
+#endif // SMARTCONF_SIM_EVENT_QUEUE_H_

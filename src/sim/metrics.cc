@@ -1,0 +1,110 @@
+#include "sim/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace smartconf::sim {
+
+double
+TimeSeries::max() const
+{
+    double best = 0.0;
+    for (const auto &p : points_)
+        best = std::max(best, p.value);
+    return best;
+}
+
+double
+TimeSeries::last() const
+{
+    return points_.empty() ? 0.0 : points_.back().value;
+}
+
+double
+TimeSeries::mean() const
+{
+    if (points_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const auto &p : points_)
+        acc += p.value;
+    return acc / static_cast<double>(points_.size());
+}
+
+Tick
+TimeSeries::firstAbove(double threshold) const
+{
+    for (const auto &p : points_) {
+        if (p.value > threshold)
+            return p.tick;
+    }
+    return -1;
+}
+
+std::vector<TimeSeries::Point>
+TimeSeries::downsampleMax(std::size_t buckets) const
+{
+    if (buckets == 0 || points_.size() <= buckets)
+        return points_;
+    std::vector<Point> out;
+    out.reserve(buckets);
+    const std::size_t stride =
+        (points_.size() + buckets - 1) / buckets;
+    for (std::size_t i = 0; i < points_.size(); i += stride) {
+        Point best = points_[i];
+        const std::size_t end = std::min(i + stride, points_.size());
+        for (std::size_t j = i; j < end; ++j) {
+            if (points_[j].value > best.value)
+                best = points_[j];
+        }
+        out.push_back(best);
+    }
+    return out;
+}
+
+std::string
+TimeSeries::toCsv(const TickConverter &conv) const
+{
+    std::ostringstream out;
+    out << "seconds," << (name_.empty() ? "value" : name_) << "\n";
+    for (const auto &p : points_)
+        out << conv.toSeconds(p.tick) << "," << p.value << "\n";
+    return out.str();
+}
+
+double
+Histogram::mean() const
+{
+    if (values_.empty())
+        return 0.0;
+    double acc = 0.0;
+    for (const double v : values_)
+        acc += v;
+    return acc / static_cast<double>(values_.size());
+}
+
+double
+Histogram::max() const
+{
+    double best = 0.0;
+    for (const double v : values_)
+        best = std::max(best, v);
+    return best;
+}
+
+double
+Histogram::percentile(double p) const
+{
+    if (values_.empty())
+        return 0.0;
+    std::vector<double> sorted(values_);
+    std::sort(sorted.begin(), sorted.end());
+    const double rank =
+        std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+    const std::size_t idx = static_cast<std::size_t>(std::max(
+        1.0, std::min(rank, static_cast<double>(sorted.size()))));
+    return sorted[idx - 1];
+}
+
+} // namespace smartconf::sim

@@ -1,0 +1,96 @@
+#ifndef SMARTCONF_SIM_METRICS_H_
+#define SMARTCONF_SIM_METRICS_H_
+
+/**
+ * @file
+ * Measurement recording for experiments.
+ *
+ * TimeSeries captures (tick, value) curves — the raw material for the
+ * paper's Figures 6-8 — and Histogram summarizes latency distributions
+ * (mean, percentiles, max) for throughput/latency trade-off reporting.
+ */
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace smartconf::sim {
+
+/** A named (tick, value) curve. */
+class TimeSeries
+{
+  public:
+    struct Point
+    {
+        Tick tick;
+        double value;
+    };
+
+    explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+    void record(Tick tick, double value)
+    {
+        points_.push_back({tick, value});
+    }
+
+    const std::string &name() const { return name_; }
+    const std::vector<Point> &points() const { return points_; }
+    bool empty() const { return points_.empty(); }
+    std::size_t size() const { return points_.size(); }
+
+    /** Largest recorded value; 0 when empty. */
+    double max() const;
+
+    /** Last recorded value; 0 when empty. */
+    double last() const;
+
+    /** Mean of recorded values; 0 when empty. */
+    double mean() const;
+
+    /**
+     * First tick at which the value exceeded @p threshold, or -1 when it
+     * never did.  Used to report "OOM at t = 36 s" style results.
+     */
+    Tick firstAbove(double threshold) const;
+
+    /**
+     * Down-sample to at most @p buckets points (taking the max within
+     * each bucket) — keeps printed figure data readable.
+     */
+    std::vector<Point> downsampleMax(std::size_t buckets) const;
+
+    /** Render as CSV lines "tick,value" (with a header). */
+    std::string toCsv(const TickConverter &conv) const;
+
+  private:
+    std::string name_;
+    std::vector<Point> points_;
+};
+
+/** Latency/size distribution summary. */
+class Histogram
+{
+  public:
+    void record(double value) { values_.push_back(value); }
+
+    std::size_t count() const { return values_.size(); }
+    double mean() const;
+    double max() const;
+
+    /** Nearest-rank percentile in (0, 100]; 0 when empty. */
+    double percentile(double p) const;
+
+    /** Raw observations in recording order (for streaming consumers). */
+    const std::vector<double> &values() const { return values_; }
+
+    void reset() { values_.clear(); }
+
+  private:
+    std::vector<double> values_;
+};
+
+} // namespace smartconf::sim
+
+#endif // SMARTCONF_SIM_METRICS_H_

@@ -1,0 +1,93 @@
+#ifndef SMARTCONF_SIM_RNG_H_
+#define SMARTCONF_SIM_RNG_H_
+
+/**
+ * @file
+ * Deterministic random number generation for the simulation substrate.
+ *
+ * Every scenario run is seeded explicitly so that tests, benches and the
+ * figures regenerated from them are bit-reproducible.  The generator is
+ * xoshiro256** (public domain, Blackman & Vigna); distributions include
+ * the Zipfian sampler YCSB uses for key popularity.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace smartconf::sim {
+
+/** xoshiro256** PRNG with splitmix64 seeding. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform double in [0, 1). */
+    double uniform();
+
+    /** Uniform double in [lo, hi). */
+    double uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n); n must be > 0. */
+    std::uint64_t below(std::uint64_t n);
+
+    /** Uniform integer in [lo, hi] inclusive. */
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /** Bernoulli trial with success probability p. */
+    bool chance(double p);
+
+    /** Exponential variate with the given mean (inter-arrival times). */
+    double exponential(double mean);
+
+    /** Standard normal via Box-Muller. */
+    double gaussian(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Fork an independent stream: deterministic function of this
+     * generator's seed and @p stream_id, so components can own private
+     * streams without coupling their draw order.
+     */
+    Rng fork(std::uint64_t stream_id) const;
+
+  private:
+    std::uint64_t s_[4];
+    std::uint64_t seed_;
+    bool have_spare_ = false;
+    double spare_ = 0.0;
+};
+
+/**
+ * Zipfian sampler over [0, n) with skew theta, as used by YCSB.
+ *
+ * Uses the Gray et al. rejection-free method with precomputed zeta.
+ */
+class ZipfianGenerator
+{
+  public:
+    /**
+     * @param n     population size (> 0).
+     * @param theta skew in [0, 1); YCSB's default is 0.99... we default
+     *              to 0.99 to match.
+     */
+    explicit ZipfianGenerator(std::uint64_t n, double theta = 0.99);
+
+    /** Sample an item index in [0, n). */
+    std::uint64_t sample(Rng &rng) const;
+
+    std::uint64_t population() const { return n_; }
+
+  private:
+    std::uint64_t n_;
+    double theta_;
+    double zetan_;
+    double alpha_;
+    double eta_;
+};
+
+} // namespace smartconf::sim
+
+#endif // SMARTCONF_SIM_RNG_H_

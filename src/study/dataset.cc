@@ -1,0 +1,297 @@
+#include "study/dataset.h"
+
+#include <cassert>
+
+namespace smartconf::study {
+
+namespace {
+
+/** Published per-system counts (paper Tables 2-5). */
+struct Targets
+{
+    int issues;
+    // Table 3: tune-new, replace-hard-coded, refine-existing, fix-default.
+    int cat[4];
+    // Table 4 metrics: latency, throughput, memory/disk.
+    int lat, thr, mem;
+    // Table 4: always-on vs conditional.
+    int always, cond;
+    // Table 4: direct vs indirect.
+    int direct, indirect;
+    // Table 5 types: integer, floating point, non-numerical.
+    int vint, vfloat, vnon;
+    // Table 5 factors: static system, static workload, dynamic.
+    int fsys, fwork, fdyn;
+    // Table 2 populations.
+    int posts, allconf_issues, allconf_posts;
+    // Sec. 2.2.1 per-system shares (chosen to hit the global ~40%/~50%/
+    // ~30% statistics exactly).
+    int posts_howto, posts_specific, posts_oom;
+    // Functionality-vs-performance tradeoffs (13 global).
+    int func_tradeoff;
+};
+
+constexpr Targets kCassandra = {
+    20, {11, 2, 2, 5}, 14, 8, 9, 9, 11, 7, 13,
+    15, 4, 1, 0, 4, 16, 20, 32, 60, 8, 10, 6, 3};
+constexpr Targets kHBase = {
+    30, {16, 1, 0, 13}, 28, 3, 15, 17, 13, 16, 14,
+    23, 5, 2, 1, 0, 29, 7, 48, 33, 3, 4, 2, 5};
+constexpr Targets kHdfs = {
+    20, {8, 7, 0, 5}, 20, 5, 8, 8, 12, 8, 12,
+    19, 0, 1, 0, 0, 20, 7, 31, 39, 3, 3, 2, 3};
+constexpr Targets kMapReduce = {
+    10, {4, 4, 1, 1}, 9, 0, 7, 6, 4, 4, 6,
+    9, 0, 1, 1, 2, 7, 20, 13, 25, 8, 10, 6, 2};
+
+/** Total issues flagged as fine-grained multi-metric (Sec. 2.2.2). */
+constexpr int kTotalMultiMetric = 61;
+
+const Targets &
+targetsFor(System sys)
+{
+    switch (sys) {
+      case System::Cassandra:
+        return kCassandra;
+      case System::HBase:
+        return kHBase;
+      case System::Hdfs:
+        return kHdfs;
+      case System::MapReduce:
+        return kMapReduce;
+    }
+    assert(false && "unreachable");
+    return kCassandra;
+}
+
+/**
+ * Assign @p count extra metric markers, scanning issues from the front
+ * and skipping issues that already carry the metric.
+ */
+template <typename Getter>
+void
+assignExtras(std::vector<IssueRecord> &issues, int count, Getter member)
+{
+    for (auto &issue : issues) {
+        if (count == 0)
+            break;
+        if (!(issue.*member)) {
+            issue.*member = true;
+            --count;
+        }
+    }
+    assert(count == 0 && "metric counts exceed feasible assignments");
+}
+
+/** Build the issue records of one system to match its targets. */
+std::vector<IssueRecord>
+buildIssues(System sys)
+{
+    const Targets &t = targetsFor(sys);
+    std::vector<IssueRecord> issues(static_cast<std::size_t>(t.issues));
+
+    for (int i = 0; i < t.issues; ++i) {
+        issues[i].sys = sys;
+        issues[i].id = std::string(systemShortName(sys)) + "-" +
+                       std::to_string(1000 + i);
+    }
+
+    // Table 3 categories, in row order.
+    {
+        int idx = 0;
+        const PatchCategory cats[4] = {
+            PatchCategory::TuneNewFunctionality,
+            PatchCategory::ReplaceHardCoded,
+            PatchCategory::RefineExisting,
+            PatchCategory::FixPoorDefault,
+        };
+        for (int c = 0; c < 4; ++c) {
+            for (int k = 0; k < t.cat[c]; ++k)
+                issues[idx++].category = cats[c];
+        }
+        assert(idx == t.issues);
+    }
+
+    // Table 4 metrics.  First give every issue one metric (latency fills
+    // from the front, then throughput, then memory/disk), then spread
+    // the remaining markers over issues lacking that metric.
+    {
+        int lat = t.lat, thr = t.thr, mem = t.mem;
+        for (int i = 0; i < t.issues; ++i) {
+            if (lat > 0) {
+                issues[i].affects_latency = true;
+                --lat;
+            } else if (thr > 0) {
+                issues[i].affects_throughput = true;
+                --thr;
+            } else {
+                assert(mem > 0);
+                issues[i].affects_memdisk = true;
+                --mem;
+            }
+        }
+        assignExtras(issues, lat, &IssueRecord::affects_latency);
+        assignExtras(issues, thr, &IssueRecord::affects_throughput);
+        assignExtras(issues, mem, &IssueRecord::affects_memdisk);
+    }
+
+    // Table 4 conditional/indirect.  Conditional fills from the front,
+    // indirect from the back, decorrelating the two dimensions a little.
+    for (int i = 0; i < t.cond; ++i)
+        issues[i].conditional = true;
+    for (int i = 0; i < t.indirect; ++i)
+        issues[t.issues - 1 - i].indirect = true;
+
+    // Table 5 variable types and deciding factors.
+    {
+        int idx = 0;
+        for (int k = 0; k < t.vint; ++k)
+            issues[idx++].var_type = VarType::Integer;
+        for (int k = 0; k < t.vfloat; ++k)
+            issues[idx++].var_type = VarType::FloatingPoint;
+        for (int k = 0; k < t.vnon; ++k)
+            issues[idx++].var_type = VarType::NonNumerical;
+        assert(idx == t.issues);
+    }
+    {
+        int idx = 0;
+        for (int k = 0; k < t.fsys; ++k)
+            issues[idx++].factor = DecidingFactor::StaticSystem;
+        for (int k = 0; k < t.fwork; ++k)
+            issues[idx++].factor = DecidingFactor::StaticWorkload;
+        for (int k = 0; k < t.fdyn; ++k)
+            issues[idx++].factor = DecidingFactor::Dynamic;
+        assert(idx == t.issues);
+    }
+
+    // Functionality-vs-performance tradeoffs (13 across all systems).
+    for (int i = 0; i < t.func_tradeoff; ++i)
+        issues[i].func_tradeoff = true;
+
+    // "About half threaten hard constraints": exactly the OOM/OOD class,
+    // i.e. the memory/disk-affecting issues.
+    for (auto &issue : issues)
+        issue.threatens_hard = issue.affects_memdisk;
+
+    // Coarse multi-metric issues are certainly fine-grained multi-metric.
+    for (auto &issue : issues)
+        issue.multi_metric = issue.coarseMetricCount() >= 2;
+
+    return issues;
+}
+
+/** Build the post records of one system. */
+std::vector<PostRecord>
+buildPosts(System sys)
+{
+    const Targets &t = targetsFor(sys);
+    std::vector<PostRecord> posts(static_cast<std::size_t>(t.posts));
+    for (int i = 0; i < t.posts; ++i) {
+        posts[i].sys = sys;
+        posts[i].type = i < t.posts_howto ? PostType::HowToSet
+                                          : PostType::ImproveOrAvoid;
+        posts[i].asks_specific_conf = i < t.posts_specific;
+        posts[i].mentions_oom = i >= t.posts - t.posts_oom;
+    }
+    return posts;
+}
+
+} // namespace
+
+const char *
+systemShortName(System sys)
+{
+    switch (sys) {
+      case System::Cassandra:
+        return "CA";
+      case System::HBase:
+        return "HB";
+      case System::Hdfs:
+        return "HD";
+      case System::MapReduce:
+        return "MR";
+    }
+    return "??";
+}
+
+const char *
+systemFullName(System sys)
+{
+    switch (sys) {
+      case System::Cassandra:
+        return "Cassandra";
+      case System::HBase:
+        return "HBase";
+      case System::Hdfs:
+        return "HDFS";
+      case System::MapReduce:
+        return "MapReduce";
+    }
+    return "unknown";
+}
+
+StudyDataset
+StudyDataset::paper()
+{
+    StudyDataset ds;
+    for (const System sys : kSystems) {
+        auto issues = buildIssues(sys);
+        ds.issues_.insert(ds.issues_.end(), issues.begin(), issues.end());
+        auto posts = buildPosts(sys);
+        ds.posts_.insert(ds.posts_.end(), posts.begin(), posts.end());
+    }
+
+    // Top up the fine-grained multi-metric flag to the published 61:
+    // issues whose several metrics share one coarse row.
+    int flagged = 0;
+    for (const auto &issue : ds.issues_)
+        flagged += issue.multi_metric ? 1 : 0;
+    for (auto &issue : ds.issues_) {
+        if (flagged >= kTotalMultiMetric)
+            break;
+        if (!issue.multi_metric) {
+            issue.multi_metric = true;
+            ++flagged;
+        }
+    }
+    assert(flagged == kTotalMultiMetric);
+    return ds;
+}
+
+SuiteCounts
+StudyDataset::suiteCounts(System sys) const
+{
+    const Targets &t = targetsFor(sys);
+    SuiteCounts out;
+    for (const auto &issue : issues_)
+        out.perfconf_issues += issue.sys == sys ? 1 : 0;
+    for (const auto &post : posts_)
+        out.perfconf_posts += post.sys == sys ? 1 : 0;
+    out.allconf_issues = t.allconf_issues;
+    out.allconf_posts = t.allconf_posts;
+    return out;
+}
+
+std::vector<IssueRecord>
+StudyDataset::issuesOf(System sys) const
+{
+    std::vector<IssueRecord> out;
+    for (const auto &issue : issues_) {
+        if (issue.sys == sys)
+            out.push_back(issue);
+    }
+    return out;
+}
+
+std::vector<PostRecord>
+StudyDataset::postsOf(System sys) const
+{
+    std::vector<PostRecord> out;
+    for (const auto &post : posts_) {
+        if (post.sys == sys)
+            out.push_back(post);
+    }
+    return out;
+}
+
+} // namespace smartconf::study

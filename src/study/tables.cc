@@ -1,0 +1,301 @@
+#include "study/tables.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace smartconf::study {
+
+namespace {
+
+/** Fixed-width cell helper for the aligned text tables. */
+void
+cell(std::ostringstream &out, const std::string &text, int width)
+{
+    out << std::left << std::setw(width) << text;
+}
+
+void
+num(std::ostringstream &out, int value, int width = 6)
+{
+    out << std::right << std::setw(width) << value;
+}
+
+} // namespace
+
+Table3Counts
+aggregateTable3(const StudyDataset &ds, System sys)
+{
+    Table3Counts out;
+    for (const auto &issue : ds.issuesOf(sys)) {
+        switch (issue.category) {
+          case PatchCategory::TuneNewFunctionality:
+            ++out.tune_new;
+            break;
+          case PatchCategory::ReplaceHardCoded:
+            ++out.replace_hard_coded;
+            break;
+          case PatchCategory::RefineExisting:
+            ++out.refine_existing;
+            break;
+          case PatchCategory::FixPoorDefault:
+            ++out.fix_poor_default;
+            break;
+        }
+    }
+    return out;
+}
+
+Table4Counts
+aggregateTable4(const StudyDataset &ds, System sys)
+{
+    Table4Counts out;
+    for (const auto &issue : ds.issuesOf(sys)) {
+        out.latency += issue.affects_latency ? 1 : 0;
+        out.throughput += issue.affects_throughput ? 1 : 0;
+        out.memdisk += issue.affects_memdisk ? 1 : 0;
+        out.always_on += issue.conditional ? 0 : 1;
+        out.conditional += issue.conditional ? 1 : 0;
+        out.direct += issue.indirect ? 0 : 1;
+        out.indirect += issue.indirect ? 1 : 0;
+    }
+    return out;
+}
+
+Table5Counts
+aggregateTable5(const StudyDataset &ds, System sys)
+{
+    Table5Counts out;
+    for (const auto &issue : ds.issuesOf(sys)) {
+        switch (issue.var_type) {
+          case VarType::Integer:
+            ++out.integer;
+            break;
+          case VarType::FloatingPoint:
+            ++out.floating;
+            break;
+          case VarType::NonNumerical:
+            ++out.non_numerical;
+            break;
+        }
+        switch (issue.factor) {
+          case DecidingFactor::StaticSystem:
+            ++out.static_system;
+            break;
+          case DecidingFactor::StaticWorkload:
+            ++out.static_workload;
+            break;
+          case DecidingFactor::Dynamic:
+            ++out.dynamic;
+            break;
+        }
+    }
+    return out;
+}
+
+HeadlineStats
+aggregateHeadlines(const StudyDataset &ds)
+{
+    HeadlineStats out;
+    out.issues = static_cast<int>(ds.issues().size());
+    out.posts = static_cast<int>(ds.posts().size());
+    for (const auto &issue : ds.issues()) {
+        out.multi_metric_issues += issue.multi_metric ? 1 : 0;
+        out.func_tradeoff_issues += issue.func_tradeoff ? 1 : 0;
+        out.hard_constraint_issues += issue.threatens_hard ? 1 : 0;
+    }
+    for (const auto &post : ds.posts()) {
+        out.posts_howto += post.type == PostType::HowToSet ? 1 : 0;
+        out.posts_specific_conf += post.asks_specific_conf ? 1 : 0;
+        out.posts_oom += post.mentions_oom ? 1 : 0;
+    }
+    int allconf_issues = 0, allconf_posts = 0;
+    for (const System sys : kSystems) {
+        const SuiteCounts c = ds.suiteCounts(sys);
+        allconf_issues += c.allconf_issues;
+        allconf_posts += c.allconf_posts;
+    }
+    out.perfconf_issue_share =
+        allconf_issues > 0
+            ? static_cast<double>(out.issues) / allconf_issues
+            : 0.0;
+    out.perfconf_post_share =
+        allconf_posts > 0 ? static_cast<double>(out.posts) / allconf_posts
+                          : 0.0;
+    return out;
+}
+
+std::string
+formatTable2(const StudyDataset &ds)
+{
+    std::ostringstream out;
+    out << "Table 2. Empirical study suite\n";
+    cell(out, "System", 12);
+    out << "| PerfConf Issues  Posts | AllConf Issues  Posts\n";
+    out << std::string(62, '-') << "\n";
+    int ti = 0, tp = 0, tai = 0, tap = 0;
+    for (const System sys : kSystems) {
+        const SuiteCounts c = ds.suiteCounts(sys);
+        cell(out, systemFullName(sys), 12);
+        out << "|";
+        num(out, c.perfconf_issues, 16);
+        num(out, c.perfconf_posts, 7);
+        out << " |";
+        num(out, c.allconf_issues, 15);
+        num(out, c.allconf_posts, 7);
+        out << "\n";
+        ti += c.perfconf_issues;
+        tp += c.perfconf_posts;
+        tai += c.allconf_issues;
+        tap += c.allconf_posts;
+    }
+    out << std::string(62, '-') << "\n";
+    cell(out, "Total", 12);
+    out << "|";
+    num(out, ti, 16);
+    num(out, tp, 7);
+    out << " |";
+    num(out, tai, 15);
+    num(out, tap, 7);
+    out << "\n";
+    return out.str();
+}
+
+std::string
+formatTable3(const StudyDataset &ds)
+{
+    std::ostringstream out;
+    out << "Table 3. Different types of PerfConf patches\n";
+    cell(out, "Category", 38);
+    for (const System sys : kSystems)
+        cell(out, std::string("    ") + systemShortName(sys), 6);
+    out << "\n" << std::string(62, '-') << "\n";
+
+    const char *labels[4] = {
+        "Add new conf: tune a new functionality",
+        "Add new conf: replace hard-coded data",
+        "Add new conf: refine an existing conf",
+        "Change existing conf: fix poor default",
+    };
+    for (int row = 0; row < 4; ++row) {
+        cell(out, labels[row], 38);
+        for (const System sys : kSystems) {
+            const Table3Counts c = aggregateTable3(ds, sys);
+            const int v = row == 0   ? c.tune_new
+                          : row == 1 ? c.replace_hard_coded
+                          : row == 2 ? c.refine_existing
+                                     : c.fix_poor_default;
+            num(out, v, 6);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatTable4(const StudyDataset &ds)
+{
+    std::ostringstream out;
+    out << "Table 4. How a PerfConf affects performance\n";
+    out << "(one PerfConf can affect more than one metric)\n";
+    cell(out, "", 28);
+    for (const System sys : kSystems)
+        cell(out, std::string("    ") + systemShortName(sys), 6);
+    out << "\n" << std::string(52, '-') << "\n";
+
+    const char *labels[7] = {
+        "User-Request Latency",   "Internal Job Throughput",
+        "Memory/Disk Consumption", "Always-on Impact",
+        "Conditional Impact",      "Direct Impact",
+        "Indirect Impact",
+    };
+    for (int row = 0; row < 7; ++row) {
+        if (row == 3 || row == 5)
+            out << std::string(52, '-') << "\n";
+        cell(out, labels[row], 28);
+        for (const System sys : kSystems) {
+            const Table4Counts c = aggregateTable4(ds, sys);
+            const int v = row == 0   ? c.latency
+                          : row == 1 ? c.throughput
+                          : row == 2 ? c.memdisk
+                          : row == 3 ? c.always_on
+                          : row == 4 ? c.conditional
+                          : row == 5 ? c.direct
+                                     : c.indirect;
+            num(out, v, 6);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatTable5(const StudyDataset &ds)
+{
+    std::ostringstream out;
+    out << "Table 5. How to set PerfConfs\n";
+    cell(out, "", 32);
+    for (const System sys : kSystems)
+        cell(out, std::string("    ") + systemShortName(sys), 6);
+    out << "\n" << std::string(56, '-') << "\n";
+
+    out << "Configuration Variable Type\n";
+    const char *type_labels[3] = {"  Integer", "  Floating Points",
+                                  "  Non-Numerical"};
+    for (int row = 0; row < 3; ++row) {
+        cell(out, type_labels[row], 32);
+        for (const System sys : kSystems) {
+            const Table5Counts c = aggregateTable5(ds, sys);
+            const int v = row == 0   ? c.integer
+                          : row == 1 ? c.floating
+                                     : c.non_numerical;
+            num(out, v, 6);
+        }
+        out << "\n";
+    }
+    out << "Deciding Factors\n";
+    const char *factor_labels[3] = {"  Static system settings",
+                                    "  Static workload characteristics",
+                                    "  Dynamic factors"};
+    for (int row = 0; row < 3; ++row) {
+        cell(out, factor_labels[row], 32);
+        for (const System sys : kSystems) {
+            const Table5Counts c = aggregateTable5(ds, sys);
+            const int v = row == 0   ? c.static_system
+                          : row == 1 ? c.static_workload
+                                     : c.dynamic;
+            num(out, v, 6);
+        }
+        out << "\n";
+    }
+    return out.str();
+}
+
+std::string
+formatHeadlines(const StudyDataset &ds)
+{
+    const HeadlineStats h = aggregateHeadlines(ds);
+    std::ostringstream out;
+    out << "Headline statistics (paper Sec. 2.2)\n";
+    out << "  PerfConf issues studied:          " << h.issues << "\n";
+    out << "  PerfConf posts studied:           " << h.posts << "\n";
+    out << std::fixed << std::setprecision(0);
+    out << "  PerfConf share of config issues:  "
+        << h.perfconf_issue_share * 100.0 << "% (paper: ~65%)\n";
+    out << "  PerfConf share of config posts:   "
+        << h.perfconf_post_share * 100.0 << "% (paper: ~35%)\n";
+    out << "  Multi-metric PerfConfs:           " << h.multi_metric_issues
+        << " of " << h.issues << " (paper: 61 of 80)\n";
+    out << "  Functionality/perf tradeoffs:     "
+        << h.func_tradeoff_issues << " (paper: 13)\n";
+    out << "  Threaten hard constraints:        "
+        << h.hard_constraint_issues << " (paper: about half)\n";
+    out << "  Posts asking how to set:          " << h.posts_howto
+        << " (paper: ~40%)\n";
+    out << "  Posts about one specific conf:    "
+        << h.posts_specific_conf << " (paper: ~half)\n";
+    out << "  OOM-related posts:                " << h.posts_oom
+        << " (paper: ~30%)\n";
+    return out.str();
+}
+
+} // namespace smartconf::study

@@ -1,0 +1,88 @@
+#ifndef SMARTCONF_STUDY_TABLES_H_
+#define SMARTCONF_STUDY_TABLES_H_
+
+/**
+ * @file
+ * Aggregation and rendering of the paper's study tables (Tables 2-5).
+ *
+ * Aggregates are exposed as plain structs so the test suite can compare
+ * each cell against the published numbers; the format functions render
+ * the same aligned text tables the bench binary prints.
+ */
+
+#include <string>
+
+#include "study/dataset.h"
+
+namespace smartconf::study {
+
+/** Table 3 row set for one system. */
+struct Table3Counts
+{
+    int tune_new = 0;
+    int replace_hard_coded = 0;
+    int refine_existing = 0;
+    int fix_poor_default = 0;
+
+    int total() const
+    {
+        return tune_new + replace_hard_coded + refine_existing +
+               fix_poor_default;
+    }
+};
+
+/** Table 4 column for one system. */
+struct Table4Counts
+{
+    int latency = 0;
+    int throughput = 0;
+    int memdisk = 0;
+    int always_on = 0;
+    int conditional = 0;
+    int direct = 0;
+    int indirect = 0;
+};
+
+/** Table 5 column for one system. */
+struct Table5Counts
+{
+    int integer = 0;
+    int floating = 0;
+    int non_numerical = 0;
+    int static_system = 0;
+    int static_workload = 0;
+    int dynamic = 0;
+};
+
+/** Sec. 2.2.1 / 2.2.2 headline statistics across all systems. */
+struct HeadlineStats
+{
+    int issues = 0;
+    int posts = 0;
+    int multi_metric_issues = 0;  ///< 61 in the paper
+    int func_tradeoff_issues = 0; ///< 13 in the paper
+    int hard_constraint_issues = 0; ///< "about half"
+    int posts_howto = 0;          ///< ~40%
+    int posts_specific_conf = 0;  ///< ~half
+    int posts_oom = 0;            ///< ~30%
+    double perfconf_issue_share = 0.0; ///< 65% of AllConf issues
+    double perfconf_post_share = 0.0;  ///< 35% of AllConf posts
+};
+
+Table3Counts aggregateTable3(const StudyDataset &ds, System sys);
+Table4Counts aggregateTable4(const StudyDataset &ds, System sys);
+Table5Counts aggregateTable5(const StudyDataset &ds, System sys);
+HeadlineStats aggregateHeadlines(const StudyDataset &ds);
+
+/** Render Table N as aligned text, matching the paper's layout. */
+std::string formatTable2(const StudyDataset &ds);
+std::string formatTable3(const StudyDataset &ds);
+std::string formatTable4(const StudyDataset &ds);
+std::string formatTable5(const StudyDataset &ds);
+
+/** Render the Sec. 2.2.1/2.2.2 headline statistics. */
+std::string formatHeadlines(const StudyDataset &ds);
+
+} // namespace smartconf::study
+
+#endif // SMARTCONF_STUDY_TABLES_H_

@@ -1,0 +1,38 @@
+#include "workload/dfsio.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartconf::workload {
+
+DfsioGenerator::DfsioGenerator(const DfsioParams &params, sim::Rng rng)
+    : params_(params), rng_(rng)
+{}
+
+std::vector<DfsRequest>
+DfsioGenerator::tick(sim::Tick now)
+{
+    std::vector<DfsRequest> out;
+
+    const double raw = rng_.gaussian(
+        params_.writes_per_tick,
+        params_.writes_per_tick * params_.burstiness);
+    const auto n = static_cast<std::size_t>(std::max(0.0, std::round(raw)));
+    for (std::size_t i = 0; i < n; ++i) {
+        DfsRequest req;
+        req.type = DfsRequest::Type::WriteFile;
+        req.client = rng_.below(std::max<std::uint64_t>(1, params_.clients));
+        out.push_back(req);
+    }
+
+    if (last_du_ < 0 || now - last_du_ >= params_.du_period) {
+        DfsRequest du;
+        du.type = DfsRequest::Type::ContentSummary;
+        du.file_count = params_.du_file_count;
+        out.push_back(du);
+        last_du_ = now;
+    }
+    return out;
+}
+
+} // namespace smartconf::workload

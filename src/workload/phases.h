@@ -1,0 +1,94 @@
+#ifndef SMARTCONF_WORKLOAD_PHASES_H_
+#define SMARTCONF_WORKLOAD_PHASES_H_
+
+/**
+ * @file
+ * Phase scheduling.
+ *
+ * Every evaluation workload in the paper has two phases: either the
+ * workload itself changes (HB3813's request size doubles at ~200 s) or
+ * the performance goal changes (HB2149's latency constraint tightens from
+ * 10 s to 5 s).  PhasedSchedule maps a tick to the parameter set active
+ * at that time; scenario drivers poll it and push changes into the
+ * generator or the SmartConf goal.
+ */
+
+#include <cassert>
+#include <utility>
+#include <vector>
+
+#include "sim/clock.h"
+
+namespace smartconf::workload {
+
+/**
+ * Piecewise-constant schedule of parameter sets over simulated time.
+ *
+ * @tparam Params any copyable parameter struct.
+ */
+template <typename Params>
+class PhasedSchedule
+{
+  public:
+    /** @param initial parameters active from tick 0. */
+    explicit PhasedSchedule(Params initial)
+    {
+        phases_.emplace_back(0, std::move(initial));
+    }
+
+    /**
+     * Append a phase starting at @p start (must be after the previous
+     * phase's start).
+     */
+    void addPhase(sim::Tick start, Params params)
+    {
+        assert(start > phases_.back().first);
+        phases_.emplace_back(start, std::move(params));
+    }
+
+    /** Parameters active at @p tick. */
+    const Params &at(sim::Tick tick) const
+    {
+        const Params *current = &phases_.front().second;
+        for (const auto &[start, params] : phases_) {
+            if (start <= tick)
+                current = &params;
+            else
+                break;
+        }
+        return *current;
+    }
+
+    /** Index of the phase active at @p tick (0-based). */
+    std::size_t phaseIndex(sim::Tick tick) const
+    {
+        std::size_t idx = 0;
+        for (std::size_t i = 0; i < phases_.size(); ++i) {
+            if (phases_[i].first <= tick)
+                idx = i;
+        }
+        return idx;
+    }
+
+    /** True when @p tick is the first tick of a later-than-first phase. */
+    bool boundaryAt(sim::Tick tick) const
+    {
+        for (std::size_t i = 1; i < phases_.size(); ++i) {
+            if (phases_[i].first == tick)
+                return true;
+        }
+        return false;
+    }
+
+    std::size_t phaseCount() const { return phases_.size(); }
+
+    /** Start tick of phase @p i. */
+    sim::Tick phaseStart(std::size_t i) const { return phases_.at(i).first; }
+
+  private:
+    std::vector<std::pair<sim::Tick, Params>> phases_;
+};
+
+} // namespace smartconf::workload
+
+#endif // SMARTCONF_WORKLOAD_PHASES_H_

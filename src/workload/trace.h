@@ -1,0 +1,89 @@
+#ifndef SMARTCONF_WORKLOAD_TRACE_H_
+#define SMARTCONF_WORKLOAD_TRACE_H_
+
+/**
+ * @file
+ * Operation-trace record and replay.
+ *
+ * The paper's evaluation uses synthetic generators, but a downstream
+ * user will want to re-run SmartConf against *their* production
+ * workload.  A Trace captures the per-tick operation stream of any
+ * generator (or of a live system's log) in a simple text format —
+ * `tick type key size_mb`, one line per operation — and replays it
+ * deterministically, so profiling and evaluation can run on recorded
+ * traffic instead of distributions.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sim/clock.h"
+#include "workload/ycsb.h"
+
+namespace smartconf::workload {
+
+/** A recorded stream of timestamped key-value operations. */
+class Trace
+{
+  public:
+    /** One recorded operation. */
+    struct Record
+    {
+        sim::Tick tick = 0;
+        Op op;
+    };
+
+    /** Append @p ops as occurring at @p tick (ticks must not regress). */
+    void record(sim::Tick tick, const std::vector<Op> &ops);
+
+    /** All records in time order. */
+    const std::vector<Record> &records() const { return records_; }
+
+    /** Number of recorded operations. */
+    std::size_t size() const { return records_.size(); }
+
+    /** Last tick with recorded activity; -1 when empty. */
+    sim::Tick horizon() const;
+
+    /** Serialize to the line format (round-trip safe). */
+    std::string serialize() const;
+
+    /**
+     * Parse the line format.  Lines are `tick type key size_mb` with
+     * type `R` or `W`; `#` comments and blank lines are skipped.
+     *
+     * @throws std::runtime_error with a line number on malformed input.
+     */
+    static Trace parse(const std::string &text);
+
+  private:
+    std::vector<Record> records_;
+};
+
+/**
+ * Replays a Trace tick by tick through the generator-shaped interface
+ * the scenario drivers consume.
+ */
+class TraceReplayer
+{
+  public:
+    explicit TraceReplayer(Trace trace);
+
+    /** Operations recorded for tick @p now (call with advancing now). */
+    std::vector<Op> tick(sim::Tick now);
+
+    /** True once every record has been replayed. */
+    bool exhausted() const { return next_ >= trace_.records().size(); }
+
+    /** Restart from the beginning. */
+    void rewind() { next_ = 0; }
+
+  private:
+    Trace trace_;
+    std::size_t next_ = 0;
+};
+
+} // namespace smartconf::workload
+
+#endif // SMARTCONF_WORKLOAD_TRACE_H_

@@ -1,0 +1,49 @@
+#ifndef SMARTCONF_WORKLOAD_WORDCOUNT_H_
+#define SMARTCONF_WORKLOAD_WORDCOUNT_H_
+
+/**
+ * @file
+ * WordCount job descriptor for the MapReduce case study (MR2820).
+ *
+ * Table 6 describes the workload as WordCount(x, y, z): input file size,
+ * split size and parallelism per worker.  The job model derives the map
+ * task set from those knobs; each map task spills intermediate data onto
+ * its worker's local disk, which is what `local.dir.minspacestart`
+ * guards.
+ */
+
+#include <cstdint>
+
+namespace smartconf::workload {
+
+/** WordCount(x, y, z) from Table 6. */
+struct WordCountJob
+{
+    double input_mb = 2048.0;       ///< x: total input size
+    double split_mb = 64.0;         ///< y: input split (one map task each)
+    std::uint64_t parallelism = 1;  ///< z: concurrent tasks per worker
+
+    /**
+     * Ratio of intermediate spill size to input split size.  WordCount
+     * emits roughly one (word, 1) pair per input word; before combining,
+     * the spill is on the order of the input split.
+     */
+    double spill_ratio = 1.0;
+
+    /** Number of map tasks = ceil(input / split). */
+    std::uint64_t mapTaskCount() const
+    {
+        if (split_mb <= 0.0)
+            return 0;
+        const double tasks = input_mb / split_mb;
+        const auto whole = static_cast<std::uint64_t>(tasks);
+        return tasks > static_cast<double>(whole) ? whole + 1 : whole;
+    }
+
+    /** Intermediate data one map task spills to local disk (MB). */
+    double spillPerTaskMb() const { return split_mb * spill_ratio; }
+};
+
+} // namespace smartconf::workload
+
+#endif // SMARTCONF_WORKLOAD_WORDCOUNT_H_

@@ -1,0 +1,47 @@
+#include "workload/ycsb.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace smartconf::workload {
+
+YcsbGenerator::YcsbGenerator(const YcsbParams &params, sim::Rng rng)
+    : params_(params), rng_(rng),
+      zipf_(params.key_count, params.zipf_theta)
+{}
+
+void
+YcsbGenerator::setParams(const YcsbParams &params)
+{
+    const bool rebuild = params.key_count != params_.key_count ||
+                         params.zipf_theta != params_.zipf_theta;
+    params_ = params;
+    if (rebuild)
+        zipf_ = sim::ZipfianGenerator(params.key_count, params.zipf_theta);
+}
+
+std::vector<Op>
+YcsbGenerator::tick()
+{
+    // Batch size: Gaussian around the mean rate, truncated at zero.
+    const double raw = rng_.gaussian(
+        params_.ops_per_tick, params_.ops_per_tick * params_.burstiness);
+    const auto n = static_cast<std::size_t>(std::max(0.0, std::round(raw)));
+
+    std::vector<Op> ops;
+    ops.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        Op op;
+        op.type = rng_.chance(params_.write_fraction) ? Op::Type::Write
+                                                      : Op::Type::Read;
+        op.key = zipf_.sample(rng_);
+        const double jitter = rng_.gaussian(
+            1.0, params_.size_jitter);
+        op.size_mb = params_.request_size_mb * std::max(0.05, jitter);
+        ops.push_back(op);
+    }
+    generated_ += n;
+    return ops;
+}
+
+} // namespace smartconf::workload

@@ -1,0 +1,193 @@
+/** @file Unit tests for the SmartConf integral controller (Eq. 2). */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/controller.h"
+
+namespace smartconf {
+namespace {
+
+Goal
+memGoal(double value, bool hard = true)
+{
+    Goal g;
+    g.metric = "memory_consumption_max";
+    g.value = value;
+    g.direction = GoalDirection::UpperBound;
+    g.hard = hard;
+    return g;
+}
+
+ControllerParams
+params(double alpha, double pole = 0.0, double lambda = 0.0)
+{
+    ControllerParams p;
+    p.alpha = alpha;
+    p.pole = pole;
+    p.lambda = lambda;
+    p.confMax = 1e9;
+    return p;
+}
+
+TEST(Controller, StepMatchesEquationTwo)
+{
+    // c(k+1) = c(k) + (1-p)/alpha * e(k+1), soft goal, e = goal - s.
+    Controller c(params(2.0, 0.5), memGoal(100.0, false));
+    // e = 100 - 60 = 40; step = 0.5/2 * 40 = 10.
+    EXPECT_DOUBLE_EQ(c.update(60.0, 5.0), 15.0);
+}
+
+TEST(Controller, ConvergesOnLinearPlant)
+{
+    const double alpha = 1.5;
+    Controller c(params(alpha, 0.4), memGoal(300.0, false));
+    double conf = 0.0;
+    double perf = 0.0;
+    for (int k = 0; k < 100; ++k) {
+        conf = c.update(perf, conf);
+        perf = alpha * conf; // the modeled plant
+    }
+    EXPECT_NEAR(perf, 300.0, 0.1);
+}
+
+TEST(Controller, NegativeGainConverges)
+{
+    // MR2820-style: perf = 900 - 1.0 * conf, upper-bound goal 800.
+    ControllerParams p = params(-1.0, 0.3);
+    Controller c(p, memGoal(800.0, false));
+    double conf = 0.0;
+    double perf = 900.0;
+    for (int k = 0; k < 200; ++k) {
+        conf = c.update(perf, conf);
+        perf = 900.0 - conf;
+    }
+    EXPECT_NEAR(perf, 800.0, 0.5);
+    EXPECT_NEAR(conf, 100.0, 0.5);
+}
+
+TEST(Controller, HardGoalTracksVirtualGoal)
+{
+    Controller c(params(1.0, 0.0, 0.1), memGoal(495.0, true));
+    EXPECT_NEAR(c.virtualGoal(), 445.5, 1e-9);
+    EXPECT_DOUBLE_EQ(c.setPoint(), c.virtualGoal());
+}
+
+TEST(Controller, SoftGoalIgnoresVirtualGoal)
+{
+    Controller c(params(1.0, 0.0, 0.1), memGoal(495.0, false));
+    EXPECT_DOUBLE_EQ(c.setPoint(), 495.0);
+}
+
+TEST(Controller, DangerZoneDetection)
+{
+    Controller c(params(1.0, 0.6, 0.1), memGoal(500.0, true));
+    EXPECT_FALSE(c.inDangerZone(440.0)); // below 450 virtual goal
+    EXPECT_TRUE(c.inDangerZone(460.0));
+}
+
+TEST(Controller, ContextAwarePoleSwitch)
+{
+    Controller c(params(1.0, 0.6, 0.1), memGoal(500.0, true));
+    EXPECT_DOUBLE_EQ(c.effectivePole(400.0), 0.6);
+    EXPECT_DOUBLE_EQ(c.effectivePole(470.0), 0.0); // aggressive
+}
+
+TEST(Controller, SinglePoleAblationDisablesSwitch)
+{
+    ControllerParams p = params(1.0, 0.9, 0.1);
+    p.useContextAwarePoles = false;
+    Controller c(p, memGoal(500.0, true));
+    EXPECT_DOUBLE_EQ(c.effectivePole(470.0), 0.9);
+}
+
+TEST(Controller, NoVirtualGoalAblationTargetsRawGoal)
+{
+    ControllerParams p = params(1.0, 0.5, 0.2);
+    p.useVirtualGoal = false;
+    Controller c(p, memGoal(500.0, true));
+    EXPECT_DOUBLE_EQ(c.setPoint(), 500.0);
+}
+
+TEST(Controller, DangerZoneReactsHarderThanSafeZone)
+{
+    Controller c(params(1.0, 0.8, 0.1), memGoal(500.0, true));
+    // Safe-zone correction with error -10 around perf 400.
+    const double from = 100.0;
+    const double safe_next = c.update(c.virtualGoal() - 10.0 + 1e-9, from);
+    Controller c2(params(1.0, 0.8, 0.1), memGoal(500.0, true));
+    const double danger_next = c2.update(c.virtualGoal() + 10.0, from);
+    // Same |error| magnitude: the danger-zone step must be larger.
+    EXPECT_GT(std::abs(danger_next - from) - 1e-9,
+              std::abs(safe_next - from));
+}
+
+TEST(Controller, InteractionFactorSplitsError)
+{
+    ControllerParams p = params(1.0, 0.0);
+    p.interactionFactor = 2.0;
+    Controller c(p, memGoal(100.0, false));
+    // e = 100; step = (1-0)/(2*1) * 100 = 50.
+    EXPECT_DOUBLE_EQ(c.update(0.0, 0.0), 50.0);
+}
+
+TEST(Controller, SetInteractionFactorTakesEffect)
+{
+    Controller c(params(1.0, 0.0), memGoal(100.0, false));
+    c.setInteractionFactor(4.0);
+    EXPECT_DOUBLE_EQ(c.update(0.0, 0.0), 25.0);
+}
+
+TEST(Controller, ClampsToBounds)
+{
+    ControllerParams p = params(1.0, 0.0);
+    p.confMin = 10.0;
+    p.confMax = 50.0;
+    Controller c(p, memGoal(1000.0, false));
+    EXPECT_DOUBLE_EQ(c.update(0.0, 40.0), 50.0);   // huge positive error
+    EXPECT_DOUBLE_EQ(c.update(5000.0, 40.0), 10.0); // huge negative error
+}
+
+TEST(Controller, SaturationSignalsUnreachableGoal)
+{
+    ControllerParams p = params(1.0, 0.0);
+    p.confMin = 0.0;
+    p.confMax = 10.0;
+    Controller c(p, memGoal(10000.0, false));
+    for (int i = 0; i < 5; ++i)
+        c.update(0.0, 10.0); // wants to push far beyond confMax
+    EXPECT_TRUE(c.saturated());
+}
+
+TEST(Controller, SaturationResetsWhenFeasible)
+{
+    ControllerParams p = params(1.0, 0.0);
+    p.confMax = 10.0;
+    Controller c(p, memGoal(10000.0, false));
+    for (int i = 0; i < 5; ++i)
+        c.update(0.0, 10.0);
+    ASSERT_TRUE(c.saturated());
+    c.update(10000.0, 5.0); // error now zero: interior update
+    EXPECT_FALSE(c.saturated());
+}
+
+TEST(Controller, SetGoalRecomputesVirtualGoal)
+{
+    Controller c(params(1.0, 0.0, 0.1), memGoal(500.0, true));
+    Goal g = memGoal(300.0, true);
+    c.setGoal(g);
+    EXPECT_NEAR(c.virtualGoal(), 270.0, 1e-9);
+}
+
+TEST(Controller, LastOutputTracksUpdates)
+{
+    Controller c(params(1.0, 0.0), memGoal(100.0, false));
+    EXPECT_FALSE(c.lastOutput().has_value());
+    const double out = c.update(50.0, 0.0);
+    ASSERT_TRUE(c.lastOutput().has_value());
+    EXPECT_DOUBLE_EQ(*c.lastOutput(), out);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,131 @@
+/** @file Unit tests for goal coordination (paper Sec. 5.4). */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/controller.h"
+#include "core/coordinator.h"
+
+namespace smartconf {
+namespace {
+
+Goal
+goal(const std::string &metric, bool super_hard)
+{
+    Goal g;
+    g.metric = metric;
+    g.value = 500.0;
+    g.hard = true;
+    g.superHard = super_hard;
+    return g;
+}
+
+ControllerParams
+params()
+{
+    ControllerParams p;
+    p.alpha = 1.0;
+    p.confMax = 1e9;
+    return p;
+}
+
+TEST(Coordinator, DeclareAndLookup)
+{
+    GoalCoordinator c;
+    EXPECT_FALSE(c.hasGoal("mem"));
+    c.declareGoal(goal("mem", false));
+    EXPECT_TRUE(c.hasGoal("mem"));
+    EXPECT_DOUBLE_EQ(c.goalFor("mem").value, 500.0);
+    EXPECT_THROW(c.goalFor("nope"), std::out_of_range);
+}
+
+TEST(Coordinator, SuperHardSplitsInteractionFactor)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+
+    coord.attach("mem", &a);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+    coord.attach("mem", &b);
+    // Both controllers now split the error evenly (N = 2).
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 2.0);
+    EXPECT_EQ(coord.interactionCount("mem"), 2u);
+}
+
+TEST(Coordinator, NonSuperHardKeepsFactorOne)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", false));
+    Controller a(params(), goal("mem", false));
+    Controller b(params(), goal("mem", false));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 1.0);
+}
+
+TEST(Coordinator, DetachRestoresFactor)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    coord.detach("mem", &b);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+    EXPECT_EQ(coord.interactionCount("mem"), 1u);
+}
+
+TEST(Coordinator, UpdateGoalFansOutToControllers)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", false));
+    Controller a(params(), goal("mem", false));
+    coord.attach("mem", &a);
+    coord.updateGoalValue("mem", 300.0);
+    EXPECT_DOUBLE_EQ(a.goal().value, 300.0);
+    EXPECT_DOUBLE_EQ(coord.goalFor("mem").value, 300.0);
+}
+
+TEST(Coordinator, UpdateUnknownGoalThrows)
+{
+    GoalCoordinator coord;
+    EXPECT_THROW(coord.updateGoalValue("nope", 1.0), std::out_of_range);
+}
+
+TEST(Coordinator, LateRegistrationRebalances)
+{
+    // PerfConfs are added as software evolves (Sec. 5.4); a third
+    // configuration attaching later rebalances everyone to N = 3.
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+    Controller c(params(), goal("mem", true));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    coord.attach("mem", &c);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 3.0);
+    EXPECT_DOUBLE_EQ(c.params().interactionFactor, 3.0);
+}
+
+TEST(Coordinator, IndependentMetricsDoNotInteract)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    coord.declareGoal(goal("disk", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("disk", true));
+    coord.attach("mem", &a);
+    coord.attach("disk", &b);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 1.0);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,64 @@
+/** @file Unit tests for goals and the automated virtual goal. */
+
+#include <gtest/gtest.h>
+
+#include "core/goal.h"
+
+namespace smartconf {
+namespace {
+
+TEST(Goal, UpperBoundViolation)
+{
+    Goal g;
+    g.metric = "memory";
+    g.value = 495.0;
+    g.direction = GoalDirection::UpperBound;
+    EXPECT_FALSE(g.violatedBy(400.0));
+    EXPECT_FALSE(g.violatedBy(495.0));
+    EXPECT_TRUE(g.violatedBy(495.1));
+}
+
+TEST(Goal, LowerBoundViolation)
+{
+    Goal g;
+    g.metric = "throughput";
+    g.value = 100.0;
+    g.direction = GoalDirection::LowerBound;
+    EXPECT_TRUE(g.violatedBy(99.0));
+    EXPECT_FALSE(g.violatedBy(100.0));
+    EXPECT_FALSE(g.violatedBy(150.0));
+}
+
+TEST(VirtualGoal, UpperBoundShrinks)
+{
+    Goal g;
+    g.value = 495.0;
+    g.direction = GoalDirection::UpperBound;
+    // Fig. 6: goal 495 MB, lambda ~0.1 -> virtual goal ~445 MB.
+    EXPECT_NEAR(virtualGoalFor(g, 0.101), 444.995, 0.01);
+}
+
+TEST(VirtualGoal, LowerBoundGrows)
+{
+    Goal g;
+    g.value = 100.0;
+    g.direction = GoalDirection::LowerBound;
+    EXPECT_DOUBLE_EQ(virtualGoalFor(g, 0.2), 120.0);
+}
+
+TEST(VirtualGoal, ZeroLambdaIsIdentity)
+{
+    Goal g;
+    g.value = 42.0;
+    EXPECT_DOUBLE_EQ(virtualGoalFor(g, 0.0), 42.0);
+}
+
+TEST(VirtualGoal, MoreUnstableMeansWiderMargin)
+{
+    Goal g;
+    g.value = 1000.0;
+    EXPECT_GT(virtualGoalFor(g, 0.05), virtualGoalFor(g, 0.3));
+}
+
+} // namespace
+} // namespace smartconf

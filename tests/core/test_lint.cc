@@ -1,0 +1,217 @@
+/** @file Unit tests for the deployment/profile linter. */
+
+#include <gtest/gtest.h>
+
+#include "core/lint.h"
+#include "core/runtime.h"
+
+namespace smartconf {
+namespace {
+
+SysFile
+goodSys()
+{
+    return parseSysFile(
+        "max.queue.size @ memory_consumption_max\n"
+        "max.queue.size = 50\n"
+        "max.queue.size.min = 0\n"
+        "max.queue.size.max = 5000\n");
+}
+
+UserConf
+goodUser()
+{
+    return parseUserConf(
+        "memory_consumption_max = 1024\n"
+        "memory_consumption_max.hard = 1\n");
+}
+
+TEST(LintDeployment, CleanPairHasNoFindings)
+{
+    const auto issues = lintDeployment(goodSys(), goodUser());
+    EXPECT_TRUE(issues.empty()) << formatLintIssues(issues);
+}
+
+TEST(LintDeployment, MissingGoalIsAnError)
+{
+    UserConf user; // nothing configured
+    const auto issues = lintDeployment(goodSys(), user);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_TRUE(hasLintErrors(issues));
+    EXPECT_EQ(issues[0].subject, "max.queue.size");
+}
+
+TEST(LintDeployment, MissingMetricMappingIsAnError)
+{
+    const SysFile sys = parseSysFile("orphan.conf = 5\n");
+    const auto issues = lintDeployment(sys, goodUser());
+    EXPECT_TRUE(hasLintErrors(issues));
+}
+
+TEST(LintDeployment, UnusedGoalIsAWarning)
+{
+    UserConf user = goodUser();
+    Goal extra;
+    extra.metric = "latency_budget";
+    extra.value = 10.0;
+    user.goals["latency_budget"] = extra;
+    const auto issues = lintDeployment(goodSys(), user);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_EQ(issues[0].severity, LintSeverity::Warning);
+    EXPECT_EQ(issues[0].subject, "latency_budget");
+    EXPECT_FALSE(hasLintErrors(issues));
+}
+
+TEST(LintDeployment, InvertedClampIsAnError)
+{
+    SysFile sys = goodSys();
+    sys.entries[0].confMin = 100.0;
+    sys.entries[0].confMax = 10.0;
+    EXPECT_TRUE(hasLintErrors(lintDeployment(sys, goodUser())));
+}
+
+TEST(LintDeployment, InitialOutsideClampWarns)
+{
+    SysFile sys = goodSys();
+    sys.entries[0].initial = 9999999.0;
+    const auto issues = lintDeployment(sys, goodUser());
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, LintSeverity::Warning);
+}
+
+TEST(LintDeployment, PinnedClampWarns)
+{
+    SysFile sys = goodSys();
+    sys.entries[0].confMin = 50.0;
+    sys.entries[0].confMax = 50.0;
+    const auto issues = lintDeployment(sys, goodUser());
+    EXPECT_FALSE(hasLintErrors(issues));
+    EXPECT_FALSE(issues.empty());
+}
+
+TEST(LintDeployment, NonPositiveHardUpperBoundWarns)
+{
+    UserConf user = goodUser();
+    user.goals["memory_consumption_max"].value = 0.0;
+    const auto issues = lintDeployment(goodSys(), user);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_EQ(issues[0].severity, LintSeverity::Warning);
+}
+
+ProfileFile
+goodProfile()
+{
+    ProfileFile f;
+    f.conf = "max.queue.size";
+    f.summary.alpha = 1.0;
+    f.summary.lambda = 0.1;
+    f.summary.pole = 0.4;
+    f.summary.monotonic = true;
+    for (double setting : {40.0, 80.0, 120.0, 160.0}) {
+        for (int i = 0; i < 10; ++i)
+            f.samples.push_back({setting, 200.0 + setting + i});
+    }
+    return f;
+}
+
+TEST(LintProfile, CleanStoreHasNoFindings)
+{
+    const auto issues =
+        lintProfile(goodProfile(), goodSys().entries[0]);
+    EXPECT_TRUE(issues.empty()) << formatLintIssues(issues);
+}
+
+TEST(LintProfile, NonMonotonicWarns)
+{
+    ProfileFile f = goodProfile();
+    f.summary.monotonic = false;
+    const auto issues = lintProfile(f, goodSys().entries[0]);
+    ASSERT_FALSE(issues.empty());
+    EXPECT_NE(issues[0].message.find("non-monotonic"),
+              std::string::npos);
+}
+
+TEST(LintProfile, BadPoleIsAnError)
+{
+    ProfileFile f = goodProfile();
+    f.summary.pole = 1.5;
+    EXPECT_TRUE(hasLintErrors(lintProfile(f, goodSys().entries[0])));
+}
+
+TEST(LintProfile, ZeroGainIsAnError)
+{
+    ProfileFile f = goodProfile();
+    f.summary.alpha = 0.0;
+    EXPECT_TRUE(hasLintErrors(lintProfile(f, goodSys().entries[0])));
+}
+
+TEST(LintProfile, ThinProfileWarns)
+{
+    ProfileFile f = goodProfile();
+    f.samples.resize(12);
+    const auto issues = lintProfile(f, goodSys().entries[0]);
+    EXPECT_FALSE(hasLintErrors(issues));
+    EXPECT_FALSE(issues.empty());
+}
+
+TEST(LintProfile, ForeignSamplesWarnOnce)
+{
+    ProfileFile f = goodProfile();
+    f.samples.push_back({999999.0, 1.0});
+    f.samples.push_back({888888.0, 1.0});
+    const auto issues = lintProfile(f, goodSys().entries[0]);
+    int clamp_warnings = 0;
+    for (const auto &issue : issues) {
+        clamp_warnings +=
+            issue.message.find("clamp") != std::string::npos ? 1 : 0;
+    }
+    EXPECT_EQ(clamp_warnings, 1);
+}
+
+TEST(LintFormat, RendersSeverities)
+{
+    std::vector<LintIssue> issues = {
+        {LintSeverity::Error, "a", "broken"},
+        {LintSeverity::Warning, "b", "odd"},
+    };
+    const std::string text = formatLintIssues(issues);
+    EXPECT_NE(text.find("error: a: broken"), std::string::npos);
+    EXPECT_NE(text.find("warning: b: odd"), std::string::npos);
+}
+
+} // namespace
+} // namespace smartconf
+
+namespace smartconf {
+namespace {
+
+TEST(RuntimeLint, CleanRuntimeHasNoFindings)
+{
+    SmartConfRuntime rt;
+    rt.loadSysText(
+        "max.queue.size @ memory_consumption_max\n"
+        "max.queue.size = 50\n"
+        "max.queue.size.max = 5000\n");
+    rt.loadUserConfText(
+        "memory_consumption_max = 1024\n"
+        "memory_consumption_max.hard = 1\n");
+    ProfileSummary s;
+    s.alpha = 1.0;
+    s.lambda = 0.1;
+    s.monotonic = true;
+    rt.installProfile("max.queue.size", s);
+    const auto issues = rt.lint();
+    // Only the thin-profile warning (no raw samples retained) remains.
+    EXPECT_FALSE(hasLintErrors(issues)) << formatLintIssues(issues);
+}
+
+TEST(RuntimeLint, MissingGoalSurfaces)
+{
+    SmartConfRuntime rt;
+    rt.loadSysText("q @ mem\nq = 1\n");
+    const auto issues = rt.lint();
+    EXPECT_TRUE(hasLintErrors(issues));
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,91 @@
+/** @file Lower-bound goals (throughput floors) through the full stack. */
+
+#include <gtest/gtest.h>
+
+#include "core/smartconf.h"
+#include "sim/rng.h"
+
+namespace smartconf {
+namespace {
+
+ProfileSummary
+summary(double alpha, double lambda)
+{
+    ProfileSummary s;
+    s.alpha = alpha;
+    s.lambda = lambda;
+    s.settings = 4;
+    s.samples = 40;
+    return s;
+}
+
+TEST(LowerBoundGoals, ControllerConvergesFromAbove)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"threads", "throughput_min", 64.0, 1.0, 1024.0});
+    Goal g;
+    g.metric = "throughput_min";
+    g.value = 100.0;
+    g.direction = GoalDirection::LowerBound;
+    rt.declareGoal(g);
+    rt.installProfile("threads", summary(2.0, 0.0));
+
+    SmartConf sc(rt, "threads");
+    // Plant: throughput = 2 * threads.
+    double conf = sc.currentValue();
+    for (int i = 0; i < 50; ++i) {
+        sc.setPerf(2.0 * conf);
+        conf = sc.getConfReal();
+    }
+    EXPECT_NEAR(2.0 * conf, 100.0, 1.0);
+}
+
+TEST(LowerBoundGoals, HardFloorGetsRaisedVirtualGoal)
+{
+    Goal g;
+    g.metric = "tput";
+    g.value = 100.0;
+    g.direction = GoalDirection::LowerBound;
+    g.hard = true;
+
+    ControllerParams p;
+    p.alpha = 2.0;
+    p.lambda = 0.2;
+    p.confMax = 1e9;
+    Controller c(p, g);
+    // Lower bound: the virtual goal sits ABOVE the constraint.
+    EXPECT_DOUBLE_EQ(c.virtualGoal(), 120.0);
+    EXPECT_TRUE(c.inDangerZone(110.0)) << "below the floor margin";
+    EXPECT_FALSE(c.inDangerZone(130.0));
+}
+
+TEST(LowerBoundGoals, HardFloorNeverUndershootsUnderNoise)
+{
+    Goal g;
+    g.metric = "tput";
+    g.value = 100.0;
+    g.direction = GoalDirection::LowerBound;
+    g.hard = true;
+
+    ControllerParams p;
+    p.alpha = 1.0;
+    p.pole = 0.3;
+    p.lambda = 0.2; // virtual goal 120
+    p.confMax = 1e9;
+    Controller c(p, g);
+
+    sim::Rng rng(4242);
+    double conf = 200.0;
+    int violations = 0;
+    for (int k = 0; k < 4000; ++k) {
+        double noise = rng.uniform(-10.0, 10.0);
+        const double perf = conf + noise;
+        violations += perf < 100.0 ? 1 : 0;
+        conf = c.update(perf, conf);
+    }
+    EXPECT_EQ(violations, 0)
+        << "20% margin absorbs the +-10 disturbance";
+}
+
+} // namespace
+} // namespace smartconf

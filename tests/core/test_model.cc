@@ -1,0 +1,98 @@
+/** @file Unit tests for the linear performance model (Eq. 1). */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/model.h"
+
+namespace smartconf {
+namespace {
+
+std::vector<ProfilePoint>
+line(double alpha, double base, int n = 20)
+{
+    std::vector<ProfilePoint> pts;
+    for (int i = 1; i <= n; ++i) {
+        const double c = 10.0 * i;
+        pts.push_back({c, alpha * c + base});
+    }
+    return pts;
+}
+
+TEST(LinearModel, ProportionalFitRecoversGain)
+{
+    const auto m = LinearModel::fitProportional(line(2.5, 0.0));
+    EXPECT_NEAR(m.alpha(), 2.5, 1e-9);
+    EXPECT_DOUBLE_EQ(m.base(), 0.0);
+    EXPECT_NEAR(m.correlation(), 1.0, 1e-9);
+}
+
+TEST(LinearModel, AffineFitRecoversGainAndIntercept)
+{
+    const auto m = LinearModel::fitAffine(line(1.2, 200.0));
+    EXPECT_NEAR(m.alpha(), 1.2, 1e-9);
+    EXPECT_NEAR(m.base(), 200.0, 1e-6);
+}
+
+TEST(LinearModel, NegativeGain)
+{
+    // MR2820-style: raising the config lowers the metric.
+    const auto m = LinearModel::fitAffine(line(-0.9, 900.0));
+    EXPECT_NEAR(m.alpha(), -0.9, 1e-9);
+    EXPECT_NEAR(m.correlation(), -1.0, 1e-9);
+}
+
+TEST(LinearModel, PredictAndInvertRoundTrip)
+{
+    const auto m = LinearModel::fitAffine(line(1.5, 100.0));
+    const double s = m.predict(80.0);
+    EXPECT_NEAR(m.invert(s), 80.0, 1e-9);
+}
+
+TEST(LinearModel, EmptyInputIsDegenerate)
+{
+    const auto m = LinearModel::fitAffine({});
+    EXPECT_DOUBLE_EQ(m.alpha(), 0.0);
+    EXPECT_EQ(m.sampleCount(), 0u);
+}
+
+TEST(LinearModel, SingleSettingFallsBackToConstant)
+{
+    std::vector<ProfilePoint> pts = {{50.0, 120.0}, {50.0, 130.0}};
+    const auto m = LinearModel::fitAffine(pts);
+    EXPECT_DOUBLE_EQ(m.alpha(), 0.0);
+    EXPECT_DOUBLE_EQ(m.base(), 125.0);
+}
+
+TEST(LinearModel, MonotonicityCheckAcceptsCleanLine)
+{
+    EXPECT_TRUE(LinearModel::fitAffine(line(1.0, 0.0))
+                    .plausiblyMonotonic());
+}
+
+TEST(LinearModel, MonotonicityCheckRejectsUShape)
+{
+    // MR5420-style non-monotonic response (paper Sec. 6.6): too few or
+    // too many chunks both slow the copy down.
+    std::vector<ProfilePoint> pts;
+    for (int i = -10; i <= 10; ++i) {
+        const double c = static_cast<double>(i);
+        pts.push_back({c + 11.0, c * c});
+    }
+    const auto m = LinearModel::fitAffine(pts);
+    EXPECT_FALSE(m.plausiblyMonotonic());
+}
+
+TEST(LinearModel, NoisyLineStillCorrelated)
+{
+    auto pts = line(1.0, 50.0);
+    for (std::size_t i = 0; i < pts.size(); ++i)
+        pts[i].perf += (i % 2 == 0 ? 3.0 : -3.0);
+    const auto m = LinearModel::fitAffine(pts);
+    EXPECT_NEAR(m.alpha(), 1.0, 0.05);
+    EXPECT_GT(m.correlation(), 0.95);
+}
+
+} // namespace
+} // namespace smartconf

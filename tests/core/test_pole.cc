@@ -1,0 +1,124 @@
+/** @file Unit tests for automatic pole selection (paper Sec. 5.1). */
+
+#include <gtest/gtest.h>
+
+#include "core/pole.h"
+
+namespace smartconf {
+namespace {
+
+RunningStats
+group(std::initializer_list<double> xs)
+{
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+    return s;
+}
+
+TEST(Pole, FormulaMatchesPaper)
+{
+    // p = 1 - 2/Delta for Delta > 2.
+    EXPECT_DOUBLE_EQ(poleFromDelta(4.0), 0.5);
+    EXPECT_DOUBLE_EQ(poleFromDelta(10.0), 0.8);
+    EXPECT_DOUBLE_EQ(poleFromDelta(20.0), 0.9);
+}
+
+TEST(Pole, SmallDeltaYieldsZero)
+{
+    EXPECT_DOUBLE_EQ(poleFromDelta(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(poleFromDelta(2.0), 0.0);
+    EXPECT_DOUBLE_EQ(poleFromDelta(0.5), 0.0);
+    EXPECT_DOUBLE_EQ(poleFromDelta(-3.0), 0.0);
+}
+
+TEST(Pole, AlwaysInStabilityRegion)
+{
+    for (double d = 0.0; d < 1000.0; d += 7.3) {
+        const double p = poleFromDelta(d);
+        EXPECT_GE(p, 0.0);
+        EXPECT_LT(p, 1.0);
+    }
+}
+
+TEST(Pole, DeltaClampKeepsPoleBelowOne)
+{
+    EXPECT_LE(poleFromDelta(1e12), 1.0 - 2.0 / kMaxDelta);
+}
+
+TEST(Delta, NoiseFreeProfileGivesUnity)
+{
+    std::vector<RunningStats> groups = {
+        group({100.0, 100.0, 100.0}),
+        group({200.0, 200.0, 200.0}),
+    };
+    EXPECT_DOUBLE_EQ(deltaFromProfile(groups), 1.0);
+}
+
+TEST(Delta, GrowsWithNoise)
+{
+    std::vector<RunningStats> quiet = {
+        group({100.0, 100.0}),
+        group({198.0, 202.0}),
+        group({297.0, 303.0}),
+    };
+    std::vector<RunningStats> loud = {
+        group({100.0, 100.0}),
+        group({160.0, 240.0}),
+        group({220.0, 380.0}),
+    };
+    EXPECT_LT(deltaFromProfile(quiet), deltaFromProfile(loud));
+}
+
+TEST(Delta, ThreeSigmaScaling)
+{
+    // One informative group: mean 200 (floor 100 -> m' = 100),
+    // stddev 10 -> Delta = 1 + 3*10/100 = 1.3.
+    std::vector<RunningStats> groups = {
+        group({100.0, 100.0}),
+        group({190.0, 210.0}),
+    };
+    const double sigma = groups[1].stddev();
+    EXPECT_NEAR(deltaFromProfile(groups), 1.0 + 3.0 * sigma / 100.0,
+                1e-9);
+}
+
+TEST(Delta, EmptyProfileIsUnity)
+{
+    EXPECT_DOUBLE_EQ(deltaFromProfile({}), 1.0);
+}
+
+TEST(Lambda, MeanCoefficientOfVariation)
+{
+    std::vector<RunningStats> groups = {
+        group({90.0, 110.0}),   // CoV = stddev/100
+        group({180.0, 220.0}),  // CoV = stddev/200 (same relative)
+    };
+    const double expected =
+        (groups[0].coefficientOfVariation() +
+         groups[1].coefficientOfVariation()) / 2.0;
+    EXPECT_NEAR(lambdaFromProfile(groups), expected, 1e-12);
+}
+
+TEST(Lambda, ClampedBelowOne)
+{
+    std::vector<RunningStats> groups = {
+        group({0.001, 1000.0, 0.001, 1000.0}),
+    };
+    EXPECT_LE(lambdaFromProfile(groups), 0.9);
+}
+
+TEST(Lambda, NoiseFreeIsZero)
+{
+    std::vector<RunningStats> groups = {group({5.0, 5.0, 5.0})};
+    EXPECT_DOUBLE_EQ(lambdaFromProfile(groups), 0.0);
+}
+
+TEST(Lambda, SingletonGroupsIgnored)
+{
+    std::vector<RunningStats> groups = {group({5.0}), group({9.0})};
+    EXPECT_DOUBLE_EQ(lambdaFromProfile(groups), 0.0);
+}
+
+} // namespace
+} // namespace smartconf

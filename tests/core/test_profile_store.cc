@@ -1,0 +1,128 @@
+/** @file Tests for the on-disk profiling store lifecycle (Sec. 5.5). */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/smartconf.h"
+
+namespace smartconf {
+namespace {
+
+namespace fs = std::filesystem;
+
+std::string
+freshDir(const char *tag)
+{
+    const fs::path dir =
+        fs::path(::testing::TempDir()) / ("smartconf_store_" +
+                                          std::string(tag));
+    fs::remove_all(dir);
+    return dir.string();
+}
+
+void
+declare(SmartConfRuntime &rt, const std::string &conf)
+{
+    rt.declareConf({conf, "mem", 0.0, 0.0, 10000.0});
+    Goal g;
+    g.metric = "mem";
+    g.value = 500.0;
+    g.hard = true;
+    rt.declareGoal(g);
+}
+
+void
+recordRecipe(SmartConfRuntime &rt, SmartConf &sc)
+{
+    for (double setting : {40.0, 80.0, 120.0, 160.0}) {
+        rt.setCurrentValue(sc.name(), setting);
+        for (int i = 0; i < 10; ++i)
+            sc.setPerf(200.0 + setting + 0.5 * i);
+    }
+}
+
+TEST(ProfileStore, FlushThenLoadRebuildsController)
+{
+    const std::string dir = freshDir("roundtrip");
+
+    // Profiling process: record samples and flush to disk.
+    {
+        SmartConfRuntime rt;
+        declare(rt, "max.queue.size");
+        rt.setProfiling(true);
+        SmartConf sc(rt, "max.queue.size");
+        recordRecipe(rt, sc);
+        rt.finishProfiling("max.queue.size");
+        EXPECT_EQ(rt.flushProfiles(dir), 1);
+    }
+    EXPECT_TRUE(fs::exists(fs::path(dir) /
+                           "max.queue.size.SmartConf.sys"));
+
+    // Production process: load the store at startup.
+    SmartConfRuntime rt;
+    declare(rt, "max.queue.size");
+    EXPECT_EQ(rt.loadProfiles(dir), 1);
+    SmartConf sc(rt, "max.queue.size");
+    EXPECT_TRUE(sc.managed()) << "controller synthesized from disk";
+
+    double conf = 0.0;
+    for (int i = 0; i < 50; ++i) {
+        sc.setPerf(200.0 + conf);
+        conf = sc.getConfReal();
+    }
+    // Plant perf = 200 + conf, alpha 1: hard goal 500, lambda small.
+    EXPECT_NEAR(200.0 + conf, 450.0, 60.0);
+}
+
+TEST(ProfileStore, FlushSkipsUnprofiledConfs)
+{
+    const std::string dir = freshDir("skip");
+    SmartConfRuntime rt;
+    declare(rt, "a");
+    rt.declareConf({"b", "mem", 0.0, 0.0, 100.0});
+    rt.setProfiling(true);
+    SmartConf sc(rt, "a");
+    recordRecipe(rt, sc);
+    EXPECT_EQ(rt.flushProfiles(dir), 1) << "only 'a' has samples";
+}
+
+TEST(ProfileStore, LoadIgnoresForeignStores)
+{
+    const std::string dir = freshDir("foreign");
+    fs::create_directories(dir);
+    writeTextFile(dir + "/unknown.conf.SmartConf.sys",
+                  "conf = unknown.conf\nalpha = 1\n");
+    writeTextFile(dir + "/notes.txt", "not a store\n");
+
+    SmartConfRuntime rt;
+    declare(rt, "a");
+    EXPECT_EQ(rt.loadProfiles(dir), 0);
+}
+
+TEST(ProfileStore, LoadFromMissingDirectoryIsNoop)
+{
+    SmartConfRuntime rt;
+    declare(rt, "a");
+    EXPECT_EQ(rt.loadProfiles("/nonexistent/profiles"), 0);
+}
+
+TEST(ProfileStore, FlushedFileIsHumanReadable)
+{
+    const std::string dir = freshDir("readable");
+    SmartConfRuntime rt;
+    declare(rt, "q");
+    rt.setProfiling(true);
+    SmartConf sc(rt, "q");
+    recordRecipe(rt, sc);
+    rt.finishProfiling("q");
+    rt.flushProfiles(dir);
+    const std::string text =
+        readTextFile(dir + "/q.SmartConf.sys");
+    EXPECT_NE(text.find("alpha ="), std::string::npos);
+    EXPECT_NE(text.find("pole ="), std::string::npos);
+    EXPECT_NE(text.find("sample ="), std::string::npos);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,133 @@
+/** @file Unit tests for profiling-based controller synthesis. */
+
+#include <gtest/gtest.h>
+
+#include "core/profiler.h"
+#include "sim/rng.h"
+
+namespace smartconf {
+namespace {
+
+TEST(Profiler, EmptySummaryIsInert)
+{
+    Profiler p;
+    const ProfileSummary s = p.summarize();
+    EXPECT_EQ(s.samples, 0u);
+    EXPECT_DOUBLE_EQ(s.alpha, 0.0);
+    EXPECT_DOUBLE_EQ(s.delta, 1.0);
+}
+
+TEST(Profiler, PaperRecipeFourSettingsTenSamples)
+{
+    // HB3813's recipe: settings {40, 80, 120, 160}, 10 samples each.
+    Profiler p;
+    sim::Rng rng(7);
+    for (double setting : {40.0, 80.0, 120.0, 160.0}) {
+        for (int i = 0; i < 10; ++i) {
+            const double perf =
+                200.0 + setting + rng.gaussian(0.0, 8.0);
+            p.record(setting, perf);
+        }
+    }
+    EXPECT_TRUE(p.sufficient());
+    EXPECT_EQ(p.settingCount(), 4u);
+    EXPECT_EQ(p.sampleCount(), 40u);
+
+    const ProfileSummary s = p.summarize();
+    EXPECT_NEAR(s.alpha, 1.0, 0.15);
+    EXPECT_NEAR(s.base, 200.0, 20.0);
+    EXPECT_GT(s.lambda, 0.0);
+    EXPECT_LT(s.lambda, 0.2);
+    EXPECT_GE(s.delta, 1.0);
+    EXPECT_GE(s.pole, 0.0);
+    EXPECT_LT(s.pole, 1.0);
+    EXPECT_TRUE(s.monotonic);
+}
+
+TEST(Profiler, GroupingBySettingSeparatesDeputyNoise)
+{
+    // Indirect configs record continuous deputy values; the noise
+    // statistics must still group by the profiled setting.
+    Profiler p;
+    sim::Rng rng(11);
+    for (double setting : {50.0, 100.0}) {
+        for (int i = 0; i < 10; ++i) {
+            const double deputy = setting * rng.uniform(0.7, 1.0);
+            p.record(deputy, 100.0 + deputy, setting);
+        }
+    }
+    EXPECT_EQ(p.settingCount(), 2u); // not 20 singleton groups
+    const ProfileSummary s = p.summarize();
+    EXPECT_GT(s.lambda, 0.0); // grouped stats see real variance
+}
+
+TEST(Profiler, NegativeGainSummary)
+{
+    Profiler p;
+    for (double setting : {100.0, 200.0, 300.0, 400.0}) {
+        for (int i = 0; i < 10; ++i)
+            p.record(setting, 1000.0 - 0.8 * setting + (i - 5));
+    }
+    const ProfileSummary s = p.summarize();
+    EXPECT_NEAR(s.alpha, -0.8, 0.05);
+    EXPECT_TRUE(s.monotonic);
+}
+
+TEST(Profiler, NonMonotonicFlagged)
+{
+    // MR5420-style U-shape.
+    Profiler p;
+    for (double setting : {10.0, 20.0, 30.0, 40.0}) {
+        for (int i = 0; i < 10; ++i) {
+            const double centered = setting - 25.0;
+            p.record(setting, centered * centered + i * 0.1);
+        }
+    }
+    EXPECT_FALSE(p.summarize().monotonic);
+}
+
+TEST(Profiler, SufficiencyThresholds)
+{
+    Profiler p;
+    EXPECT_FALSE(p.sufficient());
+    for (int i = 0; i < 4; ++i)
+        p.record(10.0, 5.0);
+    EXPECT_FALSE(p.sufficient()) << "one setting is not enough";
+    p.record(20.0, 9.0);
+    EXPECT_FALSE(p.sufficient()) << "needs 8 samples minimum";
+    for (int i = 0; i < 3; ++i)
+        p.record(20.0, 9.0 + i * 0.01);
+    EXPECT_TRUE(p.sufficient()) << "8 samples over 2 settings";
+}
+
+TEST(Profiler, ResetDropsEverything)
+{
+    Profiler p;
+    p.record(1.0, 2.0);
+    p.reset();
+    EXPECT_EQ(p.sampleCount(), 0u);
+    EXPECT_EQ(p.settingCount(), 0u);
+}
+
+TEST(Profiler, NoisierProfileLowersVirtualGoalAndRaisesPole)
+{
+    auto build = [](double sigma) {
+        Profiler p;
+        sim::Rng rng(3);
+        for (double setting : {100.0, 200.0, 300.0, 400.0}) {
+            for (int i = 0; i < 10; ++i) {
+                p.record(setting,
+                         setting + rng.gaussian(0.0, sigma));
+            }
+        }
+        return p.summarize();
+    };
+    const ProfileSummary quiet = build(2.0);
+    const ProfileSummary loud = build(40.0);
+    EXPECT_LT(quiet.lambda, loud.lambda);
+    EXPECT_LE(quiet.delta, loud.delta);
+    EXPECT_LE(quiet.pole, loud.pole);
+}
+
+} // namespace
+} // namespace smartconf

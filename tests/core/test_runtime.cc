@@ -1,0 +1,166 @@
+/** @file Unit tests for SmartConfRuntime (registry + file loading). */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "core/runtime.h"
+
+namespace smartconf {
+namespace {
+
+ProfileSummary
+simpleSummary(double alpha = 1.0, double lambda = 0.1, double pole = 0.0)
+{
+    ProfileSummary s;
+    s.alpha = alpha;
+    s.lambda = lambda;
+    s.pole = pole;
+    s.delta = 1.0;
+    s.settings = 4;
+    s.samples = 40;
+    return s;
+}
+
+Goal
+memGoal(double v = 500.0)
+{
+    Goal g;
+    g.metric = "mem";
+    g.value = v;
+    g.hard = true;
+    return g;
+}
+
+TEST(Runtime, DeclareAndQuery)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 50.0, 0.0, 1000.0});
+    EXPECT_TRUE(rt.hasConf("q"));
+    EXPECT_FALSE(rt.hasConf("z"));
+    EXPECT_EQ(rt.entryFor("q").metric, "mem");
+    EXPECT_DOUBLE_EQ(rt.currentValue("q"), 50.0);
+}
+
+TEST(Runtime, UnknownConfThrows)
+{
+    SmartConfRuntime rt;
+    EXPECT_THROW(rt.entryFor("missing"), std::out_of_range);
+    EXPECT_THROW(rt.currentValue("missing"), std::out_of_range);
+}
+
+TEST(Runtime, EmptyNameRejected)
+{
+    SmartConfRuntime rt;
+    EXPECT_THROW(rt.declareConf(ConfEntry{}), std::invalid_argument);
+}
+
+TEST(Runtime, LoadFromFileFormats)
+{
+    SmartConfRuntime rt;
+    rt.loadSysText(
+        "profiling = 0\n"
+        "max.queue.size @ memory_consumption_max\n"
+        "max.queue.size = 50\n");
+    rt.loadUserConfText(
+        "memory_consumption_max = 1024\n"
+        "memory_consumption_max.hard = 1\n");
+    EXPECT_TRUE(rt.hasConf("max.queue.size"));
+    EXPECT_TRUE(rt.coordinator().hasGoal("memory_consumption_max"));
+    EXPECT_TRUE(
+        rt.coordinator().goalFor("memory_consumption_max").hard);
+}
+
+TEST(Runtime, ControllerSynthesizedWhenGoalAndProfilePresent)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    EXPECT_EQ(rt.coordinator().interactionCount("mem"), 0u);
+    rt.declareGoal(memGoal());
+    rt.installProfile("q", simpleSummary());
+    EXPECT_EQ(rt.coordinator().interactionCount("mem"), 1u);
+}
+
+TEST(Runtime, ZeroGainProfileRejected)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    rt.declareGoal(memGoal());
+    EXPECT_THROW(rt.installProfile("q", ProfileSummary{}),
+                 std::runtime_error);
+}
+
+TEST(Runtime, ProfilingRoundTripThroughStoreFormat)
+{
+    // Record samples via profiling mode, serialize the store, load it
+    // into a fresh runtime and verify a controller can be built.
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    rt.declareGoal(memGoal());
+    rt.setProfiling(true);
+    for (double setting : {40.0, 80.0, 120.0, 160.0}) {
+        rt.setCurrentValue("q", setting);
+        // Direct path: SmartConf::setPerf records; emulate with the
+        // profiler accessor through finishProfiling's requirements.
+        for (int i = 0; i < 10; ++i) {
+            // go through the public API
+            // (SmartConf handle exercised in test_smartconf_api).
+            const_cast<Profiler &>(rt.profilerFor("q"))
+                .record(setting, 200.0 + setting + i, setting);
+        }
+    }
+    const ProfileSummary s = rt.finishProfiling("q");
+    EXPECT_NEAR(s.alpha, 1.0, 0.1);
+
+    const std::string store = rt.formatProfileStore("q");
+    SmartConfRuntime rt2;
+    rt2.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    rt2.declareGoal(memGoal());
+    rt2.loadProfileText(store);
+    EXPECT_EQ(rt2.coordinator().interactionCount("mem"), 1u);
+}
+
+TEST(Runtime, FinishProfilingNeedsSamples)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    EXPECT_THROW(rt.finishProfiling("q"), std::runtime_error);
+}
+
+TEST(Runtime, ProfileTextWithoutConfNameRejected)
+{
+    SmartConfRuntime rt;
+    EXPECT_THROW(rt.loadProfileText("alpha = 1\n"), std::runtime_error);
+}
+
+TEST(Runtime, OverridesForceAblationBehaviour)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    rt.declareGoal(memGoal());
+    ControllerOverrides ov;
+    ov.pole = 0.9;
+    ov.useVirtualGoal = false;
+    rt.setOverrides("q", ov);
+    rt.installProfile("q", simpleSummary(1.0, 0.2, 0.1));
+    // Overridden parameters are observable through behaviour: tested
+    // end-to-end in scenario ablation tests; here we just ensure the
+    // controller was rebuilt without error.
+    EXPECT_EQ(rt.coordinator().interactionCount("mem"), 1u);
+}
+
+TEST(Runtime, RedeclareConfRebuildsController)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    rt.declareGoal(memGoal());
+    rt.installProfile("q", simpleSummary());
+    EXPECT_EQ(rt.coordinator().interactionCount("mem"), 1u);
+    rt.declareConf({"q", "mem", 25.0, 0.0, 1000.0});
+    // Controller was torn down with the redeclaration; the profile is
+    // retained, so it is immediately rebuilt.
+    EXPECT_DOUBLE_EQ(rt.currentValue("q"), 25.0);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,102 @@
+/** @file Unit tests for performance sensors. */
+
+#include <gtest/gtest.h>
+
+#include "core/sensor.h"
+
+namespace smartconf {
+namespace {
+
+TEST(GaugeSensorTest, ReturnsLatest)
+{
+    GaugeSensor s;
+    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+    s.observe(5.0);
+    s.observe(7.0);
+    EXPECT_DOUBLE_EQ(s.read(), 7.0);
+    s.reset();
+    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+}
+
+TEST(EwmaSensorTest, FirstObservationSeeds)
+{
+    EwmaSensor s(0.5);
+    s.observe(100.0);
+    EXPECT_DOUBLE_EQ(s.read(), 100.0);
+}
+
+TEST(EwmaSensorTest, Smooths)
+{
+    EwmaSensor s(0.5);
+    s.observe(100.0);
+    s.observe(0.0);
+    EXPECT_DOUBLE_EQ(s.read(), 50.0);
+    s.observe(0.0);
+    EXPECT_DOUBLE_EQ(s.read(), 25.0);
+}
+
+TEST(EwmaSensorTest, ResetReseeds)
+{
+    EwmaSensor s(0.1);
+    s.observe(100.0);
+    s.reset();
+    s.observe(3.0);
+    EXPECT_DOUBLE_EQ(s.read(), 3.0);
+}
+
+TEST(WindowMaxSensorTest, TracksWorstCase)
+{
+    WindowMaxSensor s(3);
+    s.observe(5.0);
+    s.observe(9.0);
+    s.observe(2.0);
+    EXPECT_DOUBLE_EQ(s.read(), 9.0);
+    s.observe(1.0); // 9 slides out? window holds {9,2,1}
+    EXPECT_DOUBLE_EQ(s.read(), 9.0);
+    s.observe(1.0); // {2,1,1}
+    EXPECT_DOUBLE_EQ(s.read(), 2.0);
+}
+
+TEST(WindowMaxSensorTest, EmptyReadsZero)
+{
+    WindowMaxSensor s(4);
+    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+}
+
+TEST(WindowPercentileSensorTest, MedianAndTail)
+{
+    WindowPercentileSensor p50(50.0, 100);
+    WindowPercentileSensor p99(99.0, 100);
+    for (int i = 1; i <= 100; ++i) {
+        p50.observe(static_cast<double>(i));
+        p99.observe(static_cast<double>(i));
+    }
+    EXPECT_DOUBLE_EQ(p50.read(), 50.0);
+    EXPECT_DOUBLE_EQ(p99.read(), 99.0);
+}
+
+TEST(WindowPercentileSensorTest, SlidingWindowForgets)
+{
+    WindowPercentileSensor s(100.0, 4);
+    for (double v : {100.0, 1.0, 2.0, 3.0, 4.0})
+        s.observe(v);
+    // 100 has slid out of the 4-entry window.
+    EXPECT_DOUBLE_EQ(s.read(), 4.0);
+}
+
+TEST(SensorPolymorphism, AllImplementTheInterface)
+{
+    GaugeSensor g;
+    EwmaSensor e;
+    WindowMaxSensor m;
+    WindowPercentileSensor p;
+    for (Sensor *s : std::initializer_list<Sensor *>{&g, &e, &m, &p}) {
+        s->observe(1.0);
+        (void)s->read();
+        s->reset();
+    }
+    SUCCEED();
+}
+
+} // namespace
+} // namespace smartconf

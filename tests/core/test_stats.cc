@@ -1,0 +1,117 @@
+/** @file Unit tests for the streaming statistics accumulator. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/stats.h"
+
+namespace smartconf {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+    EXPECT_DOUBLE_EQ(s.coefficientOfVariation(), 0.0);
+}
+
+TEST(RunningStats, SingleValue)
+{
+    RunningStats s;
+    s.push(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStats, MatchesClosedForm)
+{
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    RunningStats s;
+    for (double x : xs)
+        s.push(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // Sample variance of the classic dataset is 32/7.
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(s.stddev(), std::sqrt(32.0 / 7.0), 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStats, CoefficientOfVariation)
+{
+    RunningStats s;
+    s.push(90.0);
+    s.push(110.0);
+    EXPECT_NEAR(s.coefficientOfVariation(),
+                s.stddev() / 100.0, 1e-12);
+}
+
+TEST(RunningStats, CoVZeroMeanGuard)
+{
+    RunningStats s;
+    s.push(-5.0);
+    s.push(5.0);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.coefficientOfVariation(), 0.0);
+}
+
+TEST(RunningStats, MergeEqualsSinglePass)
+{
+    RunningStats a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = 3.0 + 0.37 * i;
+        if (i % 2 == 0)
+            a.push(x);
+        else
+            b.push(x);
+        all.push(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStats, MergeWithEmpty)
+{
+    RunningStats a, b;
+    a.push(1.0);
+    a.push(3.0);
+    const double mean_before = a.mean();
+    a.merge(b); // no-op
+    EXPECT_DOUBLE_EQ(a.mean(), mean_before);
+    b.merge(a); // adopt
+    EXPECT_DOUBLE_EQ(b.mean(), mean_before);
+    EXPECT_EQ(b.count(), 2u);
+}
+
+TEST(RunningStats, ResetClearsEverything)
+{
+    RunningStats s;
+    s.push(10.0);
+    s.reset();
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+}
+
+TEST(RunningStats, NegativeMeanCoVUsesAbsoluteValue)
+{
+    RunningStats s;
+    s.push(-90.0);
+    s.push(-110.0);
+    EXPECT_GT(s.coefficientOfVariation(), 0.0);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,41 @@
+/** @file Unit tests for transducers (paper Sec. 5.3, Fig. 4). */
+
+#include <gtest/gtest.h>
+
+#include "core/transducer.h"
+
+namespace smartconf {
+namespace {
+
+TEST(Transducer, DefaultIsIdentity)
+{
+    Transducer t;
+    EXPECT_DOUBLE_EQ(t.transduce(42.0), 42.0);
+    EXPECT_DOUBLE_EQ(t.transduce(-7.5), -7.5);
+}
+
+TEST(LinearTransducerTest, ScaleAndOffset)
+{
+    // HD4995: hold ticks -> file count at 20000 files/tick.
+    LinearTransducer t(20000.0);
+    EXPECT_DOUBLE_EQ(t.transduce(75.0), 1500000.0);
+
+    LinearTransducer u(2.0, 10.0);
+    EXPECT_DOUBLE_EQ(u.transduce(5.0), 20.0);
+}
+
+TEST(FunctionTransducerTest, ArbitraryCallable)
+{
+    FunctionTransducer t([](double x) { return x * x; });
+    EXPECT_DOUBLE_EQ(t.transduce(9.0), 81.0);
+}
+
+TEST(Transducer, PolymorphicUse)
+{
+    LinearTransducer lin(3.0);
+    const Transducer &base = lin;
+    EXPECT_DOUBLE_EQ(base.transduce(4.0), 12.0);
+}
+
+} // namespace
+} // namespace smartconf

@@ -1,0 +1,81 @@
+/** @file Unit tests for the HDFS-style namespace tree. */
+
+#include <gtest/gtest.h>
+
+#include "dfs/namespace_tree.h"
+
+namespace smartconf::dfs {
+namespace {
+
+TEST(NamespaceTree, MakeDirsCreatesParents)
+{
+    NamespaceTree t;
+    t.makeDirs("/data/client1/logs");
+    EXPECT_TRUE(t.exists("/data"));
+    EXPECT_TRUE(t.exists("/data/client1"));
+    EXPECT_TRUE(t.exists("/data/client1/logs"));
+    EXPECT_FALSE(t.exists("/other"));
+}
+
+TEST(NamespaceTree, AddFilesAndCounts)
+{
+    NamespaceTree t;
+    t.addFiles("/data/a", 5);
+    t.addFiles("/data/b", 3);
+    t.addFiles("/data", 2);
+    EXPECT_EQ(t.filesAt("/data"), 2u);
+    EXPECT_EQ(t.filesAt("/data/a"), 5u);
+    EXPECT_EQ(t.filesUnder("/data"), 10u);
+    EXPECT_EQ(t.filesUnder("/"), 10u);
+    EXPECT_EQ(t.filesUnder("/data/a"), 5u);
+}
+
+TEST(NamespaceTree, MissingPathsCountZero)
+{
+    NamespaceTree t;
+    EXPECT_EQ(t.filesAt("/nope"), 0u);
+    EXPECT_EQ(t.filesUnder("/nope"), 0u);
+}
+
+TEST(NamespaceTree, DirCounts)
+{
+    NamespaceTree t;
+    t.makeDirs("/a/b");
+    t.makeDirs("/a/c");
+    EXPECT_EQ(t.dirsUnder("/a"), 3u); // a, b, c
+    EXPECT_EQ(t.dirsUnder("/"), 4u);  // root too
+}
+
+TEST(NamespaceTree, ListSortedChildren)
+{
+    NamespaceTree t;
+    t.makeDirs("/data/zeta");
+    t.makeDirs("/data/alpha");
+    t.makeDirs("/data/mid");
+    const auto kids = t.list("/data");
+    ASSERT_EQ(kids.size(), 3u);
+    EXPECT_EQ(kids[0], "alpha");
+    EXPECT_EQ(kids[1], "mid");
+    EXPECT_EQ(kids[2], "zeta");
+    EXPECT_TRUE(t.list("/nope").empty());
+}
+
+TEST(NamespaceTree, PathNormalization)
+{
+    NamespaceTree t;
+    t.addFiles("data/x", 1);      // no leading slash
+    t.addFiles("/data/x/", 1);    // trailing slash
+    EXPECT_EQ(t.filesAt("/data/x"), 2u);
+}
+
+TEST(NamespaceTree, RootQueries)
+{
+    NamespaceTree t;
+    EXPECT_TRUE(t.exists("/"));
+    EXPECT_EQ(t.filesUnder("/"), 0u);
+    t.addFiles("/", 7);
+    EXPECT_EQ(t.filesAt("/"), 7u);
+}
+
+} // namespace
+} // namespace smartconf::dfs

@@ -1,0 +1,53 @@
+/** @file Unit tests for the JVM heap model. */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/heap.h"
+
+namespace smartconf::kvstore {
+namespace {
+
+TEST(Heap, ComponentAccounting)
+{
+    JvmHeap h(495.0);
+    EXPECT_DOUBLE_EQ(h.usedMb(), 0.0);
+    h.setComponent("queue", 100.0);
+    h.setComponent("other", 200.0);
+    EXPECT_DOUBLE_EQ(h.usedMb(), 300.0);
+    EXPECT_DOUBLE_EQ(h.component("queue"), 100.0);
+    EXPECT_DOUBLE_EQ(h.component("missing"), 0.0);
+}
+
+TEST(Heap, AddComponentAndFloor)
+{
+    JvmHeap h(100.0);
+    h.addComponent("c", 30.0);
+    h.addComponent("c", -50.0); // cannot go negative
+    EXPECT_DOUBLE_EQ(h.component("c"), 0.0);
+    h.setComponent("d", -5.0);
+    EXPECT_DOUBLE_EQ(h.component("d"), 0.0);
+}
+
+TEST(Heap, OomLatchesAtFirstViolation)
+{
+    JvmHeap h(100.0);
+    h.setComponent("a", 50.0);
+    EXPECT_FALSE(h.checkOom(10));
+    h.setComponent("a", 150.0);
+    EXPECT_TRUE(h.checkOom(42));
+    EXPECT_EQ(h.oomTick(), 42);
+    // Dropping usage later does not clear the latch: the JVM died.
+    h.setComponent("a", 1.0);
+    EXPECT_TRUE(h.checkOom(100));
+    EXPECT_EQ(h.oomTick(), 42);
+}
+
+TEST(Heap, ExactCapacityIsNotOom)
+{
+    JvmHeap h(100.0);
+    h.setComponent("a", 100.0);
+    EXPECT_FALSE(h.checkOom(1));
+}
+
+} // namespace
+} // namespace smartconf::kvstore

@@ -1,0 +1,91 @@
+/** @file Unit tests for the HBase-style memstore (HB2149). */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/memstore.h"
+
+namespace smartconf::kvstore {
+namespace {
+
+MemstoreParams
+params()
+{
+    MemstoreParams p;
+    p.upper_limit_mb = 100.0;
+    p.flush_rate_mb_per_tick = 1.0;
+    p.flush_setup_ticks = 5.0;
+    return p;
+}
+
+TEST(Memstore, BlocksAtUpperWatermark)
+{
+    Memstore m(20.0, params());
+    sim::Tick t = 0;
+    while (!m.blocked())
+        m.write(10.0, t++);
+    EXPECT_GE(m.occupancyMb(), 100.0);
+    EXPECT_EQ(m.flushCount(), 1u);
+    EXPECT_FALSE(m.write(1.0, t));
+    EXPECT_EQ(m.blockedWrites(), 1u);
+}
+
+TEST(Memstore, BlockDurationMatchesFlushAmount)
+{
+    // block = setup + amount / rate = 5 + 20 = 25 ticks.
+    Memstore m(20.0, params());
+    sim::Tick t = 0;
+    while (!m.blocked())
+        m.write(10.0, t);
+    while (m.blocked())
+        m.step(++t);
+    EXPECT_NEAR(m.lastBlockTicks(), 25.0, 2.0);
+}
+
+TEST(Memstore, LargerAmountBlocksLonger)
+{
+    auto block_for = [](double amount) {
+        Memstore m(amount, params());
+        sim::Tick t = 0;
+        while (!m.blocked())
+            m.write(10.0, t);
+        while (m.blocked())
+            m.step(++t);
+        return m.lastBlockTicks();
+    };
+    EXPECT_GT(block_for(60.0), block_for(15.0) + 30.0);
+}
+
+TEST(Memstore, FlushStopsAtTarget)
+{
+    Memstore m(30.0, params());
+    sim::Tick t = 0;
+    while (!m.blocked())
+        m.write(10.0, t);
+    const double at_block = m.occupancyMb();
+    while (m.blocked())
+        m.step(++t);
+    EXPECT_NEAR(m.occupancyMb(), at_block - 30.0, 1.0);
+}
+
+TEST(Memstore, FloatConfigAdjustable)
+{
+    Memstore m(20.0, params());
+    m.setFlushAmountMb(33.5);
+    EXPECT_DOUBLE_EQ(m.flushAmountMb(), 33.5);
+    m.setFlushAmountMb(-5.0);
+    EXPECT_DOUBLE_EQ(m.flushAmountMb(), 0.0) << "clamped at zero";
+}
+
+TEST(Memstore, WritesResumeAfterFlush)
+{
+    Memstore m(10.0, params());
+    sim::Tick t = 0;
+    while (!m.blocked())
+        m.write(10.0, t);
+    while (m.blocked())
+        m.step(++t);
+    EXPECT_TRUE(m.write(1.0, t));
+}
+
+} // namespace
+} // namespace smartconf::kvstore

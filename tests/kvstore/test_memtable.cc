@@ -1,0 +1,107 @@
+/** @file Unit tests for the Cassandra-style memtable (CA6059). */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/memtable.h"
+
+namespace smartconf::kvstore {
+namespace {
+
+MemtableParams
+params()
+{
+    MemtableParams p;
+    p.flush_rate_mb_per_tick = 25.0;
+    p.flush_penalty = 4.0;
+    p.base_write_latency = 1.0;
+    p.emergency_headroom = 1.25;
+    p.flush_stall_ticks = 2.0;
+    return p;
+}
+
+TEST(Memtable, AcceptsWritesBelowCap)
+{
+    Memtable m(100.0, params());
+    EXPECT_DOUBLE_EQ(m.write(10.0, 0), 1.0);
+    EXPECT_DOUBLE_EQ(m.occupancyMb(), 10.0);
+    EXPECT_FALSE(m.flushing());
+}
+
+TEST(Memtable, FlushTriggersAtCapWithSnapshotSwap)
+{
+    Memtable m(50.0, params());
+    for (int i = 0; i < 5; ++i)
+        m.write(10.0, 0);
+    EXPECT_TRUE(m.flushing());
+    EXPECT_EQ(m.flushCount(), 1u);
+    // The snapshot holds the full 50 MB; the active buffer restarts.
+    EXPECT_DOUBLE_EQ(m.flushingMb(), 50.0);
+    EXPECT_DOUBLE_EQ(m.activeMb(), 0.0);
+    EXPECT_DOUBLE_EQ(m.occupancyMb(), 50.0);
+}
+
+TEST(Memtable, FlushStallBlocksWrites)
+{
+    Memtable m(50.0, params());
+    for (int i = 0; i < 5; ++i)
+        m.write(10.0, 0);
+    ASSERT_TRUE(m.flushing());
+    EXPECT_LT(m.write(1.0, 0), 0.0) << "blocked during stall";
+    EXPECT_EQ(m.blockedWrites(), 1u);
+    m.step(1);
+    m.step(2);
+    EXPECT_GT(m.write(1.0, 3), 0.0) << "stall over, writes resume";
+}
+
+TEST(Memtable, WritesDuringFlushPayPenalty)
+{
+    MemtableParams p = params();
+    p.flush_rate_mb_per_tick = 10.0; // flush outlives the stall
+    Memtable m(50.0, p);
+    for (int i = 0; i < 5; ++i)
+        m.write(10.0, 0);
+    m.step(1);
+    m.step(2); // stall over, flush still draining (30 MB left)
+    ASSERT_TRUE(m.flushing());
+    EXPECT_DOUBLE_EQ(m.write(1.0, 3), 4.0);
+}
+
+TEST(Memtable, FlushDrainsAtRate)
+{
+    Memtable m(50.0, params());
+    for (int i = 0; i < 5; ++i)
+        m.write(10.0, 0);
+    m.step(1);
+    EXPECT_DOUBLE_EQ(m.flushingMb(), 25.0);
+    m.step(2);
+    EXPECT_DOUBLE_EQ(m.flushingMb(), 0.0);
+    EXPECT_FALSE(m.flushing());
+}
+
+TEST(Memtable, EmergencyHeadroomBlocks)
+{
+    MemtableParams p = params();
+    p.flush_stall_ticks = 0.0;
+    p.flush_rate_mb_per_tick = 0.1; // nearly stuck flush
+    Memtable m(40.0, p);
+    // Fill to the cap (starts flush), then keep writing into the fresh
+    // active buffer until total occupancy hits 1.25 * cap = 50.
+    for (int i = 0; i < 4; ++i)
+        m.write(10.0, 0);
+    ASSERT_TRUE(m.flushing());
+    EXPECT_GT(m.write(10.0, 1), 0.0); // occupancy 50 now
+    EXPECT_LT(m.write(10.0, 1), 0.0) << "emergency: blocked";
+}
+
+TEST(Memtable, DynamicCapAdjustment)
+{
+    Memtable m(1000.0, params());
+    m.write(100.0, 0);
+    EXPECT_FALSE(m.flushing());
+    m.setCapMb(80.0); // SmartConf shrinks the cap below occupancy
+    m.write(1.0, 1);  // next use notices and starts a flush
+    EXPECT_TRUE(m.flushing());
+}
+
+} // namespace
+} // namespace smartconf::kvstore

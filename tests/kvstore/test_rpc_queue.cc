@@ -1,0 +1,106 @@
+/** @file Unit tests for the bounded RPC queues (HB3813 / HB6728). */
+
+#include <gtest/gtest.h>
+
+#include "kvstore/rpc_queue.h"
+
+namespace smartconf::kvstore {
+namespace {
+
+RpcItem
+item(double mb, bool is_write = true)
+{
+    RpcItem i;
+    i.size_mb = mb;
+    i.is_write = is_write;
+    return i;
+}
+
+TEST(RequestQueue, BoundEnforced)
+{
+    RpcRequestQueue q(2);
+    EXPECT_TRUE(q.offer(item(1.0), 0));
+    EXPECT_TRUE(q.offer(item(1.0), 0));
+    EXPECT_FALSE(q.offer(item(1.0), 0)) << "full queue rejects";
+    EXPECT_EQ(q.accepted(), 2u);
+    EXPECT_EQ(q.rejected(), 1u);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 2.0);
+}
+
+TEST(RequestQueue, DrainAndPop)
+{
+    RpcRequestQueue q(10);
+    for (int i = 0; i < 5; ++i)
+        q.offer(item(2.0), i);
+    EXPECT_EQ(q.drain(3), 3u);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 4.0);
+    const RpcItem front = q.pop();
+    EXPECT_EQ(front.enqueued, 3);
+    EXPECT_EQ(q.size(), 1u);
+}
+
+TEST(RequestQueue, DrainMoreThanAvailable)
+{
+    RpcRequestQueue q(10);
+    q.offer(item(1.0), 0);
+    EXPECT_EQ(q.drain(100), 1u);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 0.0);
+}
+
+TEST(RequestQueue, ShrinkBelowOccupancyTolerated)
+{
+    // Paper Sec. 4.2: temporary inconsistency between C and deputy C'
+    // must be tolerated — the queue refuses new work until it drains.
+    RpcRequestQueue q(10);
+    for (int i = 0; i < 8; ++i)
+        q.offer(item(1.0), i);
+    q.setMaxItems(3);
+    EXPECT_EQ(q.size(), 8u) << "existing items are not evicted";
+    EXPECT_FALSE(q.offer(item(1.0), 9));
+    q.drain(6);
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_TRUE(q.offer(item(1.0), 10));
+}
+
+TEST(RequestQueue, FrontIsNullWhenEmpty)
+{
+    RpcRequestQueue q(2);
+    EXPECT_EQ(q.front(), nullptr);
+}
+
+TEST(ResponseQueue, ByteBoundEnforced)
+{
+    RpcResponseQueue q(10.0);
+    EXPECT_TRUE(q.offer(6.0));
+    EXPECT_FALSE(q.offer(6.0)) << "would exceed 10 MB";
+    EXPECT_TRUE(q.offer(4.0));
+    EXPECT_EQ(q.accepted(), 2u);
+    EXPECT_EQ(q.stalled(), 1u);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 10.0);
+}
+
+TEST(ResponseQueue, PartialDrain)
+{
+    RpcResponseQueue q(100.0);
+    q.offer(8.0);
+    q.offer(8.0);
+    EXPECT_DOUBLE_EQ(q.drain(10.0), 10.0);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 6.0);
+    EXPECT_DOUBLE_EQ(q.drain(100.0), 6.0);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 0.0);
+}
+
+TEST(ResponseQueue, ShrinkBelowOccupancyTolerated)
+{
+    RpcResponseQueue q(100.0);
+    q.offer(60.0);
+    q.setMaxMb(10.0);
+    EXPECT_DOUBLE_EQ(q.bytesMb(), 60.0);
+    EXPECT_FALSE(q.offer(1.0));
+    q.drain(55.0);
+    EXPECT_TRUE(q.offer(1.0));
+}
+
+} // namespace
+} // namespace smartconf::kvstore

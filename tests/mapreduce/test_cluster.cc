@@ -1,0 +1,146 @@
+/** @file Unit tests for the MapReduce cluster (MR2820). */
+
+#include <gtest/gtest.h>
+
+#include "mapreduce/cluster.h"
+
+namespace smartconf::mapreduce {
+namespace {
+
+ClusterParams
+params()
+{
+    ClusterParams p;
+    p.workers = 2;
+    p.disk_capacity_mb = 1000.0;
+    p.other_base_mb = 200.0;
+    p.other_walk_mb = 0.0; // deterministic for unit tests
+    p.other_max_mb = 200.0;
+    p.task_duration = 10;
+    p.fetch_delay = 15;
+    p.spill_jitter = 0.0;
+    return p;
+}
+
+workload::WordCountJob
+job(double input = 640.0, double split = 64.0, std::uint64_t par = 2)
+{
+    return workload::WordCountJob{input, split, par, 1.0};
+}
+
+void
+runTicks(MrCluster &c, sim::Tick from, sim::Tick to)
+{
+    for (sim::Tick t = from; t < to; ++t)
+        c.step(t);
+}
+
+TEST(Cluster, JobRunsToCompletion)
+{
+    MrCluster c(params(), 0, sim::Rng(1));
+    c.submitJob(job(), 0);
+    EXPECT_EQ(c.pendingTasks(), 10u);
+    runTicks(c, 0, 500);
+    EXPECT_TRUE(c.jobDone());
+    EXPECT_EQ(c.completedTasks(), 10u);
+    EXPECT_GT(c.jobLatencyTicks(), 0.0);
+    EXPECT_FALSE(c.ood());
+}
+
+TEST(Cluster, ParallelismBoundsConcurrency)
+{
+    // Admission is one task per worker heartbeat (tick).
+    MrCluster c(params(), 0, sim::Rng(2));
+    c.submitJob(job(640.0, 64.0, 1), 0);
+    c.step(0);
+    c.step(1);
+    EXPECT_EQ(c.runningTasks(), 2u) << "one per worker at parallelism 1";
+    MrCluster c2(params(), 0, sim::Rng(2));
+    c2.submitJob(job(640.0, 64.0, 2), 0);
+    c2.step(0);
+    EXPECT_EQ(c2.runningTasks(), 2u) << "first heartbeat";
+    c2.step(1);
+    EXPECT_EQ(c2.runningTasks(), 4u) << "second heartbeat fills par 2";
+}
+
+TEST(Cluster, MinSpaceGateBlocksAdmission)
+{
+    // Free disk = 1000 - 200 (other) = 800; a gate of 900 blocks all.
+    MrCluster c(params(), 900, sim::Rng(3));
+    c.submitJob(job(), 0);
+    runTicks(c, 0, 50);
+    EXPECT_EQ(c.runningTasks(), 0u);
+    EXPECT_EQ(c.completedTasks(), 0u);
+}
+
+TEST(Cluster, SpillsAccumulateOnDisk)
+{
+    MrCluster c(params(), 0, sim::Rng(4));
+    c.submitJob(job(128.0, 64.0, 1), 0); // 2 tasks, one per worker
+    c.step(0);
+    runTicks(c, 1, 6);
+    // Mid-task: roughly half the 64 MB spill is on disk.
+    EXPECT_GT(c.maxDiskUsedMb(), 200.0 + 20.0);
+    EXPECT_LT(c.maxDiskUsedMb(), 200.0 + 64.0);
+}
+
+TEST(Cluster, RetentionFreesAfterFetchDelay)
+{
+    MrCluster c(params(), 0, sim::Rng(5));
+    c.submitJob(job(64.0, 64.0, 1), 0); // single task
+    runTicks(c, 0, 11);
+    ASSERT_TRUE(c.jobDone());
+    EXPECT_NEAR(c.maxDiskUsedMb(), 264.0, 1.0)
+        << "output retained for the reducer";
+    runTicks(c, 11, 40);
+    EXPECT_NEAR(c.maxDiskUsedMb(), 200.0, 1.0) << "output fetched";
+}
+
+TEST(Cluster, OodLatchesAndKillsJob)
+{
+    ClusterParams p = params();
+    p.disk_capacity_mb = 300.0; // other 200 + 128 spill > 300
+    MrCluster c(p, 0, sim::Rng(6));
+    c.submitJob(job(256.0, 128.0, 1), 0);
+    runTicks(c, 0, 100);
+    EXPECT_TRUE(c.ood());
+    EXPECT_GE(c.oodTick(), 0);
+    EXPECT_FALSE(c.jobDone());
+}
+
+TEST(Cluster, HigherGateAvoidsOod)
+{
+    ClusterParams p = params();
+    p.disk_capacity_mb = 300.0;
+    MrCluster safe(p, 150.0, sim::Rng(7));
+    safe.submitJob(job(256.0, 128.0, 1), 0);
+    runTicks(safe, 0, 400);
+    EXPECT_FALSE(safe.ood())
+        << "gate 150 leaves no room for a 128 MB spill to overflow";
+}
+
+TEST(Cluster, MasterSlavePropagationDelay)
+{
+    MrCluster c(params(), 100, sim::Rng(8));
+    c.setMinSpaceStart(500.0);
+    EXPECT_DOUBLE_EQ(c.minSpaceStart(), 100.0)
+        << "not yet propagated to the workers";
+    c.step(0);
+    EXPECT_DOUBLE_EQ(c.minSpaceStart(), 500.0);
+}
+
+TEST(Cluster, SecondJobReplacesFirst)
+{
+    MrCluster c(params(), 0, sim::Rng(9));
+    c.submitJob(job(128.0, 64.0, 2), 0);
+    runTicks(c, 0, 60);
+    ASSERT_TRUE(c.jobDone());
+    c.submitJob(job(256.0, 128.0, 2), 60);
+    EXPECT_FALSE(c.jobDone());
+    EXPECT_EQ(c.pendingTasks(), 2u);
+    runTicks(c, 60, 200);
+    EXPECT_TRUE(c.jobDone());
+}
+
+} // namespace
+} // namespace smartconf::mapreduce

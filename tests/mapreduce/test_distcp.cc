@@ -1,0 +1,111 @@
+/** @file Tests for the MR5420 distcp model and limitation detection. */
+
+#include <gtest/gtest.h>
+
+#include "core/smartconf.h"
+#include "mapreduce/distcp.h"
+
+namespace smartconf::mapreduce {
+namespace {
+
+DistCpParams
+params()
+{
+    DistCpParams p;
+    p.jitter = 0.0; // deterministic for unit assertions
+    return p;
+}
+
+TEST(DistCp, TooFewChunksUnderusesWorkers)
+{
+    sim::Rng rng(1);
+    // 2 chunks across 8 workers: 6 workers idle; the busy ones copy
+    // 4 GB each.
+    const double few = distCpLatency(params(), 2, rng);
+    const double balanced = distCpLatency(params(), 8, rng);
+    EXPECT_GT(few, balanced * 3.0);
+}
+
+TEST(DistCp, TooManyChunksPayOverhead)
+{
+    sim::Rng rng(2);
+    const double balanced = distCpLatency(params(), 8, rng);
+    const double shredded = distCpLatency(params(), 2048, rng);
+    EXPECT_GT(shredded, balanced * 1.5);
+}
+
+TEST(DistCp, UShapeHasInteriorOptimum)
+{
+    const std::uint64_t best = distCpBestChunks(params(), 2, 1024);
+    EXPECT_GT(best, 2u);
+    EXPECT_LT(best, 1024u);
+    // The optimum is a multiple-ish of the worker count (full waves).
+    sim::Rng rng(3);
+    const double at_best = distCpLatency(params(), best, rng);
+    EXPECT_LT(at_best, distCpLatency(params(), 2, rng));
+    EXPECT_LT(at_best, distCpLatency(params(), 1024, rng));
+}
+
+TEST(DistCp, ZeroChunksClampsToOne)
+{
+    sim::Rng rng(4);
+    EXPECT_GT(distCpLatency(params(), 0, rng), 0.0);
+}
+
+TEST(DistCpLimitation, ProfilingFlagsNonMonotonic)
+{
+    // The end-to-end Sec. 6.6 story: profile max_chunks_tolerable and
+    // SmartConf must detect that it cannot manage this configuration.
+    SmartConfRuntime rt;
+    rt.declareConf({"max_chunks_tolerable", "copy_latency", 8.0, 1.0,
+                    4096.0});
+    Goal g;
+    g.metric = "copy_latency";
+    g.value = 2000.0;
+    rt.declareGoal(g);
+
+    int alerts = 0;
+    rt.setAlertHandler([&alerts](const std::string &,
+                                 const std::string &msg) {
+        ++alerts;
+        EXPECT_NE(msg.find("NON-MONOTONIC"), std::string::npos);
+    });
+
+    rt.setProfiling(true);
+    SmartConf sc(rt, "max_chunks_tolerable");
+    sim::Rng rng(5);
+    DistCpParams p;
+    for (double setting : {2.0, 16.0, 128.0, 1024.0}) {
+        rt.setCurrentValue("max_chunks_tolerable", setting);
+        for (int i = 0; i < 10; ++i) {
+            sc.setPerf(distCpLatency(
+                p, static_cast<std::uint64_t>(setting), rng));
+        }
+    }
+    const ProfileSummary s = rt.finishProfiling("max_chunks_tolerable");
+    EXPECT_FALSE(s.monotonic);
+    EXPECT_EQ(alerts, 1);
+}
+
+TEST(DistCpLimitation, MonotonicConfigsDoNotAlert)
+{
+    SmartConfRuntime rt;
+    rt.declareConf({"q", "mem", 0.0, 0.0, 1000.0});
+    Goal g;
+    g.metric = "mem";
+    g.value = 500.0;
+    rt.declareGoal(g);
+    int alerts = 0;
+    rt.setAlertHandler(
+        [&alerts](const std::string &, const std::string &) {
+            ++alerts;
+        });
+    ProfileSummary s;
+    s.alpha = 1.0;
+    s.monotonic = true;
+    rt.installProfile("q", s);
+    EXPECT_EQ(alerts, 0);
+}
+
+} // namespace
+} // namespace smartconf::mapreduce

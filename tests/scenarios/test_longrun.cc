@@ -1,0 +1,48 @@
+/**
+ * @file Long-horizon stability: the controller must neither violate
+ * the constraint nor drift away over runs an order of magnitude longer
+ * than the evaluation window (paper Sec. 5.6's stability claim,
+ * exercised empirically).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenarios/hb3813.h"
+
+namespace smartconf::scenarios {
+namespace {
+
+TEST(LongRun, HourOfSimulatedTimeStaysStable)
+{
+    Hb3813Options opts;
+    opts.total_ticks = 36000; // one simulated hour
+    Hb3813Scenario scenario(opts);
+    const ScenarioResult r = scenario.run(Policy::smart(), 5);
+
+    EXPECT_FALSE(r.violated);
+    EXPECT_LE(r.worst_goal_metric, 495.0);
+
+    // No drift: the bound in the final ten minutes behaves like the
+    // bound shortly after the phase-2 shift (same workload regime).
+    auto mean_between = [&r](sim::Tick lo, sim::Tick hi) {
+        double acc = 0.0;
+        int n = 0;
+        for (const auto &pt : r.conf_series.points()) {
+            if (pt.tick >= lo && pt.tick < hi) {
+                acc += pt.value;
+                ++n;
+            }
+        }
+        return acc / std::max(1, n);
+    };
+    const double early = mean_between(4000, 10000);
+    const double late = mean_between(30000, 36000);
+    EXPECT_NEAR(late, early, early * 0.35)
+        << "bound drifted from " << early << " to " << late;
+
+    // Throughput holds up across the whole hour.
+    EXPECT_GT(r.raw_tradeoff, 80.0);
+}
+
+} // namespace
+} // namespace smartconf::scenarios

@@ -1,0 +1,103 @@
+/** @file Unit tests for evaluation policies. */
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.h"
+
+namespace smartconf::scenarios {
+namespace {
+
+TEST(Policy, StaticFactory)
+{
+    const Policy p = Policy::makeStatic(90.0);
+    EXPECT_EQ(p.kind, Policy::Kind::Static);
+    EXPECT_DOUBLE_EQ(p.value, 90.0);
+    EXPECT_FALSE(p.isSmart());
+    EXPECT_NE(p.label.find("Static"), std::string::npos);
+}
+
+TEST(Policy, StaticCustomLabel)
+{
+    const Policy p = Policy::makeStatic(100.0, "Patch-Default");
+    EXPECT_EQ(p.label, "Patch-Default");
+}
+
+TEST(Policy, SmartFactory)
+{
+    const Policy p = Policy::smart();
+    EXPECT_EQ(p.kind, Policy::Kind::Smart);
+    EXPECT_TRUE(p.isSmart());
+    EXPECT_FALSE(p.pole_override.has_value());
+}
+
+TEST(Policy, AblationFactories)
+{
+    const Policy sp = Policy::singlePole(0.9);
+    EXPECT_EQ(sp.kind, Policy::Kind::SmartSinglePole);
+    ASSERT_TRUE(sp.pole_override.has_value());
+    EXPECT_DOUBLE_EQ(*sp.pole_override, 0.9);
+
+    const Policy nv = Policy::noVirtualGoal();
+    EXPECT_EQ(nv.kind, Policy::Kind::SmartNoVirtualGoal);
+    EXPECT_TRUE(nv.isSmart());
+}
+
+TEST(Registry, AllSixScenariosPresent)
+{
+    const auto all = makeAllScenarios();
+    ASSERT_EQ(all.size(), 6u);
+    const char *expected[] = {"CA6059", "HB2149", "HB3813",
+                              "HB6728", "HD4995", "MR2820"};
+    for (std::size_t i = 0; i < 6; ++i)
+        EXPECT_EQ(all[i]->info().id, expected[i]);
+}
+
+TEST(Registry, LookupById)
+{
+    EXPECT_NE(makeScenario("HB3813"), nullptr);
+    EXPECT_EQ(makeScenario("XX0000"), nullptr);
+}
+
+TEST(Registry, Table6FlagsMatchPaper)
+{
+    // Table 6 ?-?-? flags: conditional, direct, hard.
+    const struct
+    {
+        const char *id;
+        bool conditional, direct, hard;
+    } rows[] = {
+        {"CA6059", false, false, true},
+        {"HB2149", true, true, false},
+        {"HB3813", false, false, true},
+        {"HB6728", false, false, true},
+        {"HD4995", true, false, false},
+        {"MR2820", true, true, true},
+    };
+    for (const auto &row : rows) {
+        const auto s = makeScenario(row.id);
+        ASSERT_NE(s, nullptr) << row.id;
+        EXPECT_EQ(s->info().conditional, row.conditional) << row.id;
+        EXPECT_EQ(s->info().direct, row.direct) << row.id;
+        EXPECT_EQ(s->info().hard, row.hard) << row.id;
+    }
+}
+
+TEST(Registry, ScenarioMetadataComplete)
+{
+    for (const auto &s : makeAllScenarios()) {
+        const ScenarioInfo &info = s->info();
+        EXPECT_FALSE(info.conf_name.empty()) << info.id;
+        EXPECT_FALSE(info.metric_name.empty()) << info.id;
+        EXPECT_FALSE(info.description.empty()) << info.id;
+        EXPECT_FALSE(info.profiling_workload.empty()) << info.id;
+        EXPECT_FALSE(info.phase1_workload.empty()) << info.id;
+        EXPECT_FALSE(info.phase2_workload.empty()) << info.id;
+        EXPECT_EQ(info.profiling_settings.size(), 4u)
+            << info.id << ": the paper profiles 4 settings";
+        EXPECT_GE(info.static_candidates.size(), 8u) << info.id;
+        EXPECT_FALSE(info.tradeoff_unit.empty()) << info.id;
+    }
+}
+
+} // namespace
+} // namespace smartconf::scenarios

@@ -1,0 +1,57 @@
+/** @file Profiling sanity for every scenario (Sec. 5.5 recipe). */
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.h"
+
+namespace smartconf::scenarios {
+namespace {
+
+class ProfileSweep : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(ProfileSweep, SynthesisIsSane)
+{
+    const auto scenario = makeScenario(GetParam());
+    ASSERT_NE(scenario, nullptr);
+    const ProfileSummary s = scenario->profile(1234);
+
+    EXPECT_EQ(s.settings, 4u) << "4 profiled settings (Sec. 6.1)";
+    EXPECT_GE(s.samples, 40u) << "10 samples per setting";
+    EXPECT_NE(s.alpha, 0.0);
+    EXPECT_TRUE(s.monotonic)
+        << "case-study relationships are monotonic (Sec. 6.6)";
+    EXPECT_GE(s.lambda, 0.0);
+    EXPECT_LE(s.lambda, 0.9);
+    EXPECT_GE(s.delta, 1.0);
+    EXPECT_GE(s.pole, 0.0);
+    EXPECT_LT(s.pole, 1.0);
+}
+
+TEST_P(ProfileSweep, DeterministicForSameSeed)
+{
+    const auto scenario = makeScenario(GetParam());
+    const ProfileSummary a = scenario->profile(77);
+    const ProfileSummary b = scenario->profile(77);
+    EXPECT_DOUBLE_EQ(a.alpha, b.alpha);
+    EXPECT_DOUBLE_EQ(a.lambda, b.lambda);
+    EXPECT_DOUBLE_EQ(a.pole, b.pole);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, ProfileSweep,
+                         ::testing::Values("CA6059", "HB2149", "HB3813",
+                                           "HB6728", "HD4995",
+                                           "MR2820"));
+
+TEST(ProfileSigns, GainSignsMatchTheMechanism)
+{
+    // Memory/latency cases have positive gains; MR2820's disk gate has
+    // a negative gain (raising it lowers disk usage).
+    EXPECT_GT(makeScenario("HB3813")->profile(5).alpha, 0.0);
+    EXPECT_GT(makeScenario("HB2149")->profile(5).alpha, 0.0);
+    EXPECT_GT(makeScenario("HD4995")->profile(5).alpha, 0.0);
+    EXPECT_LT(makeScenario("MR2820")->profile(5).alpha, 0.0);
+}
+
+} // namespace
+} // namespace smartconf::scenarios

@@ -1,0 +1,152 @@
+/**
+ * @file The headline result, per scenario: SmartConf satisfies the
+ * constraint that the buggy default violates (paper Sec. 6.2).
+ */
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.h"
+
+namespace smartconf::scenarios {
+namespace {
+
+constexpr std::uint64_t kSeed = 1;
+
+class RunSweep : public ::testing::TestWithParam<const char *>
+{};
+
+TEST_P(RunSweep, SmartConfSatisfiesTheConstraint)
+{
+    const auto s = makeScenario(GetParam());
+    const ScenarioResult r = s->run(Policy::smart(), kSeed);
+    EXPECT_FALSE(r.violated)
+        << s->info().id << " violated at t=" << r.violation_time_s
+        << "s (worst " << r.worst_goal_metric << " vs goal "
+        << r.goal_value << ")";
+}
+
+TEST_P(RunSweep, BuggyDefaultViolates)
+{
+    const auto s = makeScenario(GetParam());
+    const ScenarioResult r = s->run(
+        Policy::makeStatic(s->info().buggy_default, "Buggy-Default"),
+        kSeed);
+    EXPECT_TRUE(r.violated)
+        << s->info().id << ": the original default must fail";
+    EXPECT_GE(r.violation_time_s, 0.0);
+}
+
+TEST_P(RunSweep, ResultsAreReproducible)
+{
+    const auto s = makeScenario(GetParam());
+    const ScenarioResult a = s->run(Policy::smart(), 7);
+    const ScenarioResult b = s->run(Policy::smart(), 7);
+    EXPECT_EQ(a.violated, b.violated);
+    EXPECT_DOUBLE_EQ(a.tradeoff, b.tradeoff);
+    EXPECT_DOUBLE_EQ(a.worst_goal_metric, b.worst_goal_metric);
+}
+
+TEST_P(RunSweep, SeriesArePopulated)
+{
+    const auto s = makeScenario(GetParam());
+    const ScenarioResult r = s->run(Policy::smart(), kSeed);
+    // Event-driven sensors (per flush / per du chunk) yield sparse
+    // series; per-tick sensors yield thousands of points.
+    EXPECT_GT(r.perf_series.size(), 10u);
+    EXPECT_GT(r.conf_series.size(), 100u);
+    EXPECT_FALSE(r.tradeoff_series.empty());
+    EXPECT_GT(r.tradeoff, 0.0);
+    EXPECT_GT(r.mean_conf, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllScenarios, RunSweep,
+                         ::testing::Values("CA6059", "HB2149", "HB3813",
+                                           "HB6728", "HD4995",
+                                           "MR2820"));
+
+TEST(RunDetails, Hb3813PatchDefaultFailsInPhaseTwo)
+{
+    const auto s = makeScenario("HB3813");
+    const ScenarioResult r = s->run(
+        Policy::makeStatic(s->info().patch_default, "Patch-Default"),
+        kSeed);
+    EXPECT_TRUE(r.violated);
+    // Phase 2 starts at 200 s: the patched default survives phase 1.
+    EXPECT_GT(r.violation_time_s, 200.0);
+}
+
+TEST(RunDetails, Hb3813BuggyDefaultFailsAlmostImmediately)
+{
+    const auto s = makeScenario("HB3813");
+    const ScenarioResult r = s->run(
+        Policy::makeStatic(s->info().buggy_default, "Buggy-Default"),
+        kSeed);
+    EXPECT_TRUE(r.violated);
+    EXPECT_LT(r.violation_time_s, 60.0);
+}
+
+TEST(RunDetails, Ca6059PatchDefaultSurvivesButIsSlow)
+{
+    const auto s = makeScenario("CA6059");
+    const ScenarioResult patch = s->run(
+        Policy::makeStatic(s->info().patch_default, "Patch-Default"),
+        kSeed);
+    EXPECT_FALSE(patch.violated)
+        << "CA6059's patched default meets the constraint";
+    const ScenarioResult smart = s->run(Policy::smart(), kSeed);
+    EXPECT_GT(smart.tradeoff, patch.tradeoff)
+        << "but SmartConf gets better write latency";
+}
+
+TEST(RunDetails, Hb2149GoalChangeIsHonoured)
+{
+    // Phase 2 tightens the block-latency goal from 10 s to 5 s; after
+    // the switch every block must respect the new goal.
+    const auto s = makeScenario("HB2149");
+    const ScenarioResult r = s->run(Policy::smart(), kSeed);
+    EXPECT_FALSE(r.violated);
+    double worst_late = 0.0;
+    for (const auto &pt : r.perf_series.points()) {
+        if (pt.tick > 3300) // well past the boundary + one flush
+            worst_late = std::max(worst_late, pt.value);
+    }
+    EXPECT_LE(worst_late, 52.0) << "5 s goal (50 ticks) enforced";
+}
+
+TEST(RunDetails, Mr2820SmartConfAdaptsTheGate)
+{
+    const auto s = makeScenario("MR2820");
+    const ScenarioResult r = s->run(Policy::smart(), kSeed);
+    EXPECT_FALSE(r.violated);
+    // The gate must actually move (dynamic adjustment), unlike statics.
+    double lo = 1e18, hi = 0.0;
+    for (const auto &pt : r.conf_series.points()) {
+        lo = std::min(lo, pt.value);
+        hi = std::max(hi, pt.value);
+    }
+    EXPECT_GT(hi - lo, 50.0);
+}
+
+TEST(RunDetails, SmartConfBeatsBestStaticSomewhere)
+{
+    // Fig. 5's headline: SmartConf >= the best static configuration.
+    // Checked in aggregate across the three throughput-style cases.
+    int wins = 0;
+    for (const char *id : {"HB3813", "CA6059", "MR2820"}) {
+        const auto s = makeScenario(id);
+        const ScenarioResult smart = s->run(Policy::smart(), kSeed);
+        double best_static = 0.0;
+        for (const double c : s->info().static_candidates) {
+            const ScenarioResult r =
+                s->run(Policy::makeStatic(c), kSeed);
+            if (!r.violated)
+                best_static = std::max(best_static, r.tradeoff);
+        }
+        if (smart.tradeoff >= best_static * 0.999)
+            ++wins;
+    }
+    EXPECT_GE(wins, 2);
+}
+
+} // namespace
+} // namespace smartconf::scenarios

@@ -1,0 +1,52 @@
+/** @file Unit tests for the virtual clock and tick conversion. */
+
+#include <gtest/gtest.h>
+
+#include "sim/clock.h"
+
+namespace smartconf::sim {
+namespace {
+
+TEST(Clock, StartsAtZeroAndAdvances)
+{
+    Clock c;
+    EXPECT_EQ(c.now(), 0);
+    c.advanceBy(5);
+    EXPECT_EQ(c.now(), 5);
+    c.advanceTo(10);
+    EXPECT_EQ(c.now(), 10);
+}
+
+TEST(Clock, NeverMovesBackwards)
+{
+    Clock c;
+    c.advanceTo(100);
+    c.advanceTo(50);
+    EXPECT_EQ(c.now(), 100);
+}
+
+TEST(Clock, Reset)
+{
+    Clock c;
+    c.advanceBy(42);
+    c.reset();
+    EXPECT_EQ(c.now(), 0);
+}
+
+TEST(TickConverterTest, RoundTrip)
+{
+    TickConverter conv(10.0); // 100 ms ticks
+    EXPECT_DOUBLE_EQ(conv.toSeconds(6000), 600.0);
+    EXPECT_EQ(conv.toTicks(600.0), 6000);
+    EXPECT_EQ(conv.toTicks(conv.toSeconds(1234)), 1234);
+}
+
+TEST(TickConverterTest, RoundsNearestTick)
+{
+    TickConverter conv(10.0);
+    EXPECT_EQ(conv.toTicks(0.04), 0);
+    EXPECT_EQ(conv.toTicks(0.06), 1);
+}
+
+} // namespace
+} // namespace smartconf::sim

@@ -1,0 +1,127 @@
+/** @file Unit tests for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.h"
+
+namespace smartconf::sim {
+namespace {
+
+TEST(EventQueue, FiresInTimeOrder)
+{
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<int> order;
+    q.scheduleAt(30, [&] { order.push_back(3); });
+    q.scheduleAt(10, [&] { order.push_back(1); });
+    q.scheduleAt(20, [&] { order.push_back(2); });
+    q.runUntil(std::numeric_limits<Tick>::max());
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(clock.now(), 30);
+}
+
+TEST(EventQueue, FifoWithinTick)
+{
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.scheduleAt(7, [&order, i] { order.push_back(i); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, HorizonStopsExecution)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(200, [&] { ++fired; });
+    const auto n = q.runUntil(100);
+    EXPECT_EQ(n, 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(clock.now(), 100) << "clock advances to the horizon";
+    EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, ScheduleAfterUsesNow)
+{
+    Clock clock;
+    EventQueue q(clock);
+    clock.advanceTo(50);
+    Tick fired_at = -1;
+    q.scheduleAfter(10, [&] { fired_at = clock.now(); });
+    q.runUntil(1000);
+    EXPECT_EQ(fired_at, 60);
+}
+
+TEST(EventQueue, PastSchedulingClampsToNow)
+{
+    Clock clock;
+    EventQueue q(clock);
+    clock.advanceTo(100);
+    Tick fired_at = -1;
+    q.scheduleAt(10, [&] { fired_at = clock.now(); });
+    q.runUntil(1000);
+    EXPECT_EQ(fired_at, 100);
+}
+
+TEST(EventQueue, CancelPreventsExecution)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    const EventId id = q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(20, [&] { ++fired; });
+    q.cancel(id);
+    q.runUntil(1000);
+    EXPECT_EQ(fired, 1);
+}
+
+TEST(EventQueue, EventsCanScheduleEvents)
+{
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<Tick> fired;
+    std::function<void()> recurring = [&] {
+        fired.push_back(clock.now());
+        if (fired.size() < 5)
+            q.scheduleAfter(10, recurring);
+    };
+    q.scheduleAt(0, recurring);
+    q.runUntil(1000);
+    EXPECT_EQ(fired, (std::vector<Tick>{0, 10, 20, 30, 40}));
+}
+
+TEST(EventQueue, StepRunsExactlyOne)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    q.scheduleAt(1, [&] { ++fired; });
+    q.scheduleAt(2, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueue, EmptyAndPending)
+{
+    Clock clock;
+    EventQueue q(clock);
+    EXPECT_TRUE(q.empty());
+    q.scheduleAt(5, [] {});
+    EXPECT_FALSE(q.empty());
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(10);
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace smartconf::sim

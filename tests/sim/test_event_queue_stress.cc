@@ -1,0 +1,60 @@
+/** @file Randomized stress test for the discrete-event engine. */
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "sim/event_queue.h"
+#include "sim/rng.h"
+
+namespace smartconf::sim {
+namespace {
+
+TEST(EventQueueStress, ThousandsOfRandomEventsFireInOrder)
+{
+    Clock clock;
+    EventQueue q(clock);
+    sim::Rng rng(2024);
+
+    std::vector<Tick> fired;
+    std::vector<EventId> cancellable;
+    const int n = 5000;
+    for (int i = 0; i < n; ++i) {
+        const Tick when = static_cast<Tick>(rng.below(100000));
+        const EventId id =
+            q.scheduleAt(when, [&fired, &clock] {
+                fired.push_back(clock.now());
+            });
+        if (rng.chance(0.2))
+            cancellable.push_back(id);
+    }
+    for (const EventId id : cancellable)
+        q.cancel(id);
+
+    q.runUntil(std::numeric_limits<Tick>::max());
+    EXPECT_EQ(fired.size(), n - cancellable.size());
+    for (std::size_t i = 1; i < fired.size(); ++i)
+        ASSERT_LE(fired[i - 1], fired[i]) << "out of order at " << i;
+}
+
+TEST(EventQueueStress, CascadingReschedulesTerminate)
+{
+    Clock clock;
+    EventQueue q(clock);
+    sim::Rng rng(7);
+    int fired = 0;
+    std::function<void()> chain = [&] {
+        ++fired;
+        if (fired < 2000 && rng.chance(0.9))
+            q.scheduleAfter(static_cast<Tick>(rng.below(10)) + 1, chain);
+    };
+    for (int i = 0; i < 50; ++i)
+        q.scheduleAt(static_cast<Tick>(i), chain);
+    const std::size_t total = q.runUntil(1000000);
+    EXPECT_EQ(total, static_cast<std::size_t>(fired));
+    EXPECT_TRUE(q.empty());
+}
+
+} // namespace
+} // namespace smartconf::sim

@@ -1,0 +1,92 @@
+/** @file Unit tests for time series and histogram recorders. */
+
+#include <gtest/gtest.h>
+
+#include "sim/metrics.h"
+
+namespace smartconf::sim {
+namespace {
+
+TEST(TimeSeriesTest, RecordAndQuery)
+{
+    TimeSeries ts("mem");
+    EXPECT_TRUE(ts.empty());
+    ts.record(0, 10.0);
+    ts.record(1, 30.0);
+    ts.record(2, 20.0);
+    EXPECT_EQ(ts.size(), 3u);
+    EXPECT_DOUBLE_EQ(ts.max(), 30.0);
+    EXPECT_DOUBLE_EQ(ts.last(), 20.0);
+    EXPECT_DOUBLE_EQ(ts.mean(), 20.0);
+}
+
+TEST(TimeSeriesTest, FirstAbove)
+{
+    TimeSeries ts;
+    ts.record(0, 10.0);
+    ts.record(5, 50.0);
+    ts.record(9, 90.0);
+    EXPECT_EQ(ts.firstAbove(40.0), 5);
+    EXPECT_EQ(ts.firstAbove(100.0), -1);
+}
+
+TEST(TimeSeriesTest, DownsampleKeepsPeaks)
+{
+    TimeSeries ts;
+    for (Tick t = 0; t < 1000; ++t)
+        ts.record(t, t == 500 ? 999.0 : 1.0);
+    const auto pts = ts.downsampleMax(10);
+    EXPECT_LE(pts.size(), 10u);
+    double best = 0.0;
+    for (const auto &p : pts)
+        best = std::max(best, p.value);
+    EXPECT_DOUBLE_EQ(best, 999.0) << "peak must survive downsampling";
+}
+
+TEST(TimeSeriesTest, DownsampleNoOpWhenSmall)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    ts.record(1, 2.0);
+    EXPECT_EQ(ts.downsampleMax(10).size(), 2u);
+}
+
+TEST(TimeSeriesTest, CsvRendering)
+{
+    TimeSeries ts("used_memory_mb");
+    ts.record(10, 123.0);
+    const std::string csv = ts.toCsv(TickConverter(10.0));
+    EXPECT_NE(csv.find("seconds,used_memory_mb"), std::string::npos);
+    EXPECT_NE(csv.find("1,123"), std::string::npos);
+}
+
+TEST(HistogramTest, MeanMaxPercentile)
+{
+    Histogram h;
+    for (int i = 1; i <= 100; ++i)
+        h.record(static_cast<double>(i));
+    EXPECT_EQ(h.count(), 100u);
+    EXPECT_DOUBLE_EQ(h.mean(), 50.5);
+    EXPECT_DOUBLE_EQ(h.max(), 100.0);
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 99.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 100.0);
+}
+
+TEST(HistogramTest, EmptyIsZero)
+{
+    Histogram h;
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(h.percentile(99.0), 0.0);
+}
+
+TEST(HistogramTest, ResetClears)
+{
+    Histogram h;
+    h.record(5.0);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+}
+
+} // namespace
+} // namespace smartconf::sim

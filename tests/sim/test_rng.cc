@@ -1,0 +1,138 @@
+/** @file Unit tests for the deterministic RNG and Zipfian sampler. */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/rng.h"
+
+namespace smartconf::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 100; ++i)
+        same += a.next() == b.next() ? 1 : 0;
+    EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInRange)
+{
+    Rng r(7);
+    for (int i = 0; i < 10000; ++i) {
+        const double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+    for (int i = 0; i < 1000; ++i) {
+        const double u = r.uniform(-5.0, 5.0);
+        EXPECT_GE(u, -5.0);
+        EXPECT_LT(u, 5.0);
+    }
+}
+
+TEST(Rng, UniformMeanIsCentered)
+{
+    Rng r(9);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += r.uniform();
+    EXPECT_NEAR(acc / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowAndBetween)
+{
+    Rng r(13);
+    for (int i = 0; i < 1000; ++i) {
+        EXPECT_LT(r.below(10), 10u);
+        const auto v = r.between(-3, 3);
+        EXPECT_GE(v, -3);
+        EXPECT_LE(v, 3);
+    }
+}
+
+TEST(Rng, ChanceApproximatesProbability)
+{
+    Rng r(17);
+    int hits = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i)
+        hits += r.chance(0.3) ? 1 : 0;
+    EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(Rng, ExponentialMean)
+{
+    Rng r(19);
+    double acc = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        acc += r.exponential(4.0);
+    EXPECT_NEAR(acc / n, 4.0, 0.1);
+}
+
+TEST(Rng, GaussianMoments)
+{
+    Rng r(23);
+    double acc = 0.0, acc2 = 0.0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i) {
+        const double x = r.gaussian(10.0, 2.0);
+        acc += x;
+        acc2 += x * x;
+    }
+    const double mean = acc / n;
+    const double var = acc2 / n - mean * mean;
+    EXPECT_NEAR(mean, 10.0, 0.05);
+    EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(Rng, ForkedStreamsAreIndependentAndStable)
+{
+    Rng base(101);
+    Rng f1 = base.fork(1);
+    Rng f2 = base.fork(2);
+    Rng f1again = base.fork(1);
+    EXPECT_EQ(f1.next(), f1again.next());
+    EXPECT_NE(f1.next(), f2.next());
+}
+
+TEST(Zipfian, InRangeAndSkewed)
+{
+    Rng r(31);
+    ZipfianGenerator z(1000, 0.99);
+    std::map<std::uint64_t, int> counts;
+    for (int i = 0; i < 50000; ++i) {
+        const auto k = z.sample(r);
+        ASSERT_LT(k, 1000u);
+        ++counts[k];
+    }
+    // Head items dominate the tail under Zipfian skew.
+    EXPECT_GT(counts[0], counts[500] * 5);
+    EXPECT_GT(counts[0], 50000 / 100);
+}
+
+TEST(Zipfian, UniformWhenThetaZero)
+{
+    Rng r(37);
+    ZipfianGenerator z(10, 0.0);
+    std::vector<int> counts(10, 0);
+    for (int i = 0; i < 100000; ++i)
+        ++counts[z.sample(r)];
+    for (int c : counts)
+        EXPECT_NEAR(static_cast<double>(c), 10000.0, 600.0);
+}
+
+} // namespace
+} // namespace smartconf::sim

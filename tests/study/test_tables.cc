@@ -1,0 +1,147 @@
+/** @file Tests that each rendered table cell matches the paper. */
+
+#include <gtest/gtest.h>
+
+#include "study/tables.h"
+
+namespace smartconf::study {
+namespace {
+
+const StudyDataset &
+ds()
+{
+    static const StudyDataset d = StudyDataset::paper();
+    return d;
+}
+
+TEST(Table3, AllCellsMatchPaper)
+{
+    const struct
+    {
+        System sys;
+        Table3Counts expect;
+    } rows[] = {
+        {System::Cassandra, {11, 2, 2, 5}},
+        {System::HBase, {16, 1, 0, 13}},
+        {System::Hdfs, {8, 7, 0, 5}},
+        {System::MapReduce, {4, 4, 1, 1}},
+    };
+    for (const auto &row : rows) {
+        const Table3Counts c = aggregateTable3(ds(), row.sys);
+        EXPECT_EQ(c.tune_new, row.expect.tune_new)
+            << systemFullName(row.sys);
+        EXPECT_EQ(c.replace_hard_coded, row.expect.replace_hard_coded);
+        EXPECT_EQ(c.refine_existing, row.expect.refine_existing);
+        EXPECT_EQ(c.fix_poor_default, row.expect.fix_poor_default);
+        EXPECT_EQ(c.total(),
+                  ds().suiteCounts(row.sys).perfconf_issues);
+    }
+}
+
+TEST(Table3, HalfFixDefaultsOrHardCoded)
+{
+    // "For about half of the issues, either the default (24 of 80) or
+    // the original hard-coded (14 of 80) setting caused severe
+    // performance issues."
+    int fix = 0, hard_coded = 0;
+    for (const System sys : kSystems) {
+        const Table3Counts c = aggregateTable3(ds(), sys);
+        fix += c.fix_poor_default;
+        hard_coded += c.replace_hard_coded;
+    }
+    EXPECT_EQ(fix, 24);
+    EXPECT_EQ(hard_coded, 14);
+}
+
+TEST(Table4, AllCellsMatchPaper)
+{
+    const struct
+    {
+        System sys;
+        Table4Counts expect;
+    } rows[] = {
+        {System::Cassandra, {14, 8, 9, 9, 11, 7, 13}},
+        {System::HBase, {28, 3, 15, 17, 13, 16, 14}},
+        {System::Hdfs, {20, 5, 8, 8, 12, 8, 12}},
+        {System::MapReduce, {9, 0, 7, 6, 4, 4, 6}},
+    };
+    for (const auto &row : rows) {
+        const Table4Counts c = aggregateTable4(ds(), row.sys);
+        EXPECT_EQ(c.latency, row.expect.latency)
+            << systemFullName(row.sys);
+        EXPECT_EQ(c.throughput, row.expect.throughput);
+        EXPECT_EQ(c.memdisk, row.expect.memdisk);
+        EXPECT_EQ(c.always_on, row.expect.always_on);
+        EXPECT_EQ(c.conditional, row.expect.conditional);
+        EXPECT_EQ(c.direct, row.expect.direct);
+        EXPECT_EQ(c.indirect, row.expect.indirect);
+    }
+}
+
+TEST(Table5, AllCellsMatchPaper)
+{
+    const struct
+    {
+        System sys;
+        Table5Counts expect;
+    } rows[] = {
+        {System::Cassandra, {15, 4, 1, 0, 4, 16}},
+        {System::HBase, {23, 5, 2, 1, 0, 29}},
+        {System::Hdfs, {19, 0, 1, 0, 0, 20}},
+        {System::MapReduce, {9, 0, 1, 1, 2, 7}},
+    };
+    for (const auto &row : rows) {
+        const Table5Counts c = aggregateTable5(ds(), row.sys);
+        EXPECT_EQ(c.integer, row.expect.integer)
+            << systemFullName(row.sys);
+        EXPECT_EQ(c.floating, row.expect.floating);
+        EXPECT_EQ(c.non_numerical, row.expect.non_numerical);
+        EXPECT_EQ(c.static_system, row.expect.static_system);
+        EXPECT_EQ(c.static_workload, row.expect.static_workload);
+        EXPECT_EQ(c.dynamic, row.expect.dynamic);
+    }
+}
+
+TEST(Table5, DynamicFactorsDominate)
+{
+    // "In most cases (~90%), it depends on dynamic workload and
+    // environment characteristics."
+    int dynamic = 0;
+    for (const System sys : kSystems)
+        dynamic += aggregateTable5(ds(), sys).dynamic;
+    EXPECT_NEAR(static_cast<double>(dynamic) / 80.0, 0.9, 0.03);
+}
+
+TEST(Headlines, SharesMatchPaper)
+{
+    const HeadlineStats h = aggregateHeadlines(ds());
+    EXPECT_EQ(h.issues, 80);
+    EXPECT_EQ(h.posts, 54);
+    EXPECT_NEAR(h.perfconf_issue_share, 0.65, 0.02); // "65% of issues"
+    EXPECT_NEAR(h.perfconf_post_share, 0.35, 0.02);  // "35% of posts"
+    EXPECT_EQ(h.multi_metric_issues, 61);
+    EXPECT_EQ(h.func_tradeoff_issues, 13);
+}
+
+TEST(Rendering, TablesContainKeyNumbers)
+{
+    const std::string t2 = formatTable2(ds());
+    EXPECT_NE(t2.find("Cassandra"), std::string::npos);
+    EXPECT_NE(t2.find("Total"), std::string::npos);
+    EXPECT_NE(t2.find("80"), std::string::npos);
+    EXPECT_NE(t2.find("157"), std::string::npos);
+
+    const std::string t4 = formatTable4(ds());
+    EXPECT_NE(t4.find("User-Request Latency"), std::string::npos);
+    EXPECT_NE(t4.find("Indirect Impact"), std::string::npos);
+
+    const std::string t5 = formatTable5(ds());
+    EXPECT_NE(t5.find("Floating Points"), std::string::npos);
+    EXPECT_NE(t5.find("Dynamic factors"), std::string::npos);
+
+    const std::string head = formatHeadlines(ds());
+    EXPECT_NE(head.find("61 of 80"), std::string::npos);
+}
+
+} // namespace
+} // namespace smartconf::study

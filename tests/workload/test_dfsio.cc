@@ -1,0 +1,69 @@
+/** @file Unit tests for the TestDFSIO-like generator. */
+
+#include <gtest/gtest.h>
+
+#include "workload/dfsio.h"
+
+namespace smartconf::workload {
+namespace {
+
+TEST(Dfsio, WriteRateApproximatesParameter)
+{
+    DfsioParams p;
+    p.writes_per_tick = 30.0;
+    p.du_period = 1000000; // effectively never
+    DfsioGenerator gen(p, sim::Rng(1));
+    std::uint64_t writes = 0;
+    const int ticks = 2000;
+    for (int t = 0; t < ticks; ++t) {
+        for (const auto &req : gen.tick(t))
+            writes += req.type == DfsRequest::Type::WriteFile ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(writes) / ticks, 30.0, 1.5);
+}
+
+TEST(Dfsio, DuIssuedPeriodically)
+{
+    DfsioParams p;
+    p.writes_per_tick = 1.0;
+    p.du_period = 100;
+    p.du_file_count = 5555;
+    DfsioGenerator gen(p, sim::Rng(2));
+    int dus = 0;
+    for (int t = 0; t < 1000; ++t) {
+        for (const auto &req : gen.tick(t)) {
+            if (req.type == DfsRequest::Type::ContentSummary) {
+                ++dus;
+                EXPECT_EQ(req.file_count, 5555u);
+            }
+        }
+    }
+    EXPECT_EQ(dus, 10);
+}
+
+TEST(Dfsio, ClientIdsWithinRange)
+{
+    DfsioParams p;
+    p.clients = 4;
+    DfsioGenerator gen(p, sim::Rng(3));
+    for (int t = 0; t < 200; ++t) {
+        for (const auto &req : gen.tick(t)) {
+            if (req.type == DfsRequest::Type::WriteFile)
+                EXPECT_LT(req.client, 4u);
+        }
+    }
+}
+
+TEST(Dfsio, FirstTickIssuesDu)
+{
+    DfsioParams p;
+    p.du_period = 500;
+    DfsioGenerator gen(p, sim::Rng(4));
+    bool found = false;
+    for (const auto &req : gen.tick(0))
+        found |= req.type == DfsRequest::Type::ContentSummary;
+    EXPECT_TRUE(found);
+}
+
+} // namespace
+} // namespace smartconf::workload

@@ -1,0 +1,44 @@
+/** @file Unit tests for the WordCount job descriptor. */
+
+#include <gtest/gtest.h>
+
+#include "workload/wordcount.h"
+
+namespace smartconf::workload {
+namespace {
+
+TEST(WordCount, MapTaskCountCeils)
+{
+    WordCountJob j{2048.0, 64.0, 1, 1.0};
+    EXPECT_EQ(j.mapTaskCount(), 32u);
+    WordCountJob k{650.0, 64.0, 1, 1.0};
+    EXPECT_EQ(k.mapTaskCount(), 11u) << "partial split gets a task";
+}
+
+TEST(WordCount, Table6Jobs)
+{
+    // Profiling job: WordCount(2G, 64MB, 1).
+    WordCountJob prof{2048.0, 64.0, 1, 1.0};
+    EXPECT_EQ(prof.mapTaskCount(), 32u);
+    // Phase 1: (640MB, 64MB, 2); phase 2: (640MB, 128MB, 2).
+    WordCountJob p1{640.0, 64.0, 2, 1.0};
+    WordCountJob p2{640.0, 128.0, 2, 1.0};
+    EXPECT_EQ(p1.mapTaskCount(), 10u);
+    EXPECT_EQ(p2.mapTaskCount(), 5u);
+    EXPECT_DOUBLE_EQ(p2.spillPerTaskMb(), 128.0);
+}
+
+TEST(WordCount, SpillScalesWithRatio)
+{
+    WordCountJob j{640.0, 64.0, 2, 0.5};
+    EXPECT_DOUBLE_EQ(j.spillPerTaskMb(), 32.0);
+}
+
+TEST(WordCount, DegenerateSplit)
+{
+    WordCountJob j{640.0, 0.0, 1, 1.0};
+    EXPECT_EQ(j.mapTaskCount(), 0u);
+}
+
+} // namespace
+} // namespace smartconf::workload

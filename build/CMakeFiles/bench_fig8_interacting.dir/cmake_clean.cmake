@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_interacting.dir/bench/bench_fig8_interacting.cc.o"
+  "CMakeFiles/bench_fig8_interacting.dir/bench/bench_fig8_interacting.cc.o.d"
+  "bench/bench_fig8_interacting"
+  "bench/bench_fig8_interacting.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_interacting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

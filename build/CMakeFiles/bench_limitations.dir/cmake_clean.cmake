@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_limitations.dir/bench/bench_limitations.cc.o"
+  "CMakeFiles/bench_limitations.dir/bench/bench_limitations.cc.o.d"
+  "bench/bench_limitations"
+  "bench/bench_limitations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_limitations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_micro_controller.dir/bench/bench_micro_controller.cc.o"
+  "CMakeFiles/bench_micro_controller.dir/bench/bench_micro_controller.cc.o.d"
+  "bench/bench_micro_controller"
+  "bench/bench_micro_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_micro_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_suite.dir/bench/bench_table6_suite.cc.o"
+  "CMakeFiles/bench_table6_suite.dir/bench/bench_table6_suite.cc.o.d"
+  "bench/bench_table6_suite"
+  "bench/bench_table6_suite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_suite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

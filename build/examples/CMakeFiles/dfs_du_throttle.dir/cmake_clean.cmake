@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_du_throttle.dir/dfs_du_throttle.cpp.o"
+  "CMakeFiles/dfs_du_throttle.dir/dfs_du_throttle.cpp.o.d"
+  "dfs_du_throttle"
+  "dfs_du_throttle.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_du_throttle.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/interacting_queues.cpp" "examples/CMakeFiles/interacting_queues.dir/interacting_queues.cpp.o" "gcc" "examples/CMakeFiles/interacting_queues.dir/interacting_queues.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/smartconf_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smartconf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/smartconf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/smartconf_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/smartconf_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

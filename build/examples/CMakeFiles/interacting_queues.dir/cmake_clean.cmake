@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/interacting_queues.dir/interacting_queues.cpp.o"
+  "CMakeFiles/interacting_queues.dir/interacting_queues.cpp.o.d"
+  "interacting_queues"
+  "interacting_queues.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/interacting_queues.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

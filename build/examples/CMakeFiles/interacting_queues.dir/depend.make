@@ -1,0 +1,2 @@
+# Empty dependencies file for interacting_queues.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_autotune.dir/kvstore_autotune.cpp.o"
+  "CMakeFiles/kvstore_autotune.dir/kvstore_autotune.cpp.o.d"
+  "kvstore_autotune"
+  "kvstore_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_diskguard.dir/mapreduce_diskguard.cpp.o"
+  "CMakeFiles/mapreduce_diskguard.dir/mapreduce_diskguard.cpp.o.d"
+  "mapreduce_diskguard"
+  "mapreduce_diskguard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_diskguard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconfctl.dir/smartconfctl.cpp.o"
+  "CMakeFiles/smartconfctl.dir/smartconfctl.cpp.o.d"
+  "smartconfctl"
+  "smartconfctl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconfctl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

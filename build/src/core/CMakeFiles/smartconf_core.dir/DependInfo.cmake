@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/controller.cc" "src/core/CMakeFiles/smartconf_core.dir/controller.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/controller.cc.o.d"
+  "/root/repo/src/core/coordinator.cc" "src/core/CMakeFiles/smartconf_core.dir/coordinator.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/coordinator.cc.o.d"
+  "/root/repo/src/core/goal.cc" "src/core/CMakeFiles/smartconf_core.dir/goal.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/goal.cc.o.d"
+  "/root/repo/src/core/lint.cc" "src/core/CMakeFiles/smartconf_core.dir/lint.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/lint.cc.o.d"
+  "/root/repo/src/core/model.cc" "src/core/CMakeFiles/smartconf_core.dir/model.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/model.cc.o.d"
+  "/root/repo/src/core/pole.cc" "src/core/CMakeFiles/smartconf_core.dir/pole.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/pole.cc.o.d"
+  "/root/repo/src/core/profiler.cc" "src/core/CMakeFiles/smartconf_core.dir/profiler.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/profiler.cc.o.d"
+  "/root/repo/src/core/runtime.cc" "src/core/CMakeFiles/smartconf_core.dir/runtime.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/runtime.cc.o.d"
+  "/root/repo/src/core/sensor.cc" "src/core/CMakeFiles/smartconf_core.dir/sensor.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/sensor.cc.o.d"
+  "/root/repo/src/core/smartconf.cc" "src/core/CMakeFiles/smartconf_core.dir/smartconf.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/smartconf.cc.o.d"
+  "/root/repo/src/core/stats.cc" "src/core/CMakeFiles/smartconf_core.dir/stats.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/stats.cc.o.d"
+  "/root/repo/src/core/sysfile.cc" "src/core/CMakeFiles/smartconf_core.dir/sysfile.cc.o" "gcc" "src/core/CMakeFiles/smartconf_core.dir/sysfile.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

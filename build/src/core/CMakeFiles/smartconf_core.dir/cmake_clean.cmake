@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_core.dir/controller.cc.o"
+  "CMakeFiles/smartconf_core.dir/controller.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/coordinator.cc.o"
+  "CMakeFiles/smartconf_core.dir/coordinator.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/goal.cc.o"
+  "CMakeFiles/smartconf_core.dir/goal.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/lint.cc.o"
+  "CMakeFiles/smartconf_core.dir/lint.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/model.cc.o"
+  "CMakeFiles/smartconf_core.dir/model.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/pole.cc.o"
+  "CMakeFiles/smartconf_core.dir/pole.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/profiler.cc.o"
+  "CMakeFiles/smartconf_core.dir/profiler.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/runtime.cc.o"
+  "CMakeFiles/smartconf_core.dir/runtime.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/sensor.cc.o"
+  "CMakeFiles/smartconf_core.dir/sensor.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/smartconf.cc.o"
+  "CMakeFiles/smartconf_core.dir/smartconf.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/stats.cc.o"
+  "CMakeFiles/smartconf_core.dir/stats.cc.o.d"
+  "CMakeFiles/smartconf_core.dir/sysfile.cc.o"
+  "CMakeFiles/smartconf_core.dir/sysfile.cc.o.d"
+  "libsmartconf_core.a"
+  "libsmartconf_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dfs/namenode.cc" "src/dfs/CMakeFiles/smartconf_dfs.dir/namenode.cc.o" "gcc" "src/dfs/CMakeFiles/smartconf_dfs.dir/namenode.cc.o.d"
+  "/root/repo/src/dfs/namespace_tree.cc" "src/dfs/CMakeFiles/smartconf_dfs.dir/namespace_tree.cc.o" "gcc" "src/dfs/CMakeFiles/smartconf_dfs.dir/namespace_tree.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

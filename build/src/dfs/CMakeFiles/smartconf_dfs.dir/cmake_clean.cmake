@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_dfs.dir/namenode.cc.o"
+  "CMakeFiles/smartconf_dfs.dir/namenode.cc.o.d"
+  "CMakeFiles/smartconf_dfs.dir/namespace_tree.cc.o"
+  "CMakeFiles/smartconf_dfs.dir/namespace_tree.cc.o.d"
+  "libsmartconf_dfs.a"
+  "libsmartconf_dfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_dfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

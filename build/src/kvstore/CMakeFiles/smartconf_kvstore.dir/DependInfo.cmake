@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/kvstore/heap.cc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/heap.cc.o" "gcc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/heap.cc.o.d"
+  "/root/repo/src/kvstore/memstore.cc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/memstore.cc.o" "gcc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/memstore.cc.o.d"
+  "/root/repo/src/kvstore/memtable.cc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/memtable.cc.o" "gcc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/memtable.cc.o.d"
+  "/root/repo/src/kvstore/rpc_queue.cc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/rpc_queue.cc.o" "gcc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/rpc_queue.cc.o.d"
+  "/root/repo/src/kvstore/server.cc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/server.cc.o" "gcc" "src/kvstore/CMakeFiles/smartconf_kvstore.dir/server.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_kvstore.dir/heap.cc.o"
+  "CMakeFiles/smartconf_kvstore.dir/heap.cc.o.d"
+  "CMakeFiles/smartconf_kvstore.dir/memstore.cc.o"
+  "CMakeFiles/smartconf_kvstore.dir/memstore.cc.o.d"
+  "CMakeFiles/smartconf_kvstore.dir/memtable.cc.o"
+  "CMakeFiles/smartconf_kvstore.dir/memtable.cc.o.d"
+  "CMakeFiles/smartconf_kvstore.dir/rpc_queue.cc.o"
+  "CMakeFiles/smartconf_kvstore.dir/rpc_queue.cc.o.d"
+  "CMakeFiles/smartconf_kvstore.dir/server.cc.o"
+  "CMakeFiles/smartconf_kvstore.dir/server.cc.o.d"
+  "libsmartconf_kvstore.a"
+  "libsmartconf_kvstore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_kvstore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

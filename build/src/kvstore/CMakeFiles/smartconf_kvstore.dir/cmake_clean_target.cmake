@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsmartconf_kvstore.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_mapreduce.dir/cluster.cc.o"
+  "CMakeFiles/smartconf_mapreduce.dir/cluster.cc.o.d"
+  "CMakeFiles/smartconf_mapreduce.dir/distcp.cc.o"
+  "CMakeFiles/smartconf_mapreduce.dir/distcp.cc.o.d"
+  "libsmartconf_mapreduce.a"
+  "libsmartconf_mapreduce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_mapreduce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/scenarios/ca6059.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/ca6059.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/ca6059.cc.o.d"
+  "/root/repo/src/scenarios/control.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/control.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/control.cc.o.d"
+  "/root/repo/src/scenarios/hb2149.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb2149.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb2149.cc.o.d"
+  "/root/repo/src/scenarios/hb3813.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb3813.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb3813.cc.o.d"
+  "/root/repo/src/scenarios/hb6728.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb6728.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hb6728.cc.o.d"
+  "/root/repo/src/scenarios/hd4995.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hd4995.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/hd4995.cc.o.d"
+  "/root/repo/src/scenarios/mr2820.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/mr2820.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/mr2820.cc.o.d"
+  "/root/repo/src/scenarios/scenario.cc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/scenario.cc.o" "gcc" "src/scenarios/CMakeFiles/smartconf_scenarios.dir/scenario.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/smartconf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/smartconf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/smartconf_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/smartconf_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_scenarios.dir/ca6059.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/ca6059.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/control.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/control.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/hb2149.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/hb2149.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/hb3813.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/hb3813.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/hb6728.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/hb6728.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/hd4995.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/hd4995.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/mr2820.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/mr2820.cc.o.d"
+  "CMakeFiles/smartconf_scenarios.dir/scenario.cc.o"
+  "CMakeFiles/smartconf_scenarios.dir/scenario.cc.o.d"
+  "libsmartconf_scenarios.a"
+  "libsmartconf_scenarios.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_scenarios.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_sim.dir/event_queue.cc.o"
+  "CMakeFiles/smartconf_sim.dir/event_queue.cc.o.d"
+  "CMakeFiles/smartconf_sim.dir/metrics.cc.o"
+  "CMakeFiles/smartconf_sim.dir/metrics.cc.o.d"
+  "CMakeFiles/smartconf_sim.dir/rng.cc.o"
+  "CMakeFiles/smartconf_sim.dir/rng.cc.o.d"
+  "libsmartconf_sim.a"
+  "libsmartconf_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_study.dir/dataset.cc.o"
+  "CMakeFiles/smartconf_study.dir/dataset.cc.o.d"
+  "CMakeFiles/smartconf_study.dir/tables.cc.o"
+  "CMakeFiles/smartconf_study.dir/tables.cc.o.d"
+  "libsmartconf_study.a"
+  "libsmartconf_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smartconf_workload.dir/dfsio.cc.o"
+  "CMakeFiles/smartconf_workload.dir/dfsio.cc.o.d"
+  "CMakeFiles/smartconf_workload.dir/trace.cc.o"
+  "CMakeFiles/smartconf_workload.dir/trace.cc.o.d"
+  "CMakeFiles/smartconf_workload.dir/ycsb.cc.o"
+  "CMakeFiles/smartconf_workload.dir/ycsb.cc.o.d"
+  "libsmartconf_workload.a"
+  "libsmartconf_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smartconf_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,43 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_controller.cc" "tests/CMakeFiles/core_tests.dir/core/test_controller.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_controller.cc.o.d"
+  "/root/repo/tests/core/test_controller_properties.cc" "tests/CMakeFiles/core_tests.dir/core/test_controller_properties.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_controller_properties.cc.o.d"
+  "/root/repo/tests/core/test_coordinator.cc" "tests/CMakeFiles/core_tests.dir/core/test_coordinator.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_coordinator.cc.o.d"
+  "/root/repo/tests/core/test_goal.cc" "tests/CMakeFiles/core_tests.dir/core/test_goal.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_goal.cc.o.d"
+  "/root/repo/tests/core/test_lint.cc" "tests/CMakeFiles/core_tests.dir/core/test_lint.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_lint.cc.o.d"
+  "/root/repo/tests/core/test_lower_bound_goals.cc" "tests/CMakeFiles/core_tests.dir/core/test_lower_bound_goals.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_lower_bound_goals.cc.o.d"
+  "/root/repo/tests/core/test_model.cc" "tests/CMakeFiles/core_tests.dir/core/test_model.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_model.cc.o.d"
+  "/root/repo/tests/core/test_pole.cc" "tests/CMakeFiles/core_tests.dir/core/test_pole.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_pole.cc.o.d"
+  "/root/repo/tests/core/test_profile_store.cc" "tests/CMakeFiles/core_tests.dir/core/test_profile_store.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_profile_store.cc.o.d"
+  "/root/repo/tests/core/test_profiler.cc" "tests/CMakeFiles/core_tests.dir/core/test_profiler.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_profiler.cc.o.d"
+  "/root/repo/tests/core/test_runtime.cc" "tests/CMakeFiles/core_tests.dir/core/test_runtime.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_runtime.cc.o.d"
+  "/root/repo/tests/core/test_sensor.cc" "tests/CMakeFiles/core_tests.dir/core/test_sensor.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sensor.cc.o.d"
+  "/root/repo/tests/core/test_smartconf_api.cc" "tests/CMakeFiles/core_tests.dir/core/test_smartconf_api.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_smartconf_api.cc.o.d"
+  "/root/repo/tests/core/test_stats.cc" "tests/CMakeFiles/core_tests.dir/core/test_stats.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_stats.cc.o.d"
+  "/root/repo/tests/core/test_sysfile.cc" "tests/CMakeFiles/core_tests.dir/core/test_sysfile.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sysfile.cc.o.d"
+  "/root/repo/tests/core/test_sysfile_fuzz.cc" "tests/CMakeFiles/core_tests.dir/core/test_sysfile_fuzz.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_sysfile_fuzz.cc.o.d"
+  "/root/repo/tests/core/test_transducer.cc" "tests/CMakeFiles/core_tests.dir/core/test_transducer.cc.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/test_transducer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/smartconf_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/smartconf_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smartconf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/smartconf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/smartconf_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/smartconf_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

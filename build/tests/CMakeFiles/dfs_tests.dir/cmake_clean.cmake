@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dfs_tests.dir/dfs/test_namenode.cc.o"
+  "CMakeFiles/dfs_tests.dir/dfs/test_namenode.cc.o.d"
+  "CMakeFiles/dfs_tests.dir/dfs/test_namespace_tree.cc.o"
+  "CMakeFiles/dfs_tests.dir/dfs/test_namespace_tree.cc.o.d"
+  "dfs_tests"
+  "dfs_tests.pdb"
+  "dfs_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dfs_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_heap.cc.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_heap.cc.o.d"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_memstore.cc.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_memstore.cc.o.d"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_memtable.cc.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_memtable.cc.o.d"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_rpc_queue.cc.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_rpc_queue.cc.o.d"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_server.cc.o"
+  "CMakeFiles/kvstore_tests.dir/kvstore/test_server.cc.o.d"
+  "kvstore_tests"
+  "kvstore_tests.pdb"
+  "kvstore_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kvstore_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

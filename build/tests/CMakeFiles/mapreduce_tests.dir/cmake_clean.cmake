@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_cluster.cc.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_cluster.cc.o.d"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_distcp.cc.o"
+  "CMakeFiles/mapreduce_tests.dir/mapreduce/test_distcp.cc.o.d"
+  "mapreduce_tests"
+  "mapreduce_tests.pdb"
+  "mapreduce_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mapreduce_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

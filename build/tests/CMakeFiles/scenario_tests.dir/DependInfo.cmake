@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/scenarios/test_ablations.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_ablations.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_ablations.cc.o.d"
+  "/root/repo/tests/scenarios/test_behaviour_details.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_behaviour_details.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_behaviour_details.cc.o.d"
+  "/root/repo/tests/scenarios/test_integration.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_integration.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_integration.cc.o.d"
+  "/root/repo/tests/scenarios/test_longrun.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_longrun.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_longrun.cc.o.d"
+  "/root/repo/tests/scenarios/test_policies.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_policies.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_policies.cc.o.d"
+  "/root/repo/tests/scenarios/test_profiles.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_profiles.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_profiles.cc.o.d"
+  "/root/repo/tests/scenarios/test_robustness.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_robustness.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_robustness.cc.o.d"
+  "/root/repo/tests/scenarios/test_runs.cc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_runs.cc.o" "gcc" "tests/CMakeFiles/scenario_tests.dir/scenarios/test_runs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/scenarios/CMakeFiles/smartconf_scenarios.dir/DependInfo.cmake"
+  "/root/repo/build/src/study/CMakeFiles/smartconf_study.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/smartconf_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/dfs/CMakeFiles/smartconf_dfs.dir/DependInfo.cmake"
+  "/root/repo/build/src/kvstore/CMakeFiles/smartconf_kvstore.dir/DependInfo.cmake"
+  "/root/repo/build/src/mapreduce/CMakeFiles/smartconf_mapreduce.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/smartconf_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/smartconf_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

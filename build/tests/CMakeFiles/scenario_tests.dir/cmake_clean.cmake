@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scenario_tests.dir/scenarios/test_ablations.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_ablations.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_behaviour_details.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_behaviour_details.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_integration.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_integration.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_longrun.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_longrun.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_policies.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_policies.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_profiles.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_profiles.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_robustness.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_robustness.cc.o.d"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_runs.cc.o"
+  "CMakeFiles/scenario_tests.dir/scenarios/test_runs.cc.o.d"
+  "scenario_tests"
+  "scenario_tests.pdb"
+  "scenario_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scenario_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sim_tests.dir/sim/test_clock.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_clock.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue_stress.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_event_queue_stress.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_metrics.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_metrics.cc.o.d"
+  "CMakeFiles/sim_tests.dir/sim/test_rng.cc.o"
+  "CMakeFiles/sim_tests.dir/sim/test_rng.cc.o.d"
+  "sim_tests"
+  "sim_tests.pdb"
+  "sim_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sim_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/study_tests.dir/study/test_dataset.cc.o"
+  "CMakeFiles/study_tests.dir/study/test_dataset.cc.o.d"
+  "CMakeFiles/study_tests.dir/study/test_tables.cc.o"
+  "CMakeFiles/study_tests.dir/study/test_tables.cc.o.d"
+  "study_tests"
+  "study_tests.pdb"
+  "study_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/study_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_tests.dir/workload/test_dfsio.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/test_dfsio.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/test_phases.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/test_phases.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/test_trace.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/test_trace.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/test_wordcount.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/test_wordcount.cc.o.d"
+  "CMakeFiles/workload_tests.dir/workload/test_ycsb.cc.o"
+  "CMakeFiles/workload_tests.dir/workload/test_ycsb.cc.o.d"
+  "workload_tests"
+  "workload_tests.pdb"
+  "workload_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

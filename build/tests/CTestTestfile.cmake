@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/sim_tests[1]_include.cmake")
+include("/root/repo/build/tests/workload_tests[1]_include.cmake")
+include("/root/repo/build/tests/kvstore_tests[1]_include.cmake")
+include("/root/repo/build/tests/dfs_tests[1]_include.cmake")
+include("/root/repo/build/tests/mapreduce_tests[1]_include.cmake")
+include("/root/repo/build/tests/study_tests[1]_include.cmake")
+include("/root/repo/build/tests/scenario_tests[1]_include.cmake")

@@ -5,7 +5,8 @@ set(SMARTCONF_BENCH_DIR ${CMAKE_CURRENT_LIST_DIR})
 
 function(smartconf_add_bench name source)
     add_executable(${name} ${SMARTCONF_BENCH_DIR}/${source})
-    target_link_libraries(${name} PRIVATE smartconf_scenarios
+    target_link_libraries(${name} PRIVATE smartconf_exec
+                                          smartconf_scenarios
                                           smartconf_study)
     set_target_properties(${name} PROPERTIES
         RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
@@ -24,3 +25,4 @@ target_link_libraries(bench_micro_controller PRIVATE benchmark::benchmark)
 smartconf_add_bench(bench_ablation_profiling bench_ablation_profiling.cc)
 smartconf_add_bench(bench_ablation_period bench_ablation_period.cc)
 smartconf_add_bench(bench_limitations bench_limitations.cc)
+smartconf_add_bench(bench_sweep bench_sweep.cc)

@@ -7,17 +7,48 @@
  * samples everywhere.  This bench sweeps the samples-per-setting budget
  * on HB3813 and reports the synthesized parameters and the outcome of
  * the full two-phase evaluation under each controller.
+ *
+ * Each budget variant (profile + evaluation run) is one independent
+ * SweepRunner job with its own scenario instance (`--jobs N`).
  */
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
+#include "core/profiler.h"
+#include "exec/sweep.h"
 #include "scenarios/hb3813.h"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace smartconf::scenarios;
+    using smartconf::exec::SweepJob;
+
+    const smartconf::exec::SweepArgs args =
+        smartconf::exec::parseSweepArgs(argc, argv);
+    smartconf::exec::SweepRunner runner(args.sweep);
+
+    const std::vector<int> budgets = {2, 3, 5, 10, 25, 50};
+    std::vector<smartconf::ProfileSummary> profiles(budgets.size());
+    std::vector<SweepJob> jobs;
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        const int samples = budgets[i];
+        // Each job owns slot i of `profiles` exclusively, so the
+        // side-write is race-free.
+        jobs.push_back(SweepJob::custom(
+            "HB3813/profile_samples=" + std::to_string(samples) +
+                "|smart|s=1",
+            [samples, i, &profiles] {
+                Hb3813Options opts;
+                opts.profile_samples = samples;
+                Hb3813Scenario scenario(opts);
+                profiles[i] = scenario.profile(1 ^ 0x70F11E);
+                return scenario.run(Policy::smart(), 1);
+            }));
+    }
+    const std::vector<ScenarioResult> results = runner.run(jobs);
 
     std::printf("Ablation: profiling budget (HB3813, 4 settings x N "
                 "samples)\n\n");
@@ -26,15 +57,11 @@ main()
                 "ops/s");
     std::printf("%s\n", std::string(72, '-').c_str());
 
-    for (int samples : {2, 3, 5, 10, 25, 50}) {
-        Hb3813Options opts;
-        opts.profile_samples = samples;
-        Hb3813Scenario scenario(opts);
-        const smartconf::ProfileSummary p = scenario.profile(1 ^
-                                                             0x70F11E);
-        const ScenarioResult r = scenario.run(Policy::smart(), 1);
+    for (std::size_t i = 0; i < budgets.size(); ++i) {
+        const smartconf::ProfileSummary &p = profiles[i];
+        const ScenarioResult &r = results[i];
         std::printf("%10d | %8.3f %8.3f %8.3f | %6s %10.1f %10.1f\n",
-                    samples, p.alpha, p.lambda, p.pole,
+                    budgets[i], p.alpha, p.lambda, p.pole,
                     r.violated ? "YES" : "no", r.worst_goal_metric,
                     r.raw_tradeoff);
     }
@@ -43,5 +70,13 @@ main()
                 "safe controller;\nextra profiling refines lambda (the "
                 "virtual-goal margin) but does not\nchange the outcome — "
                 "the paper's 'no intensive profiling' claim.\n");
+
+    const auto cs = runner.cache().stats();
+    std::fprintf(stderr,
+                 "[sweep] jobs=%zu wall=%.1f ms runs=%zu  cache: %llu "
+                 "hits / %llu misses\n",
+                 runner.jobs(), runner.lastWallMs(), jobs.size(),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses));
     return 0;
 }

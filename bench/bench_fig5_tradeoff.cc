@@ -16,6 +16,14 @@
  *
  * Bars are normalized to Static-Optimal, exactly like the figure;
  * policies that violate the constraint are marked with an X.
+ *
+ * The exhaustive search (candidate grid x 8 seeds x 6 scenarios) fans
+ * out over a SweepRunner: `--jobs N` picks the worker count (default:
+ * hardware concurrency; `--jobs 1` is the serial path) and the run
+ * cache guarantees no (scenario, policy, seed) triple simulates twice
+ * — the display rows for the winning candidates are pure cache hits.
+ * The printed table is byte-identical for every --jobs value; sweep
+ * timing and cache stats go to stderr.
  */
 
 #include <algorithm>
@@ -24,11 +32,14 @@
 #include <string>
 #include <vector>
 
+#include "exec/sweep.h"
 #include "scenarios/scenario.h"
 
 namespace {
 
 using namespace smartconf::scenarios;
+using smartconf::exec::SweepJob;
+using smartconf::exec::SweepRunner;
 
 constexpr std::uint64_t kEvalSeed = 1;
 const std::vector<std::uint64_t> kSearchSeeds = {1, 2, 3, 4, 5, 6, 7, 8};
@@ -41,27 +52,63 @@ struct Bar
     double conf = 0.0;    // the (mean) configuration value
 };
 
-/** Run one candidate across the search seeds; feasible iff all pass. */
-bool
-feasibleEverywhere(const Scenario &s, double candidate, double *mean)
+/** Search verdict for one scenario's candidate grid. */
+struct SearchOutcome
 {
-    double acc = 0.0;
-    for (const std::uint64_t seed : kSearchSeeds) {
-        const ScenarioResult r =
-            s.run(Policy::makeStatic(candidate), seed);
-        if (r.violated)
-            return false;
-        acc += r.tradeoff;
+    double best_value = -1.0, best_conf = 0.0;
+    double worst_feasible_value = -1.0, worst_feasible_conf = 0.0;
+};
+
+/**
+ * Reduce the (candidate x seed) result block for one scenario, located
+ * at @p base in the sweep's result vector: a candidate is feasible iff
+ * it violates on no search seed; rank the feasible ones by mean
+ * trade-off.  Candidates iterate in grid order, so this reproduces the
+ * old serial search exactly.
+ */
+SearchOutcome
+reduceSearch(const ScenarioInfo &info,
+             const std::vector<ScenarioResult> &results,
+             std::size_t base)
+{
+    SearchOutcome out;
+    const std::size_t seeds = kSearchSeeds.size();
+    for (std::size_t ci = 0; ci < info.static_candidates.size(); ++ci) {
+        double acc = 0.0;
+        bool feasible = true;
+        for (std::size_t si = 0; si < seeds; ++si) {
+            const ScenarioResult &r = results[base + ci * seeds + si];
+            if (r.violated) {
+                feasible = false;
+                break;
+            }
+            acc += r.tradeoff;
+        }
+        if (!feasible)
+            continue;
+        const double mean = acc / static_cast<double>(seeds);
+        const double c = info.static_candidates[ci];
+        if (mean > out.best_value) {
+            out.best_value = mean;
+            out.best_conf = c;
+        }
+        if (out.worst_feasible_value < 0.0) {
+            out.worst_feasible_value = mean;
+            out.worst_feasible_conf = c;
+        }
     }
-    *mean = acc / static_cast<double>(kSearchSeeds.size());
-    return true;
+    return out;
 }
 
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    const smartconf::exec::SweepArgs args =
+        smartconf::exec::parseSweepArgs(argc, argv);
+    SweepRunner runner(args.sweep);
+
     std::printf("Figure 5. Trade-off performance comparison\n");
     std::printf("(bars normalized to Static-Optimal; X = constraint "
                 "violated)\n\n");
@@ -69,57 +116,89 @@ main()
                 "score", "speedup", "conf", "");
     std::printf("%s\n", std::string(78, '-').c_str());
 
+    const std::vector<std::unique_ptr<Scenario>> scenarios =
+        makeAllScenarios();
+
+    // --- phase 1: the exhaustive feasibility search, all scenarios at
+    // once (candidate grid x search seeds).
+    std::vector<SweepJob> search_jobs;
+    for (const auto &s : scenarios) {
+        const ScenarioInfo &info = s->info();
+        for (const double c : info.static_candidates)
+            for (const std::uint64_t seed : kSearchSeeds)
+                search_jobs.push_back(SweepJob::forScenario(
+                    info.id, Policy::makeStatic(c), seed));
+    }
+    const std::vector<ScenarioResult> search_results =
+        runner.run(search_jobs);
+    const double search_ms = runner.lastWallMs();
+
+    // --- phase 2: the displayed bars (depend on the search verdicts).
+    // Static-Optimal/Nonoptimal at kEvalSeed are cache hits: kEvalSeed
+    // is a search seed, so those triples were already simulated.
+    std::vector<SweepJob> bar_jobs;
+    std::vector<SearchOutcome> outcomes;
+    std::vector<std::size_t> bar_base;
+    std::size_t cursor = 0;
+    for (const auto &s : scenarios) {
+        const ScenarioInfo &info = s->info();
+        const SearchOutcome o = reduceSearch(info, search_results,
+                                             cursor);
+        cursor += info.static_candidates.size() * kSearchSeeds.size();
+        outcomes.push_back(o);
+
+        bar_base.push_back(bar_jobs.size());
+        bar_jobs.push_back(
+            SweepJob::forScenario(info.id, Policy::smart(), kEvalSeed));
+        if (o.best_value > 0.0)
+            bar_jobs.push_back(SweepJob::forScenario(
+                info.id, Policy::makeStatic(o.best_conf), kEvalSeed));
+        if (o.worst_feasible_value > 0.0 &&
+            o.worst_feasible_conf != o.best_conf)
+            bar_jobs.push_back(SweepJob::forScenario(
+                info.id, Policy::makeStatic(o.worst_feasible_conf),
+                kEvalSeed));
+        bar_jobs.push_back(SweepJob::forScenario(
+            info.id, Policy::makeStatic(info.patch_default), kEvalSeed));
+        bar_jobs.push_back(SweepJob::forScenario(
+            info.id, Policy::makeStatic(info.buggy_default), kEvalSeed));
+    }
+    const std::vector<ScenarioResult> bar_results =
+        runner.run(bar_jobs);
+    const double bars_ms = runner.lastWallMs();
+
     double smart_speedup_product = 1.0;
     int scenarios_won = 0, scenario_count = 0;
 
-    for (const auto &s : makeAllScenarios()) {
-        const ScenarioInfo &info = s->info();
-
-        // --- exhaustive search for the best static configuration.
-        double best_value = -1.0, best_conf = 0.0;
-        double worst_feasible_value = -1.0, worst_feasible_conf = 0.0;
-        for (const double c : info.static_candidates) {
-            double mean = 0.0;
-            if (!feasibleEverywhere(*s, c, &mean))
-                continue;
-            if (mean > best_value) {
-                best_value = mean;
-                best_conf = c;
-            }
-            if (worst_feasible_value < 0.0) {
-                worst_feasible_value = mean;
-                worst_feasible_conf = c;
-            }
-        }
+    for (std::size_t idx = 0; idx < scenarios.size(); ++idx) {
+        const ScenarioInfo &info = scenarios[idx]->info();
+        const SearchOutcome &o = outcomes[idx];
+        std::size_t j = bar_base[idx];
 
         std::vector<Bar> bars;
         {
-            const ScenarioResult r = s->run(Policy::smart(), kEvalSeed);
+            const ScenarioResult &r = bar_results[j++];
             bars.push_back({"SmartConf", r.tradeoff, r.violated,
                             r.mean_conf});
         }
-        if (best_value > 0.0) {
-            const ScenarioResult r =
-                s->run(Policy::makeStatic(best_conf), kEvalSeed);
+        if (o.best_value > 0.0) {
+            const ScenarioResult &r = bar_results[j++];
             bars.push_back({"Static-Optimal", r.tradeoff, r.violated,
-                            best_conf});
+                            o.best_conf});
         }
-        if (worst_feasible_value > 0.0 &&
-            worst_feasible_conf != best_conf) {
-            const ScenarioResult r = s->run(
-                Policy::makeStatic(worst_feasible_conf), kEvalSeed);
+        if (o.worst_feasible_value > 0.0 &&
+            o.worst_feasible_conf != o.best_conf) {
+            const ScenarioResult &r = bar_results[j++];
             bars.push_back({"Static-Nonoptimal", r.tradeoff,
-                            r.violated, worst_feasible_conf});
+                            r.violated, o.worst_feasible_conf});
         }
         {
-            const ScenarioResult r = s->run(
-                Policy::makeStatic(info.patch_default), kEvalSeed);
+            const ScenarioResult &r = bar_results[j++];
             bars.push_back({"Static-Patch-Default", r.tradeoff,
                             r.violated, info.patch_default});
         }
         {
-            const ScenarioResult r = s->run(
-                Policy::makeStatic(info.buggy_default), kEvalSeed);
+            const ScenarioResult &r = bar_results[j++];
             bars.push_back({"Static-Buggy-Default", r.tradeoff,
                             r.violated, info.buggy_default});
         }
@@ -148,5 +227,16 @@ main()
     std::printf("(paper: SmartConf satisfies every constraint and "
                 "outperforms the best\nstatic configuration, e.g. "
                 "1.36x on HB3813 and 1.50x on MR2820)\n");
+
+    // Timing and cache stats go to stderr so stdout stays byte-
+    // identical across --jobs values.
+    const auto cs = runner.cache().stats();
+    std::fprintf(stderr,
+                 "[sweep] jobs=%zu search=%.1f ms bars=%.1f ms  "
+                 "runs=%zu  cache: %llu hits / %llu misses\n",
+                 runner.jobs(), search_ms, bars_ms,
+                 search_jobs.size() + bar_jobs.size(),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses));
     return 0;
 }

@@ -16,9 +16,11 @@
  */
 
 #include <cstdio>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "exec/sweep.h"
 #include "scenarios/hb3813.h"
 
 namespace {
@@ -43,11 +45,31 @@ fig7Options()
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace smartconf::scenarios;
+    using smartconf::exec::SweepJob;
 
-    Hb3813Scenario scenario(fig7Options());
+    const smartconf::exec::SweepArgs args =
+        smartconf::exec::parseSweepArgs(argc, argv);
+    smartconf::exec::SweepRunner runner(args.sweep);
+
+    // Each controller variant gets a private scenario instance, built
+    // on the worker that runs it; "HB3813/fig7" keys the non-default
+    // workload variant in the run cache.
+    auto factory = [] {
+        return std::unique_ptr<Scenario>(
+            new Hb3813Scenario(fig7Options()));
+    };
+    const std::vector<SweepJob> jobs = {
+        SweepJob::forFactory("HB3813/fig7", factory, Policy::smart(),
+                             1),
+        SweepJob::forFactory("HB3813/fig7", factory,
+                             Policy::singlePole(0.9), 1),
+        SweepJob::forFactory("HB3813/fig7", factory,
+                             Policy::noVirtualGoal(), 1),
+    };
+    const std::vector<ScenarioResult> results = runner.run(jobs);
 
     struct Run
     {
@@ -55,11 +77,9 @@ main()
         ScenarioResult result;
     };
     std::vector<Run> runs;
-    runs.push_back({"SmartConf", scenario.run(Policy::smart(), 1)});
-    runs.push_back({"Single Pole",
-                    scenario.run(Policy::singlePole(0.9), 1)});
-    runs.push_back({"No Virtual Goal",
-                    scenario.run(Policy::noVirtualGoal(), 1)});
+    runs.push_back({"SmartConf", results[0]});
+    runs.push_back({"Single Pole", results[1]});
+    runs.push_back({"No Virtual Goal", results[2]});
 
     std::printf("Figure 7. SmartConf vs. alternative controllers "
                 "(HB3813, 0.7W mix,\n150 MB co-resident allocation at "
@@ -106,5 +126,13 @@ main()
         "crashes at ~80 s instead); the no-virtual-goal\ncontroller has "
         "no headroom and dies during the ramp-up or when the\nburst "
         "lands (paper: JVM crash at ~36 s).\n");
+
+    const auto cs = runner.cache().stats();
+    std::fprintf(stderr,
+                 "[sweep] jobs=%zu wall=%.1f ms runs=%zu  cache: %llu "
+                 "hits / %llu misses\n",
+                 runner.jobs(), runner.lastWallMs(), jobs.size(),
+                 static_cast<unsigned long long>(cs.hits),
+                 static_cast<unsigned long long>(cs.misses));
     return 0;
 }

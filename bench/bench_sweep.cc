@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Experiment-runner benchmark: measures sweep throughput and cache
+ * behaviour so the perf trajectory can be tracked release-to-release
+ * (`bench_sweep --json > BENCH_sweep.json`).
+ *
+ * The workload is the canonical evaluation sweep: all six case studies
+ * x {SmartConf, Static-Patch, Static-Buggy} x 4 seeds (72 simulations),
+ * fanned out over `--jobs N` workers.  The same sweep is then replayed
+ * on the warm cache: every triple must be a cache hit, so the warm
+ * pass measures pure memoization overhead — the invariant the run
+ * cache exists to provide (no duplicate (scenario, policy, seed)
+ * simulation, ever).
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "scenarios/scenario.h"
+
+int
+main(int argc, char **argv)
+{
+    using namespace smartconf::scenarios;
+    using smartconf::exec::SweepJob;
+
+    const smartconf::exec::SweepArgs args =
+        smartconf::exec::parseSweepArgs(argc, argv);
+    smartconf::exec::SweepRunner runner(args.sweep);
+
+    const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
+    const std::vector<std::unique_ptr<Scenario>> scenarios =
+        makeAllScenarios();
+
+    std::vector<SweepJob> jobs;
+    for (const auto &s : scenarios) {
+        const ScenarioInfo &info = s->info();
+        const std::vector<Policy> policies = {
+            Policy::smart(),
+            Policy::makeStatic(info.patch_default),
+            Policy::makeStatic(info.buggy_default),
+        };
+        for (const Policy &p : policies)
+            for (const std::uint64_t seed : seeds)
+                jobs.push_back(
+                    SweepJob::forScenario(info.id, p, seed));
+    }
+
+    const std::vector<ScenarioResult> cold = runner.run(jobs);
+    const double cold_ms = runner.lastWallMs();
+    const auto cold_stats = runner.cache().stats();
+
+    // Replay: with the cache warm, zero simulations may execute.
+    const std::vector<ScenarioResult> warm = runner.run(jobs);
+    const double warm_ms = runner.lastWallMs();
+    const auto warm_stats = runner.cache().stats();
+
+    // Per-scenario aggregates (sanity values for trend tracking).
+    struct Row
+    {
+        std::string id;
+        double smart_tradeoff = 0.0; // mean over seeds
+        int violations = 0;          // across all policies/seeds
+    };
+    std::vector<Row> rows;
+    std::size_t j = 0;
+    for (const auto &s : scenarios) {
+        Row row;
+        row.id = s->info().id;
+        for (int p = 0; p < 3; ++p)
+            for (std::size_t k = 0; k < seeds.size(); ++k, ++j) {
+                if (cold[j].violated)
+                    ++row.violations;
+                if (p == 0)
+                    row.smart_tradeoff +=
+                        cold[j].tradeoff /
+                        static_cast<double>(seeds.size());
+            }
+        rows.push_back(row);
+    }
+
+    if (args.json) {
+        std::printf("{\n");
+        std::printf("  \"bench\": \"bench_sweep\",\n");
+        std::printf("  \"jobs\": %zu,\n", runner.jobs());
+        std::printf("  \"runs\": %zu,\n", jobs.size());
+        std::printf("  \"cold_wall_ms\": %.3f,\n", cold_ms);
+        std::printf("  \"warm_wall_ms\": %.3f,\n", warm_ms);
+        std::printf("  \"cache_hits\": %llu,\n",
+                    static_cast<unsigned long long>(warm_stats.hits));
+        std::printf("  \"cache_misses\": %llu,\n",
+                    static_cast<unsigned long long>(warm_stats.misses));
+        std::printf("  \"scenarios\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            std::printf("    {\"id\": \"%s\", \"smart_tradeoff\": "
+                        "%.6f, \"violations\": %d}%s\n",
+                        rows[i].id.c_str(), rows[i].smart_tradeoff,
+                        rows[i].violations,
+                        i + 1 < rows.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("Experiment-runner sweep benchmark\n\n");
+    std::printf("workers (--jobs): %zu\n", runner.jobs());
+    std::printf("sweep: 6 scenarios x 3 policies x %zu seeds = %zu "
+                "runs\n\n", seeds.size(), jobs.size());
+    std::printf("cold sweep: %10.1f ms  (%llu misses, %llu hits)\n",
+                cold_ms,
+                static_cast<unsigned long long>(cold_stats.misses),
+                static_cast<unsigned long long>(cold_stats.hits));
+    std::printf("warm replay: %9.1f ms  (+%llu hits, +%llu misses — "
+                "a warm replay\n                            simulates "
+                "nothing)\n\n",
+                warm_ms,
+                static_cast<unsigned long long>(warm_stats.hits -
+                                                cold_stats.hits),
+                static_cast<unsigned long long>(warm_stats.misses -
+                                                cold_stats.misses));
+    std::printf("%-8s %16s %12s\n", "issue", "smart ops/s*", "violations");
+    std::printf("%s\n", std::string(40, '-').c_str());
+    for (const Row &row : rows)
+        std::printf("%-8s %16.3f %12d\n", row.id.c_str(),
+                    row.smart_tradeoff, row.violations);
+    std::printf("\n(*canonical higher-is-better trade-off score, mean "
+                "over seeds)\n");
+    return 0;
+}

@@ -1,0 +1,73 @@
+#include "exec/run_cache.h"
+
+#include <utility>
+
+namespace smartconf::exec {
+
+scenarios::ScenarioResult
+RunCache::getOrRun(const std::string &key, const RunFn &fn)
+{
+    std::shared_future<scenarios::ScenarioResult> future;
+    std::promise<scenarios::ScenarioResult> promise;
+    bool owner = false;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = entries_.find(key);
+        if (it != entries_.end()) {
+            ++stats_.hits;
+            future = it->second;
+        } else {
+            ++stats_.misses;
+            owner = true;
+            future = promise.get_future().share();
+            entries_.emplace(key, future);
+        }
+    }
+    if (owner) {
+        try {
+            promise.set_value(fn());
+        } catch (...) {
+            promise.set_exception(std::current_exception());
+        }
+    }
+    return future.get();
+}
+
+bool
+RunCache::contains(const std::string &key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key) != entries_.end();
+}
+
+RunCache::Stats
+RunCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::size_t
+RunCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+void
+RunCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+    stats_ = Stats{};
+}
+
+std::string
+RunCache::key(const std::string &scenario_key,
+              const scenarios::Policy &policy, std::uint64_t seed)
+{
+    return scenario_key + "|" + policy.cacheKey() + "|s=" +
+           std::to_string(seed);
+}
+
+} // namespace smartconf::exec

@@ -1,0 +1,86 @@
+#ifndef SMARTCONF_EXEC_RUN_CACHE_H_
+#define SMARTCONF_EXEC_RUN_CACHE_H_
+
+/**
+ * @file
+ * Memoization of scenario evaluation runs.
+ *
+ * The figure harnesses re-run identical (scenario, policy, seed)
+ * triples — Fig. 5's exhaustive feasibility search alone replays its
+ * winning candidate for the display row, and every harness shares
+ * search seeds.  Simulations are pure functions of that triple, so the
+ * cache returns the stored ScenarioResult instead of re-simulating.
+ *
+ * Concurrency: the cache stores a shared_future per key and registers
+ * it *before* running the job, so when two pool workers race on the
+ * same key exactly one simulates and the other blocks on the future —
+ * duplicate work is eliminated, not merely deduplicated after the
+ * fact.  Hit/miss counters are exposed so tests and benches can verify
+ * that no duplicate simulation ever executed.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "scenarios/scenario.h"
+
+namespace smartconf::exec {
+
+/**
+ * Thread-safe memo table for ScenarioResult, keyed by an opaque string
+ * (see key()).
+ */
+class RunCache
+{
+  public:
+    struct Stats
+    {
+        std::uint64_t hits = 0;   ///< served from the table (or joined
+                                  ///< an in-flight computation)
+        std::uint64_t misses = 0; ///< actually simulated
+    };
+
+    using RunFn = std::function<scenarios::ScenarioResult()>;
+
+    /**
+     * Return the cached result for @p key, running @p fn to produce it
+     * on first use.  Concurrent callers with the same key block until
+     * the single in-flight run finishes.  An exception thrown by @p fn
+     * is stored and rethrown to every caller of that key.
+     */
+    scenarios::ScenarioResult getOrRun(const std::string &key,
+                                       const RunFn &fn);
+
+    /** True when @p key already has a (possibly in-flight) entry. */
+    bool contains(const std::string &key) const;
+
+    Stats stats() const;
+    std::size_t size() const;
+    void clear();
+
+    /**
+     * Canonical cache key for an evaluation run.  @p scenario_key is
+     * the scenario id, plus any variant suffix when the harness
+     * constructs the scenario with non-default options (e.g.
+     * "HB3813/fig7").  The policy contributes Policy::cacheKey(), which
+     * distinguishes kind, value, pole_override and label.
+     */
+    static std::string key(const std::string &scenario_key,
+                           const scenarios::Policy &policy,
+                           std::uint64_t seed);
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string,
+                       std::shared_future<scenarios::ScenarioResult>>
+        entries_;
+    Stats stats_;
+};
+
+} // namespace smartconf::exec
+
+#endif // SMARTCONF_EXEC_RUN_CACHE_H_

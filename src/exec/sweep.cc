@@ -1,0 +1,156 @@
+#include "exec/sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <future>
+#include <stdexcept>
+#include <utility>
+
+namespace smartconf::exec {
+
+SweepJob
+SweepJob::forScenario(const std::string &id,
+                      const scenarios::Policy &policy,
+                      std::uint64_t seed)
+{
+    SweepJob job;
+    job.cache_key = RunCache::key(id, policy, seed);
+    job.fn = [id, policy, seed] {
+        std::unique_ptr<scenarios::Scenario> s =
+            scenarios::makeScenario(id);
+        if (!s)
+            throw std::invalid_argument("unknown scenario id: " + id);
+        return s->run(policy, seed);
+    };
+    return job;
+}
+
+SweepJob
+SweepJob::forFactory(
+    const std::string &scenario_key,
+    std::function<std::unique_ptr<scenarios::Scenario>()> factory,
+    const scenarios::Policy &policy, std::uint64_t seed)
+{
+    SweepJob job;
+    job.cache_key = RunCache::key(scenario_key, policy, seed);
+    job.fn = [factory = std::move(factory), policy, seed] {
+        std::unique_ptr<scenarios::Scenario> s = factory();
+        if (!s)
+            throw std::invalid_argument(
+                "scenario factory returned nullptr");
+        return s->run(policy, seed);
+    };
+    return job;
+}
+
+SweepJob
+SweepJob::custom(const std::string &cache_key,
+                 std::function<scenarios::ScenarioResult()> fn)
+{
+    SweepJob job;
+    job.cache_key = cache_key;
+    job.fn = std::move(fn);
+    return job;
+}
+
+SweepRunner::SweepRunner(SweepOptions opts)
+    : jobs_(opts.jobs == 0 ? ThreadPool::defaultConcurrency()
+                           : opts.jobs),
+      use_cache_(opts.cache)
+{
+}
+
+scenarios::ScenarioResult
+SweepRunner::execute(const SweepJob &job)
+{
+    if (use_cache_ && !job.cache_key.empty())
+        return cache_.getOrRun(job.cache_key, job.fn);
+    return job.fn();
+}
+
+scenarios::ScenarioResult
+SweepRunner::runOne(const SweepJob &job)
+{
+    return execute(job);
+}
+
+std::vector<scenarios::ScenarioResult>
+SweepRunner::run(const std::vector<SweepJob> &jobs)
+{
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<scenarios::ScenarioResult> results;
+    results.reserve(jobs.size());
+
+    if (jobs_ <= 1) {
+        // Serial path: no pool, no locks on the hot path beyond the
+        // cache's own — behaviourally identical to the pre-exec code.
+        for (const SweepJob &job : jobs)
+            results.push_back(execute(job));
+    } else {
+        if (!pool_)
+            pool_ = std::make_unique<ThreadPool>(jobs_);
+        std::vector<std::future<scenarios::ScenarioResult>> futures;
+        futures.reserve(jobs.size());
+        for (const SweepJob &job : jobs)
+            futures.push_back(
+                pool_->submit([this, job] { return execute(job); }));
+        // Collect in submission order: completion order is
+        // scheduler-dependent, result order is not.
+        std::exception_ptr first_error;
+        for (std::future<scenarios::ScenarioResult> &f : futures) {
+            try {
+                results.push_back(f.get());
+            } catch (...) {
+                if (!first_error)
+                    first_error = std::current_exception();
+                results.emplace_back(); // keep indices aligned
+            }
+        }
+        if (first_error)
+            std::rethrow_exception(first_error);
+    }
+
+    last_wall_ms_ =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+    return results;
+}
+
+SweepArgs
+parseSweepArgs(int argc, char **argv)
+{
+    SweepArgs args;
+    auto parseJobs = [&](const char *text) {
+        char *end = nullptr;
+        const long v = std::strtol(text, &end, 10);
+        if (end == text || *end != '\0' || v < 1) {
+            std::fprintf(stderr,
+                         "invalid --jobs value '%s' (want an integer "
+                         ">= 1)\n",
+                         text);
+            std::exit(2);
+        }
+        args.sweep.jobs = static_cast<std::size_t>(v);
+    };
+    for (int i = 1; i < argc; ++i) {
+        const char *a = argv[i];
+        if (std::strcmp(a, "--json") == 0) {
+            args.json = true;
+        } else if (std::strcmp(a, "--jobs") == 0 ||
+                   std::strcmp(a, "-j") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a);
+                std::exit(2);
+            }
+            parseJobs(argv[++i]);
+        } else if (std::strncmp(a, "--jobs=", 7) == 0) {
+            parseJobs(a + 7);
+        }
+    }
+    return args;
+}
+
+} // namespace smartconf::exec

@@ -1,0 +1,137 @@
+#ifndef SMARTCONF_EXEC_SWEEP_H_
+#define SMARTCONF_EXEC_SWEEP_H_
+
+/**
+ * @file
+ * Parallel experiment sweeps.
+ *
+ * Every figure/table harness evaluates many independent
+ * (scenario, policy, seed) runs; each run owns its own simulated clock,
+ * event queue and RNG, so they parallelize trivially.  SweepRunner fans
+ * jobs out over a ThreadPool, memoizes results in a RunCache so no
+ * duplicate triple is ever simulated twice (within or across sweeps on
+ * the same runner), and returns results in submission order regardless
+ * of completion order — `--jobs 8` output is byte-identical to
+ * `--jobs 1`.
+ *
+ * Isolation rule: a job never shares a Scenario instance with another
+ * job.  The scenario-id and factory constructors build the scenario
+ * *inside* the job, on the worker thread that runs it.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/run_cache.h"
+#include "exec/thread_pool.h"
+#include "scenarios/scenario.h"
+
+namespace smartconf::exec {
+
+/** One unit of sweep work producing a ScenarioResult. */
+struct SweepJob
+{
+    /** The work; runs on a pool worker (or inline when serial). */
+    std::function<scenarios::ScenarioResult()> fn;
+
+    /** Memoization key; empty string disables caching for this job. */
+    std::string cache_key;
+
+    /**
+     * Evaluate @p policy on the stock scenario @p id (as built by
+     * makeScenario) under @p seed.  The scenario is constructed
+     * per-job, so concurrent jobs share no simulator state.
+     */
+    static SweepJob forScenario(const std::string &id,
+                                const scenarios::Policy &policy,
+                                std::uint64_t seed);
+
+    /**
+     * Like forScenario for a non-default scenario variant: @p factory
+     * is invoked inside the job to build a private instance.
+     * @p scenario_key must uniquely name the variant (e.g.
+     * "HB3813/fig7") — it is the scenario component of the cache key.
+     */
+    static SweepJob forFactory(
+        const std::string &scenario_key,
+        std::function<std::unique_ptr<scenarios::Scenario>()> factory,
+        const scenarios::Policy &policy, std::uint64_t seed);
+
+    /**
+     * An arbitrary computation returning a ScenarioResult (e.g. the
+     * Fig. 8 interacting-controller loop).  Cached under
+     * @p cache_key unless it is empty.
+     */
+    static SweepJob
+    custom(const std::string &cache_key,
+           std::function<scenarios::ScenarioResult()> fn);
+};
+
+struct SweepOptions
+{
+    /** Worker threads; 0 = hardware concurrency; 1 = serial (no pool). */
+    std::size_t jobs = 0;
+
+    /** Memoize results across jobs and sweeps on this runner. */
+    bool cache = true;
+};
+
+/**
+ * Fans SweepJobs out over a worker pool and collects results in
+ * deterministic submission order.
+ */
+class SweepRunner
+{
+  public:
+    explicit SweepRunner(SweepOptions opts = {});
+
+    /** Effective worker count (resolved from SweepOptions::jobs). */
+    std::size_t jobs() const { return jobs_; }
+
+    /**
+     * Execute all @p jobs; results arrive in the same order as the
+     * input vector.  A job's exception is rethrown from here after the
+     * remaining jobs finish.
+     */
+    std::vector<scenarios::ScenarioResult>
+    run(const std::vector<SweepJob> &jobs);
+
+    /** Execute a single job (through the cache, inline). */
+    scenarios::ScenarioResult runOne(const SweepJob &job);
+
+    /** Wall-clock milliseconds spent inside the last run() call. */
+    double lastWallMs() const { return last_wall_ms_; }
+
+    const RunCache &cache() const { return cache_; }
+    RunCache &cache() { return cache_; }
+
+  private:
+    scenarios::ScenarioResult execute(const SweepJob &job);
+
+    std::size_t jobs_;
+    bool use_cache_;
+    RunCache cache_;
+    std::unique_ptr<ThreadPool> pool_; // lazily built, reused
+    double last_wall_ms_ = 0.0;
+};
+
+/** Command-line options shared by the sweep-style bench harnesses. */
+struct SweepArgs
+{
+    SweepOptions sweep;
+    bool json = false; ///< machine-readable output (--json)
+};
+
+/**
+ * Parse `--jobs N` (also `--jobs=N`, `-j N`) and `--json` from a bench
+ * harness's argv; unknown arguments are ignored.  Exits with a usage
+ * message on a malformed --jobs value.
+ */
+SweepArgs parseSweepArgs(int argc, char **argv);
+
+} // namespace smartconf::exec
+
+#endif // SMARTCONF_EXEC_SWEEP_H_

@@ -1,0 +1,51 @@
+#include "exec/thread_pool.h"
+
+#include <algorithm>
+
+namespace smartconf::exec {
+
+ThreadPool::ThreadPool(std::size_t threads)
+{
+    const std::size_t n = std::max<std::size_t>(threads, 1);
+    workers_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    cv_.notify_all();
+    for (std::thread &w : workers_)
+        w.join();
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            cv_.wait(lock,
+                     [this] { return stopping_ || !tasks_.empty(); });
+            if (tasks_.empty())
+                return; // stopping_ and nothing left to drain
+            task = std::move(tasks_.front());
+            tasks_.pop();
+        }
+        task(); // packaged_task captures exceptions into the future
+    }
+}
+
+std::size_t
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+} // namespace smartconf::exec

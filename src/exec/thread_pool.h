@@ -1,0 +1,87 @@
+#ifndef SMARTCONF_EXEC_THREAD_POOL_H_
+#define SMARTCONF_EXEC_THREAD_POOL_H_
+
+/**
+ * @file
+ * Fixed-size worker pool with a futures-based submission API.
+ *
+ * Experiment sweeps are embarrassingly parallel — every
+ * (scenario, policy, seed) run owns its own simulator — so the pool is
+ * deliberately minimal: a locked FIFO of type-erased tasks drained by N
+ * workers.  submit() returns a std::future for the callable's result;
+ * exceptions thrown by the task propagate through the future to whoever
+ * calls get().  Submission is thread-safe, so jobs may themselves
+ * submit follow-up work.
+ */
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace smartconf::exec {
+
+/**
+ * A fixed set of worker threads consuming a shared task queue.
+ */
+class ThreadPool
+{
+  public:
+    /** Spawn @p threads workers (at least one). */
+    explicit ThreadPool(std::size_t threads);
+
+    /** Drains outstanding tasks, then joins the workers. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /** Number of worker threads. */
+    std::size_t size() const { return workers_.size(); }
+
+    /**
+     * Enqueue @p fn for execution; the returned future yields its
+     * result (or rethrows its exception).  Safe to call from any
+     * thread, including pool workers.
+     */
+    template <typename F>
+    auto submit(F &&fn) -> std::future<std::invoke_result_t<F>>
+    {
+        using R = std::invoke_result_t<F>;
+        auto task = std::make_shared<std::packaged_task<R()>>(
+            std::forward<F>(fn));
+        std::future<R> result = task->get_future();
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            tasks_.push([task] { (*task)(); });
+        }
+        cv_.notify_one();
+        return result;
+    }
+
+    /**
+     * Sensible worker count for this machine:
+     * std::thread::hardware_concurrency(), or 1 when unknown.
+     */
+    static std::size_t defaultConcurrency();
+
+  private:
+    void workerLoop();
+
+    std::mutex mutex_;
+    std::condition_variable cv_;
+    std::queue<std::function<void()>> tasks_;
+    bool stopping_ = false;
+    std::vector<std::thread> workers_;
+};
+
+} // namespace smartconf::exec
+
+#endif // SMARTCONF_EXEC_THREAD_POOL_H_

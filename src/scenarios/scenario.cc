@@ -1,5 +1,7 @@
 #include "scenarios/scenario.h"
 
+#include <cstdio>
+
 #include "scenarios/ca6059.h"
 #include "scenarios/hb2149.h"
 #include "scenarios/hb3813.h"
@@ -8,6 +10,47 @@
 #include "scenarios/mr2820.h"
 
 namespace smartconf::scenarios {
+
+namespace {
+
+/** Round-trip-exact double encoding (distinct doubles, distinct keys). */
+std::string
+exactDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+const char *
+kindName(Policy::Kind k)
+{
+    switch (k) {
+    case Policy::Kind::Static:
+        return "static";
+    case Policy::Kind::Smart:
+        return "smart";
+    case Policy::Kind::SmartSinglePole:
+        return "single_pole";
+    case Policy::Kind::SmartNoVirtualGoal:
+        return "no_virtual_goal";
+    }
+    return "?";
+}
+
+} // namespace
+
+std::string
+Policy::cacheKey() const
+{
+    std::string key = kindName(kind);
+    if (kind == Kind::Static)
+        key += ":v=" + exactDouble(value);
+    if (pole_override)
+        key += ":pole=" + exactDouble(*pole_override);
+    key += ":label=" + label;
+    return key;
+}
 
 Policy
 Policy::makeStatic(double v, std::string label)

@@ -49,6 +49,24 @@ struct Policy
     static Policy noVirtualGoal();
 
     bool isSmart() const { return kind != Kind::Static; }
+
+    /**
+     * Stable string encoding every field that can change a run's
+     * outcome (kind, static value, pole_override, and the label, which
+     * feeds through to ScenarioResult::policy_label).  Two policies
+     * compare equal iff their cacheKey()s are equal — the run cache
+     * keys on this, so distinct policies can never be conflated.
+     */
+    std::string cacheKey() const;
+
+    friend bool operator==(const Policy &a, const Policy &b)
+    {
+        return a.cacheKey() == b.cacheKey();
+    }
+    friend bool operator!=(const Policy &a, const Policy &b)
+    {
+        return !(a == b);
+    }
 };
 
 /** Everything a Fig. 5-style comparison needs from one run. */

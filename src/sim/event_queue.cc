@@ -12,6 +12,7 @@ EventQueue::scheduleAt(Tick when, Callback cb)
     const Tick effective = std::max(when, clock_.now());
     const EventId id = next_id_++;
     heap_.push(Entry{effective, next_seq_++, id, std::move(cb)});
+    live_.insert(id);
     ++size_;
     return id;
 }
@@ -26,14 +27,7 @@ EventQueue::scheduleAfter(Tick delay, Callback cb)
 void
 EventQueue::cancel(EventId id)
 {
-    cancelled_.push_back(id);
-}
-
-bool
-EventQueue::isCancelled(EventId id) const
-{
-    return std::find(cancelled_.begin(), cancelled_.end(), id) !=
-           cancelled_.end();
+    live_.erase(id); // no-op (and no bookkeeping growth) after firing
 }
 
 std::size_t
@@ -59,12 +53,8 @@ EventQueue::step()
         Entry top = std::move(const_cast<Entry &>(heap_.top()));
         heap_.pop();
         --size_;
-        if (isCancelled(top.id)) {
-            cancelled_.erase(std::remove(cancelled_.begin(),
-                                         cancelled_.end(), top.id),
-                             cancelled_.end());
-            continue;
-        }
+        if (live_.erase(top.id) == 0)
+            continue; // cancelled; entry discarded at its tick
         clock_.advanceTo(top.when);
         top.cb();
         return true;

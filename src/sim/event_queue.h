@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <functional>
 #include <queue>
+#include <unordered_set>
 #include <vector>
 
 #include "sim/clock.h"
@@ -89,12 +90,18 @@ class EventQueue
 
     Clock &clock_;
     std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-    std::vector<EventId> cancelled_;
+
+    /**
+     * Ids of scheduled-but-not-fired events.  cancel() erases the id
+     * (O(1)); a popped entry whose id is absent was cancelled and is
+     * discarded.  Bounded by pending(), unlike the old unbounded
+     * cancelled-id list that each discard scanned linearly.
+     */
+    std::unordered_set<EventId> live_;
+
     std::uint64_t next_seq_ = 0;
     EventId next_id_ = 1;
     std::size_t size_ = 0;
-
-    bool isCancelled(EventId id) const;
 };
 
 } // namespace smartconf::sim

@@ -1,0 +1,186 @@
+#include "exec/sweep.h"
+
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "scenarios/scenario.h"
+
+namespace {
+
+using namespace smartconf::scenarios;
+using smartconf::exec::SweepArgs;
+using smartconf::exec::SweepJob;
+using smartconf::exec::SweepOptions;
+using smartconf::exec::SweepRunner;
+
+void
+expectSeriesIdentical(const smartconf::sim::TimeSeries &a,
+                      const smartconf::sim::TimeSeries &b)
+{
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a.points()[i].tick, b.points()[i].tick);
+        EXPECT_EQ(a.points()[i].value, b.points()[i].value); // exact
+    }
+}
+
+/** Bit-identical: every scalar exactly equal, every curve point-wise. */
+void
+expectResultIdentical(const ScenarioResult &a, const ScenarioResult &b)
+{
+    EXPECT_EQ(a.scenario_id, b.scenario_id);
+    EXPECT_EQ(a.policy_label, b.policy_label);
+    EXPECT_EQ(a.violated, b.violated);
+    EXPECT_EQ(a.violation_time_s, b.violation_time_s);
+    EXPECT_EQ(a.worst_goal_metric, b.worst_goal_metric);
+    EXPECT_EQ(a.goal_value, b.goal_value);
+    EXPECT_EQ(a.tradeoff, b.tradeoff);
+    EXPECT_EQ(a.raw_tradeoff, b.raw_tradeoff);
+    EXPECT_EQ(a.mean_conf, b.mean_conf);
+    expectSeriesIdentical(a.perf_series, b.perf_series);
+    expectSeriesIdentical(a.conf_series, b.conf_series);
+    expectSeriesIdentical(a.tradeoff_series, b.tradeoff_series);
+}
+
+std::vector<SweepJob>
+allScenarioJobs()
+{
+    std::vector<SweepJob> jobs;
+    for (const auto &s : makeAllScenarios()) {
+        const ScenarioInfo &info = s->info();
+        jobs.push_back(
+            SweepJob::forScenario(info.id, Policy::smart(), 1));
+        jobs.push_back(SweepJob::forScenario(
+            info.id, Policy::makeStatic(info.patch_default), 1));
+    }
+    return jobs;
+}
+
+TEST(SweepDeterminism, Jobs1AndJobs8BitIdenticalForAllSixScenarios)
+{
+    const std::vector<SweepJob> jobs = allScenarioJobs();
+
+    SweepRunner serial(SweepOptions{1, true});
+    SweepRunner parallel(SweepOptions{8, true});
+    EXPECT_EQ(serial.jobs(), 1u);
+    EXPECT_EQ(parallel.jobs(), 8u);
+
+    const std::vector<ScenarioResult> a = serial.run(jobs);
+    const std::vector<ScenarioResult> b = parallel.run(jobs);
+
+    ASSERT_EQ(a.size(), jobs.size());
+    ASSERT_EQ(b.size(), jobs.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        SCOPED_TRACE("job #" + std::to_string(i) + " (" +
+                     a[i].scenario_id + ", " + a[i].policy_label + ")");
+        expectResultIdentical(a[i], b[i]);
+    }
+
+    // All twelve triples are distinct: no duplicate simulation ran.
+    EXPECT_EQ(serial.cache().stats().misses, jobs.size());
+    EXPECT_EQ(serial.cache().stats().hits, 0u);
+    EXPECT_EQ(parallel.cache().stats().misses, jobs.size());
+    EXPECT_EQ(parallel.cache().stats().hits, 0u);
+}
+
+TEST(SweepDeterminism, ReplayOnWarmCacheIsAllHitsAndIdentical)
+{
+    const std::vector<SweepJob> jobs = allScenarioJobs();
+    SweepRunner runner(SweepOptions{4, true});
+
+    const std::vector<ScenarioResult> first = runner.run(jobs);
+    const std::vector<ScenarioResult> second = runner.run(jobs);
+
+    EXPECT_EQ(runner.cache().stats().misses, jobs.size());
+    EXPECT_EQ(runner.cache().stats().hits, jobs.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        expectResultIdentical(first[i], second[i]);
+}
+
+TEST(SweepDeterminism, ResultsArriveInSubmissionOrder)
+{
+    // Job 0 finishes last by construction; order must not care.
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 8; ++i)
+        jobs.push_back(SweepJob::custom("", [i] {
+            std::this_thread::sleep_for(
+                std::chrono::milliseconds((8 - i) * 10));
+            ScenarioResult r;
+            r.scenario_id = "job-" + std::to_string(i);
+            return r;
+        }));
+
+    SweepRunner runner(SweepOptions{8, true});
+    const std::vector<ScenarioResult> out = runner.run(jobs);
+    ASSERT_EQ(out.size(), jobs.size());
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(out[i].scenario_id, "job-" + std::to_string(i));
+}
+
+TEST(SweepDeterminism, DuplicateJobsSimulateOnce)
+{
+    std::vector<SweepJob> jobs;
+    for (int i = 0; i < 6; ++i)
+        jobs.push_back(
+            SweepJob::forScenario("HB3813", Policy::smart(), 1));
+
+    SweepRunner runner(SweepOptions{4, true});
+    const std::vector<ScenarioResult> out = runner.run(jobs);
+    EXPECT_EQ(runner.cache().stats().misses, 1u);
+    EXPECT_EQ(runner.cache().stats().hits, 5u);
+    for (std::size_t i = 1; i < out.size(); ++i)
+        expectResultIdentical(out[0], out[i]);
+}
+
+TEST(SweepDeterminism, JobExceptionPropagatesFromRun)
+{
+    std::vector<SweepJob> jobs;
+    jobs.push_back(SweepJob::custom("", [] {
+        ScenarioResult r;
+        r.scenario_id = "fine";
+        return r;
+    }));
+    jobs.push_back(SweepJob::custom("", []() -> ScenarioResult {
+        throw std::runtime_error("job failed");
+    }));
+
+    SweepRunner serial(SweepOptions{1, true});
+    EXPECT_THROW(serial.run(jobs), std::runtime_error);
+    SweepRunner parallel(SweepOptions{4, true});
+    EXPECT_THROW(parallel.run(jobs), std::runtime_error);
+}
+
+TEST(SweepDeterminism, UnknownScenarioIdThrows)
+{
+    SweepRunner runner(SweepOptions{1, true});
+    EXPECT_THROW(runner.run({SweepJob::forScenario(
+                     "NOPE", Policy::smart(), 1)}),
+                 std::invalid_argument);
+}
+
+TEST(SweepArgsParsing, JobsAndJsonFlags)
+{
+    const char *argv1[] = {"bench", "--jobs", "4", "--json"};
+    SweepArgs a = smartconf::exec::parseSweepArgs(
+        4, const_cast<char **>(argv1));
+    EXPECT_EQ(a.sweep.jobs, 4u);
+    EXPECT_TRUE(a.json);
+
+    const char *argv2[] = {"bench", "--jobs=2"};
+    SweepArgs b = smartconf::exec::parseSweepArgs(
+        2, const_cast<char **>(argv2));
+    EXPECT_EQ(b.sweep.jobs, 2u);
+    EXPECT_FALSE(b.json);
+
+    const char *argv3[] = {"bench"};
+    SweepArgs c = smartconf::exec::parseSweepArgs(
+        1, const_cast<char **>(argv3));
+    EXPECT_EQ(c.sweep.jobs, 0u); // 0 = hardware concurrency
+}
+
+} // namespace

@@ -17,12 +17,18 @@ void
 Namenode::submit(const workload::DfsRequest &req, sim::Tick now)
 {
     switch (req.type) {
-      case workload::DfsRequest::Type::WriteFile:
+      case workload::DfsRequest::Type::WriteFile: {
         // Namespace mutation: queue behind the global lock.
         pending_writes_.push_back(now);
-        tree_.addFiles(params_.du_root + "/client" +
-                       std::to_string(req.client));
+        if (req.client >= client_dirs_.size())
+            client_dirs_.resize(req.client + 1);
+        NamespaceTree::DirRef &dir = client_dirs_[req.client];
+        if (!dir)
+            dir = tree_.dirRef(params_.du_root + "/client" +
+                               std::to_string(req.client));
+        tree_.addFilesAt(dir);
         break;
+      }
       case workload::DfsRequest::Type::ContentSummary: {
         if (du_.has_value())
             break; // one admin du at a time; extra commands are dropped

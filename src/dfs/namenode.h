@@ -117,6 +117,14 @@ class Namenode
     NamenodeParams params_;
     std::uint64_t summary_limit_;
     NamespaceTree tree_;
+
+    /**
+     * Per-client directory handles ("/data/clientN"), resolved once.
+     * Client writes are the namenode's hottest path (millions per run);
+     * caching the handle turns each one into a pointer bump instead of
+     * a string build plus a path resolution.
+     */
+    std::vector<NamespaceTree::DirRef> client_dirs_;
     std::deque<sim::Tick> pending_writes_; ///< arrival tick per write
     std::optional<DuJob> du_;
     sim::Histogram write_waits_;

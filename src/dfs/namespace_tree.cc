@@ -2,39 +2,42 @@
 
 namespace smartconf::dfs {
 
-NamespaceTree::NamespaceTree() : root_(std::make_unique<Node>()) {}
+namespace {
 
-std::vector<std::string>
-NamespaceTree::split(const std::string &path)
+/**
+ * Yield the next '/'-separated component of @p path starting at
+ * @p pos, advancing @p pos past it.  Returns an empty view when the
+ * path is exhausted.  Views alias @p path — no copies are made.
+ */
+std::string_view
+nextComponent(std::string_view path, std::size_t &pos)
 {
-    std::vector<std::string> parts;
-    std::string current;
-    for (const char c : path) {
-        if (c == '/') {
-            if (!current.empty()) {
-                parts.push_back(current);
-                current.clear();
-            }
-        } else {
-            current.push_back(c);
-        }
-    }
-    if (!current.empty())
-        parts.push_back(current);
-    return parts;
+    while (pos < path.size() && path[pos] == '/')
+        ++pos;
+    const std::size_t start = pos;
+    while (pos < path.size() && path[pos] != '/')
+        ++pos;
+    return path.substr(start, pos - start);
 }
 
+} // namespace
+
+NamespaceTree::NamespaceTree() : root_(std::make_unique<Node>()) {}
+
 NamespaceTree::Node *
-NamespaceTree::resolve(const std::string &path, bool create)
+NamespaceTree::resolve(std::string_view path, bool create)
 {
     Node *node = root_.get();
-    for (const auto &part : split(path)) {
+    std::size_t pos = 0;
+    for (std::string_view part = nextComponent(path, pos); !part.empty();
+         part = nextComponent(path, pos)) {
         auto it = node->children.find(part);
         if (it == node->children.end()) {
             if (!create)
                 return nullptr;
             it = node->children
-                     .emplace(part, std::make_unique<Node>())
+                     .emplace(std::string(part),
+                              std::make_unique<Node>())
                      .first;
         }
         node = it->second.get();
@@ -43,10 +46,12 @@ NamespaceTree::resolve(const std::string &path, bool create)
 }
 
 const NamespaceTree::Node *
-NamespaceTree::resolveConst(const std::string &path) const
+NamespaceTree::resolveConst(std::string_view path) const
 {
     const Node *node = root_.get();
-    for (const auto &part : split(path)) {
+    std::size_t pos = 0;
+    for (std::string_view part = nextComponent(path, pos); !part.empty();
+         part = nextComponent(path, pos)) {
         const auto it = node->children.find(part);
         if (it == node->children.end())
             return nullptr;
@@ -56,19 +61,31 @@ NamespaceTree::resolveConst(const std::string &path) const
 }
 
 void
-NamespaceTree::makeDirs(const std::string &path)
+NamespaceTree::makeDirs(std::string_view path)
 {
     resolve(path, true);
 }
 
+NamespaceTree::DirRef
+NamespaceTree::dirRef(std::string_view path)
+{
+    return DirRef(resolve(path, true));
+}
+
 void
-NamespaceTree::addFiles(const std::string &path, std::uint64_t count)
+NamespaceTree::addFiles(std::string_view path, std::uint64_t count)
 {
     resolve(path, true)->files += count;
 }
 
+void
+NamespaceTree::addFilesAt(DirRef dir, std::uint64_t count)
+{
+    dir.node_->files += count;
+}
+
 std::uint64_t
-NamespaceTree::filesAt(const std::string &path) const
+NamespaceTree::filesAt(std::string_view path) const
 {
     const Node *node = resolveConst(path);
     return node ? node->files : 0;
@@ -93,21 +110,21 @@ NamespaceTree::countDirs(const Node &node)
 }
 
 std::uint64_t
-NamespaceTree::filesUnder(const std::string &path) const
+NamespaceTree::filesUnder(std::string_view path) const
 {
     const Node *node = resolveConst(path);
     return node ? countFiles(*node) : 0;
 }
 
 std::uint64_t
-NamespaceTree::dirsUnder(const std::string &path) const
+NamespaceTree::dirsUnder(std::string_view path) const
 {
     const Node *node = resolveConst(path);
     return node ? countDirs(*node) : 0;
 }
 
 std::vector<std::string>
-NamespaceTree::list(const std::string &path) const
+NamespaceTree::list(std::string_view path) const
 {
     std::vector<std::string> out;
     const Node *node = resolveConst(path);
@@ -120,7 +137,7 @@ NamespaceTree::list(const std::string &path) const
 }
 
 bool
-NamespaceTree::exists(const std::string &path) const
+NamespaceTree::exists(std::string_view path) const
 {
     return resolveConst(path) != nullptr;
 }

@@ -9,12 +9,20 @@
  * subtree under the namenode's global lock.  The tree gives the traversal
  * a real object to walk: directories, nested children, and file counts
  * that client traffic keeps growing during the run.
+ *
+ * Resolution is allocation-free: paths are tokenized in place as
+ * string_views and looked up through the map's transparent comparator,
+ * so the per-request hot path (millions of addFiles calls per scenario
+ * run) builds no intermediate strings or vectors.  Repeat visitors can
+ * go further and hold a DirRef — a stable handle to a directory node —
+ * making each subsequent touch a pointer dereference.
  */
 
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace smartconf::dfs {
@@ -28,44 +36,75 @@ namespace smartconf::dfs {
  */
 class NamespaceTree
 {
+  private:
+    struct Node;
+
   public:
     NamespaceTree();
 
+    /**
+     * Stable, opaque reference to a directory node.
+     *
+     * Nodes are never deleted, so a DirRef stays valid for the life of
+     * its tree.  Default-constructed refs are falsy.
+     */
+    class DirRef
+    {
+      public:
+        DirRef() = default;
+        explicit operator bool() const { return node_ != nullptr; }
+
+      private:
+        friend class NamespaceTree;
+        explicit DirRef(Node *node) : node_(node) {}
+        Node *node_ = nullptr;
+    };
+
     /** Ensure directory @p path exists (creates parents). */
-    void makeDirs(const std::string &path);
+    void makeDirs(std::string_view path);
+
+    /**
+     * Resolve @p path to a handle, creating the directory (and parents)
+     * when missing.  Use with addFilesAt to skip re-resolution on every
+     * touch of a hot directory.
+     */
+    DirRef dirRef(std::string_view path);
 
     /**
      * Record @p count new files in directory @p path (created with
      * parents when missing).
      */
-    void addFiles(const std::string &path, std::uint64_t count = 1);
+    void addFiles(std::string_view path, std::uint64_t count = 1);
+
+    /** Record @p count new files at a previously resolved directory. */
+    void addFilesAt(DirRef dir, std::uint64_t count = 1);
 
     /** Files directly inside @p path; 0 when the directory is missing. */
-    std::uint64_t filesAt(const std::string &path) const;
+    std::uint64_t filesAt(std::string_view path) const;
 
     /** Files in the whole subtree rooted at @p path. */
-    std::uint64_t filesUnder(const std::string &path) const;
+    std::uint64_t filesUnder(std::string_view path) const;
 
     /** Number of directories in the subtree (including @p path). */
-    std::uint64_t dirsUnder(const std::string &path) const;
+    std::uint64_t dirsUnder(std::string_view path) const;
 
     /** Immediate subdirectory names of @p path (sorted). */
-    std::vector<std::string> list(const std::string &path) const;
+    std::vector<std::string> list(std::string_view path) const;
 
     /** True when @p path names an existing directory. */
-    bool exists(const std::string &path) const;
+    bool exists(std::string_view path) const;
 
   private:
     struct Node
     {
         std::uint64_t files = 0;
-        std::map<std::string, std::unique_ptr<Node>> children;
+        /** Transparent comparator: lookups take string_view directly. */
+        std::map<std::string, std::unique_ptr<Node>, std::less<>>
+            children;
     };
 
-    static std::vector<std::string> split(const std::string &path);
-
-    Node *resolve(const std::string &path, bool create);
-    const Node *resolveConst(const std::string &path) const;
+    Node *resolve(std::string_view path, bool create);
+    const Node *resolveConst(std::string_view path) const;
 
     static std::uint64_t countFiles(const Node &node);
     static std::uint64_t countDirs(const Node &node);

@@ -5,20 +5,29 @@
 namespace smartconf::kvstore {
 
 void
-JvmHeap::setComponent(const std::string &name, double mb)
+JvmHeap::setComponent(std::string_view name, double mb)
 {
-    components_[name] = std::max(0.0, mb);
+    const auto it = components_.find(name);
+    if (it != components_.end()) {
+        it->second = std::max(0.0, mb);
+        return;
+    }
+    components_.emplace(std::string(name), std::max(0.0, mb));
 }
 
 void
-JvmHeap::addComponent(const std::string &name, double mb)
+JvmHeap::addComponent(std::string_view name, double mb)
 {
-    auto &slot = components_[name];
-    slot = std::max(0.0, slot + mb);
+    const auto it = components_.find(name);
+    if (it != components_.end()) {
+        it->second = std::max(0.0, it->second + mb);
+        return;
+    }
+    components_.emplace(std::string(name), std::max(0.0, mb));
 }
 
 double
-JvmHeap::component(const std::string &name) const
+JvmHeap::component(std::string_view name) const
 {
     const auto it = components_.find(name);
     return it == components_.end() ? 0.0 : it->second;

@@ -16,6 +16,7 @@
 
 #include <map>
 #include <string>
+#include <string_view>
 
 #include "sim/clock.h"
 
@@ -31,13 +32,13 @@ class JvmHeap
     explicit JvmHeap(double capacity_mb) : capacity_mb_(capacity_mb) {}
 
     /** Set the current size of one named component. */
-    void setComponent(const std::string &name, double mb);
+    void setComponent(std::string_view name, double mb);
 
     /** Add to a named component (may be negative). */
-    void addComponent(const std::string &name, double mb);
+    void addComponent(std::string_view name, double mb);
 
     /** Current size of a component; 0 when absent. */
-    double component(const std::string &name) const;
+    double component(std::string_view name) const;
 
     /** Total heap usage across all components. */
     double usedMb() const;
@@ -59,7 +60,9 @@ class JvmHeap
 
   private:
     double capacity_mb_;
-    std::map<std::string, double> components_;
+    /** Transparent comparator: every per-tick gauge update looks up by
+     *  string_view without materializing a std::string key. */
+    std::map<std::string, double, std::less<>> components_;
     sim::Tick oom_tick_ = -1;
 };
 

@@ -7,6 +7,7 @@
 #include "kvstore/heap.h"
 #include "kvstore/memtable.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 #include "workload/phases.h"
 #include "workload/ycsb.h"
 
@@ -153,6 +154,12 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("used_memory_mb");
     result.conf_series = sim::TimeSeries("memtable_total_space_in_mb");
     result.tradeoff_series = sim::TimeSeries("avg_write_latency");
+    result.perf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.tradeoff_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
 
     std::unique_ptr<SmartConfRuntime> rt;
     std::unique_ptr<SmartConfI> sc;
@@ -186,7 +193,23 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
     double conf_sum = 0.0;
     std::int64_t conf_samples = 0;
 
-    for (sim::Tick t = 0; t < opts_.total_ticks; ++t) {
+    // Event-engine driver: workload + memtable stepping, the control
+    // loop, and metrics sampling each run as a periodic event rearmed
+    // in place.  Registration order fixes the intra-tick order to the
+    // sequential driver's statement order.
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<sim::EventId> loops;
+    auto halt = [&loops, &events] {
+        for (const sim::EventId id : loops)
+            events.cancel(id);
+    };
+
+    double mem = 0.0; ///< heap usage after this tick's accounting
+    std::vector<workload::Op> ops; ///< reused arrival buffer
+
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         auto p = gen.params();
         p.write_fraction = write_frac.at(t);
         gen.setParams(p);
@@ -200,7 +223,8 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
         }
         other = otherWalk(opts_, walk_rng, other);
 
-        for (const auto &op : gen.tick()) {
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             if (op.type != workload::Op::Type::Write)
                 continue;
             const double lat = memtable.write(op.size_mb, t);
@@ -213,13 +237,19 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
         heap.setComponent("cache", cache);
         heap.setComponent("memtable", memtable.occupancyMb());
         heap.checkOom(t);
+        mem = heap.usedMb();
+    }));
 
-        const double mem = heap.usedMb();
-        if (sc && t % opts_.control_period == 0) {
-            sc->setPerf(mem, memtable.occupancyMb());
-            memtable.setCapMb(std::max(8.0, sc->getConfReal()));
-        }
+    if (sc) {
+        loops.push_back(events.schedulePeriodicAt(
+            0, opts_.control_period, [&] {
+                sc->setPerf(mem, memtable.occupancyMb());
+                memtable.setCapMb(std::max(8.0, sc->getConfReal()));
+            }));
+    }
 
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         result.perf_series.record(t, mem);
         result.conf_series.record(t, memtable.capMb());
         conf_sum += memtable.capMb();
@@ -233,8 +263,10 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
             std::max(result.worst_goal_metric, mem);
 
         if (heap.oom())
-            break; // Cassandra node died with OutOfMemoryError
-    }
+            halt(); // Cassandra node died with OutOfMemoryError
+    }));
+
+    events.runUntil(opts_.total_ticks - 1);
 
     result.violated = heap.oom();
     result.violation_time_s =

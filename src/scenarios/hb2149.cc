@@ -6,6 +6,7 @@
 #include "core/smartconf.h"
 #include "kvstore/memstore.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 #include "workload/ycsb.h"
 
 namespace smartconf::scenarios {
@@ -133,6 +134,12 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("block_latency_ticks");
     result.conf_series = sim::TimeSeries("flush_amount_mb");
     result.tradeoff_series = sim::TimeSeries("accepted_writes");
+    // perf_series only records on flush completion; the other two
+    // record every tick.
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.tradeoff_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
 
     std::unique_ptr<SmartConfRuntime> rt;
     std::unique_ptr<SmartConf> sc;
@@ -162,7 +169,16 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
     double worst_block = 0.0;
     bool was_blocked = false;
 
-    for (sim::Tick t = 0; t < opts_.total_ticks; ++t) {
+    // Event-engine driver: the goal switch, the flush-completion
+    // sensor/control step, workload + memstore stepping, and metrics
+    // are separate periodic events; registration order reproduces the
+    // sequential driver's statement order within each tick.
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<workload::Op> ops; ///< reused arrival buffer
+
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         // Run-time goal change through the user-facing setGoal API.
         if (!goal_changed && t >= opts_.phase1_ticks) {
             goal_changed = true;
@@ -178,7 +194,10 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
                 }
             }
         }
+    });
 
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         if (!memstore.blocked() && was_blocked) {
             // A blocking flush just completed: measure and adjust.
             const double block = memstore.lastBlockTicks();
@@ -197,21 +216,30 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
         if (!memstore.blocked())
             flush_start_goal = active_goal;
         was_blocked = memstore.blocked();
+    });
 
-        for (const auto &op : gen.tick()) {
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             if (op.type != workload::Op::Type::Write)
                 continue;
             if (memstore.write(op.size_mb, t))
                 ++accepted;
         }
         memstore.step(t);
+    });
 
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         result.conf_series.record(t, memstore.flushAmountMb());
         result.tradeoff_series.record(
             t, static_cast<double>(accepted));
         conf_sum += memstore.flushAmountMb();
         ++conf_samples;
-    }
+    });
+
+    events.runUntil(opts_.total_ticks - 1);
 
     result.violated = violated;
     result.violation_time_s =

@@ -6,6 +6,7 @@
 #include "core/smartconf.h"
 #include "kvstore/server.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 #include "workload/phases.h"
 #include "workload/ycsb.h"
 
@@ -166,6 +167,12 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("used_memory_mb");
     result.conf_series = sim::TimeSeries("max.queue.size");
     result.tradeoff_series = sim::TimeSeries("completed_ops");
+    result.perf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.tradeoff_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
 
     // Smart policies synthesize their controller from a separate
     // profiling run (different seed: profiling != evaluation workload).
@@ -193,13 +200,32 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     double conf_sum = 0.0;
     std::int64_t conf_samples = 0;
-    for (sim::Tick t = 0; t < opts_.total_ticks; ++t) {
+
+    // The run is driven by the event engine: each concern — workload
+    // arrivals + server stepping, the control loop, metrics sampling —
+    // is a periodic event rearming in place every cycle.  Registration
+    // order fixes the intra-tick order (arrivals/step, then control,
+    // then metrics), matching the sequential driver this replaces.
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<sim::EventId> loops;
+    auto halt = [&loops, &events] {
+        for (const sim::EventId id : loops)
+            events.cancel(id);
+    };
+
+    double mem = 0.0; ///< heap usage after this tick's server step
+    std::vector<workload::Op> ops; ///< reused arrival buffer
+
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         auto p = gen.params();
         p.request_size_mb = req_size.at(t);
         p.ops_per_tick = arrivalRate(opts_, t);
         gen.setParams(p);
 
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         if (opts_.spike_mb > 0.0 && t >= opts_.spike_at) {
             const double progress =
@@ -211,16 +237,22 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
                 opts_.spike_mb * std::min(1.0, progress));
             server.heap().checkOom(t);
         }
+        mem = server.heap().usedMb();
+    }));
 
-        const double mem = server.heap().usedMb();
-        if (sc && t % opts_.control_period == 0) {
-            sc->setPerf(mem, static_cast<double>(
-                                 server.requestQueue().size()));
-            const int next = sc->getConf();
-            server.requestQueue().setMaxItems(
-                static_cast<std::size_t>(std::max(0, next)));
-        }
+    if (sc) {
+        loops.push_back(events.schedulePeriodicAt(
+            0, opts_.control_period, [&] {
+                sc->setPerf(mem, static_cast<double>(
+                                     server.requestQueue().size()));
+                const int next = sc->getConf();
+                server.requestQueue().setMaxItems(
+                    static_cast<std::size_t>(std::max(0, next)));
+            }));
+    }
 
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         result.perf_series.record(t, mem);
         result.conf_series.record(
             t, static_cast<double>(server.requestQueue().maxItems()));
@@ -232,8 +264,10 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
             std::max(result.worst_goal_metric, mem);
 
         if (server.crashed())
-            break; // region server died with OutOfMemoryError
-    }
+            halt(); // region server died with OutOfMemoryError
+    }));
+
+    events.runUntil(opts_.total_ticks - 1);
 
     result.violated = server.crashed();
     result.violation_time_s =

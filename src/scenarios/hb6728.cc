@@ -7,6 +7,7 @@
 #include "kvstore/memtable.h"
 #include "kvstore/server.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 #include "workload/phases.h"
 #include "workload/ycsb.h"
 
@@ -165,6 +166,12 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("used_memory_mb");
     result.conf_series = sim::TimeSeries("response.queue.maxsize");
     result.tradeoff_series = sim::TimeSeries("completed_ops");
+    result.perf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
+    result.tradeoff_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
 
     std::unique_ptr<SmartConfRuntime> rt;
     std::unique_ptr<SmartConfI> sc;
@@ -197,13 +204,29 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     double conf_sum = 0.0;
     std::int64_t conf_samples = 0;
-    for (sim::Tick t = 0; t < opts_.total_ticks; ++t) {
+
+    // Event-engine driver: workload + server stepping, the control
+    // loop, and metrics sampling as periodic events (registration
+    // order = the sequential driver's statement order within a tick).
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<sim::EventId> loops;
+    auto halt = [&loops, &events] {
+        for (const sim::EventId id : loops)
+            events.cancel(id);
+    };
+
+    double mem = 0.0; ///< heap usage after this tick's server step
+    std::vector<workload::Op> ops; ///< reused arrival buffer
+
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         auto p = gen.params();
         p.write_fraction = write_frac.at(t);
         p.ops_per_tick = arrivalRate(opts_, t);
         gen.setParams(p);
 
-        const auto ops = gen.tick(); // NOLINT
+        gen.tickInto(ops);
         for (const auto &op : ops) {
             if (op.type == workload::Op::Type::Write)
                 memstore.write(op.size_mb, t);
@@ -212,14 +235,20 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
         server.heap().setComponent("memstore", memstore.occupancyMb());
         server.accept(ops, t);
         server.step(t);
+        mem = server.heap().usedMb();
+    }));
 
-        const double mem = server.heap().usedMb();
-        if (sc && t % opts_.control_period == 0) {
-            sc->setPerf(mem, server.responseQueue().bytesMb());
-            server.responseQueue().setMaxMb(
-                std::max(1.0, sc->getConfReal()));
-        }
+    if (sc) {
+        loops.push_back(events.schedulePeriodicAt(
+            0, opts_.control_period, [&] {
+                sc->setPerf(mem, server.responseQueue().bytesMb());
+                server.responseQueue().setMaxMb(
+                    std::max(1.0, sc->getConfReal()));
+            }));
+    }
 
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         result.perf_series.record(t, mem);
         result.conf_series.record(t, server.responseQueue().maxMb());
         result.tradeoff_series.record(
@@ -230,8 +259,10 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
             std::max(result.worst_goal_metric, mem);
 
         if (server.crashed())
-            break;
-    }
+            halt(); // region server died with OutOfMemoryError
+    }));
+
+    events.runUntil(opts_.total_ticks - 1);
 
     result.violated = server.crashed();
     result.violation_time_s =

@@ -6,6 +6,7 @@
 #include "core/smartconf.h"
 #include "dfs/namenode.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 #include "workload/dfsio.h"
 
 namespace smartconf::scenarios {
@@ -164,6 +165,9 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("write_wait_ticks");
     result.conf_series = sim::TimeSeries("content-summary.limit");
     result.tradeoff_series = sim::TimeSeries("du_latency_ticks");
+    // perf/tradeoff record per chunk / per du; conf records every tick.
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.total_ticks));
 
     std::unique_ptr<SmartConfRuntime> rt;
     std::unique_ptr<SmartConfI> sc;
@@ -195,7 +199,15 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
     double conf_sum = 0.0;
     std::int64_t conf_samples = 0;
 
-    for (sim::Tick t = 0; t < opts_.total_ticks; ++t) {
+    // Event-engine driver: the goal switch, request arrivals + namenode
+    // stepping, the per-chunk conditional control step, and metrics are
+    // separate periodic events fired in registration order each tick.
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<workload::DfsRequest> reqs; ///< reused arrival buffer
+
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         if (!goal_changed && t >= opts_.phase1_ticks) {
             goal_changed = true;
             active_goal = opts_.phase2_goal_ticks;
@@ -210,11 +222,18 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
                 }
             }
         }
+    });
 
-        for (const auto &req : gen.tick(t))
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
+        gen.tickInto(t, reqs);
+        for (const auto &req : reqs)
             nn.submit(req, t);
         nn.step(t);
+    });
 
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         // Conditional control: invoked per completed du chunk.  The
         // waits measured since the previous chunk ended belong to that
         // previous chunk's lock hold; pair them accordingly.
@@ -238,7 +257,10 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
             }
             prev_hold = nn.lastHoldTicks();
         }
+    });
 
+    events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         while (du_seen < nn.duResults().size()) {
             result.tradeoff_series.record(
                 t, nn.duResults()[du_seen].latency_ticks);
@@ -248,7 +270,9 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
             t, static_cast<double>(nn.summaryLimit()));
         conf_sum += static_cast<double>(nn.summaryLimit());
         ++conf_samples;
-    }
+    });
+
+    events.runUntil(opts_.total_ticks - 1);
 
     result.violated = violated;
     result.violation_time_s =

@@ -7,6 +7,7 @@
 #include "core/smartconf.h"
 #include "mapreduce/cluster.h"
 #include "scenarios/control.h"
+#include "sim/event_queue.h"
 
 namespace smartconf::scenarios {
 
@@ -128,6 +129,12 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.perf_series = sim::TimeSeries("disk_used_mb");
     result.conf_series = sim::TimeSeries("minspacestart_mb");
     result.tradeoff_series = sim::TimeSeries("completed_tasks");
+    result.perf_series.reserve(
+        static_cast<std::size_t>(opts_.max_ticks));
+    result.conf_series.reserve(
+        static_cast<std::size_t>(opts_.max_ticks));
+    result.tradeoff_series.reserve(
+        static_cast<std::size_t>(opts_.max_ticks));
 
     std::unique_ptr<SmartConfRuntime> rt;
     std::unique_ptr<SmartConf> sc;
@@ -191,13 +198,31 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
         cluster.setMinSpaceStart(std::max(0.0, sc->getConfReal()));
     };
 
-    for (sim::Tick t = 0; t < opts_.max_ticks; ++t) {
-        cluster.step(t);
+    // Event-engine driver: cluster stepping, the control loop, and
+    // metrics + job-phase bookkeeping as periodic events fired in
+    // registration order each tick.
+    sim::Clock sim_clock;
+    sim::EventQueue events(sim_clock);
+    std::vector<sim::EventId> loops;
+    auto halt = [&loops, &events] {
+        for (const sim::EventId id : loops)
+            events.cancel(id);
+    };
 
-        const double disk = cluster.maxDiskUsedMb();
-        if (sc && t % opts_.control_period == 0)
-            invoke_control(false);
+    double disk = 0.0; ///< max worker disk after this tick's step
 
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        cluster.step(sim_clock.now());
+        disk = cluster.maxDiskUsedMb();
+    }));
+
+    if (sc) {
+        loops.push_back(events.schedulePeriodicAt(
+            0, opts_.control_period, [&] { invoke_control(false); }));
+    }
+
+    loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
+        const sim::Tick t = sim_clock.now();
         result.perf_series.record(t, disk);
         result.conf_series.record(t, cluster.minSpaceStart());
         result.tradeoff_series.record(
@@ -208,8 +233,10 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
         result.worst_goal_metric =
             std::max(result.worst_goal_metric, disk);
 
-        if (cluster.ood())
-            break; // a worker ran out of disk: the job is lost
+        if (cluster.ood()) {
+            halt(); // a worker ran out of disk: the job is lost
+            return;
+        }
 
         if (cluster.jobDone()) {
             if (phase == 0) {
@@ -222,10 +249,12 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
                     invoke_control(true);
             } else {
                 finished_at = t;
-                break;
+                halt();
             }
         }
-    }
+    }));
+
+    events.runUntil(opts_.max_ticks - 1);
 
     result.violated = cluster.ood();
     result.violation_time_s =

@@ -1,42 +1,161 @@
 #include "sim/event_queue.h"
 
 #include <algorithm>
+#include <cassert>
 #include <limits>
 #include <utility>
 
 namespace smartconf::sim {
 
+std::uint32_t
+EventQueue::acquireSlot()
+{
+    if (free_head_ != kNoSlot) {
+        const std::uint32_t slot = free_head_;
+        free_head_ = pool_[slot].next_free;
+        pool_[slot].next_free = kNoSlot;
+        pool_[slot].in_use = true;
+        return slot;
+    }
+    const auto slot = static_cast<std::uint32_t>(pool_.size());
+    pool_.emplace_back();
+    pool_[slot].in_use = true;
+    return slot;
+}
+
+void
+EventQueue::releaseSlot(std::uint32_t slot)
+{
+    Entry &e = pool_[slot];
+    e.cb = Callback();   // run capture destructors now, not at reuse
+    ++e.gen;             // stale ids (fired or cancelled) stop matching
+    e.cancelled = false;
+    e.interval = 0;
+    e.in_use = false;
+    e.next_free = free_head_;
+    free_head_ = slot;
+}
+
+void
+EventQueue::heapPush(std::uint32_t slot)
+{
+    heap_.push_back(slot);
+    siftUp(heap_.size() - 1);
+}
+
+std::uint32_t
+EventQueue::heapPopRoot()
+{
+    const std::uint32_t root = heap_.front();
+    heap_.front() = heap_.back();
+    heap_.pop_back();
+    if (!heap_.empty())
+        siftDown(0);
+    return root;
+}
+
+void
+EventQueue::siftUp(std::size_t pos)
+{
+    const std::uint32_t slot = heap_[pos];
+    while (pos > 0) {
+        const std::size_t parent = (pos - 1) / kArity;
+        if (!fires_before(slot, heap_[parent]))
+            break;
+        heap_[pos] = heap_[parent];
+        pos = parent;
+    }
+    heap_[pos] = slot;
+}
+
+void
+EventQueue::siftDown(std::size_t pos)
+{
+    const std::uint32_t slot = heap_[pos];
+    const std::size_t n = heap_.size();
+    for (;;) {
+        const std::size_t first_child = pos * kArity + 1;
+        if (first_child >= n)
+            break;
+        const std::size_t last_child =
+            std::min(first_child + kArity, n);
+        std::size_t best = first_child;
+        for (std::size_t c = first_child + 1; c < last_child; ++c) {
+            if (fires_before(heap_[c], heap_[best]))
+                best = c;
+        }
+        if (!fires_before(heap_[best], slot))
+            break;
+        heap_[pos] = heap_[best];
+        pos = best;
+    }
+    heap_[pos] = slot;
+}
+
+EventId
+EventQueue::scheduleEntry(Tick when, Tick interval, Callback cb)
+{
+    const std::uint32_t slot = acquireSlot();
+    Entry &e = pool_[slot];
+    e.when = std::max(when, clock_.now());
+    e.seq = next_seq_++;
+    e.interval = interval;
+    e.cancelled = false;
+    e.cb = std::move(cb);
+    heapPush(slot);
+    return makeId(slot, e.gen);
+}
+
 EventId
 EventQueue::scheduleAt(Tick when, Callback cb)
 {
-    const Tick effective = std::max(when, clock_.now());
-    const EventId id = next_id_++;
-    heap_.push(Entry{effective, next_seq_++, id, std::move(cb)});
-    live_.insert(id);
-    ++size_;
-    return id;
+    return scheduleEntry(when, 0, std::move(cb));
 }
 
 EventId
 EventQueue::scheduleAfter(Tick delay, Callback cb)
 {
-    return scheduleAt(clock_.now() + std::max<Tick>(delay, 0),
-                      std::move(cb));
+    return scheduleEntry(clock_.now() + std::max<Tick>(delay, 0), 0,
+                         std::move(cb));
+}
+
+EventId
+EventQueue::schedulePeriodic(Tick interval, Callback cb)
+{
+    assert(interval >= 1);
+    return scheduleEntry(clock_.now() + interval, interval,
+                         std::move(cb));
+}
+
+EventId
+EventQueue::schedulePeriodicAt(Tick first, Tick interval, Callback cb)
+{
+    assert(interval >= 1);
+    return scheduleEntry(first, interval, std::move(cb));
 }
 
 void
 EventQueue::cancel(EventId id)
 {
-    live_.erase(id); // no-op (and no bookkeeping growth) after firing
+    const std::uint32_t slot = slotOf(id);
+    if (slot >= pool_.size())
+        return;
+    Entry &e = pool_[slot];
+    if (!e.in_use || e.gen != genOf(id))
+        return; // already fired (one-shot) or cancelled and recycled
+    e.cancelled = true;
 }
 
 std::size_t
 EventQueue::runUntil(Tick horizon)
 {
     std::size_t fired = 0;
-    while (!heap_.empty()) {
-        const Entry &top = heap_.top();
-        if (top.when > horizon)
+    for (;;) {
+        // Discard cancelled entries at the front so the horizon check
+        // sees the next *live* event.
+        while (!heap_.empty() && pool_[heap_.front()].cancelled)
+            releaseSlot(heapPopRoot());
+        if (heap_.empty() || pool_[heap_.front()].when > horizon)
             break;
         if (step())
             ++fired;
@@ -50,13 +169,32 @@ bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        Entry top = std::move(const_cast<Entry &>(heap_.top()));
-        heap_.pop();
-        --size_;
-        if (live_.erase(top.id) == 0)
-            continue; // cancelled; entry discarded at its tick
-        clock_.advanceTo(top.when);
-        top.cb();
+        const std::uint32_t slot = heapPopRoot();
+        if (pool_[slot].cancelled) {
+            releaseSlot(slot); // entry discarded at its tick
+            continue;
+        }
+        clock_.advanceTo(pool_[slot].when);
+
+        // The callback runs outside the pool: it may schedule events,
+        // which can grow (reallocate) the pool underneath any Entry
+        // reference.  Periodic entries are rearmed *before* invoking so
+        // that the callback can cancel its own event.
+        const Tick interval = pool_[slot].interval;
+        Callback cb = std::move(pool_[slot].cb);
+        if (interval > 0) {
+            pool_[slot].when += interval;
+            heapPush(slot);
+        }
+        cb();
+        if (interval > 0) {
+            Entry &e = pool_[slot]; // re-fetch: pool may have moved
+            if (!e.cancelled)
+                e.cb = std::move(cb); // rearm in place; no allocation
+            // else: discarded (and the slot recycled) at the next pop
+        } else {
+            releaseSlot(slot);
+        }
         return true;
     }
     return false;

@@ -5,23 +5,40 @@
  * @file
  * Discrete-event engine.
  *
- * A minimal but complete event queue: schedule callbacks at future ticks,
- * run until quiescence or a horizon, cancel pending events.  Events that
- * share a tick fire in scheduling order (stable), which keeps runs
+ * Schedule callbacks at future ticks (one-shot or periodic), run until
+ * quiescence or a horizon, cancel pending events.  Events that share a
+ * tick fire in scheduling order (stable), which keeps runs
  * deterministic.
+ *
+ * The engine is allocation-conscious: entries live in a free-listed
+ * pool, the ready structure is an index-based d-ary heap over that
+ * pool, and callbacks are InlineCallback (small captures stay inside
+ * the entry).  Steady-state scheduling — a periodic event rearming, or
+ * a one-shot event replacing a just-fired one — touches no allocator at
+ * all once the pool has grown to the run's high-water mark.
+ *
+ * Cancellation is O(1) and lazy: cancel() flips a flag; the entry is
+ * discarded (and its slot recycled) when its tick reaches the front of
+ * the heap.
  */
 
 #include <cstdint>
-#include <functional>
-#include <queue>
-#include <unordered_set>
+#include <cstddef>
 #include <vector>
 
 #include "sim/clock.h"
+#include "sim/inline_callback.h"
 
 namespace smartconf::sim {
 
-/** Identifier for a scheduled event; usable to cancel it. */
+/**
+ * Identifier for a scheduled event; usable to cancel it.
+ *
+ * Ids are unique for the lifetime of the queue even though entries are
+ * pooled: the id packs the pool slot with a per-slot generation that
+ * bumps on every reuse, so a stale id can never cancel the slot's next
+ * occupant.
+ */
 using EventId = std::uint64_t;
 
 /**
@@ -30,7 +47,7 @@ using EventId = std::uint64_t;
 class EventQueue
 {
   public:
-    using Callback = std::function<void()>;
+    using Callback = InlineCallback;
 
     explicit EventQueue(Clock &clock) : clock_(clock) {}
 
@@ -45,20 +62,47 @@ class EventQueue
     /** Schedule @p cb @p delay ticks from now. */
     EventId scheduleAfter(Tick delay, Callback cb);
 
-    /** Cancel a pending event; no-op if already fired or cancelled. */
+    /**
+     * Schedule @p cb every @p interval ticks, first firing at
+     * now + @p interval.  The event owns one pooled entry that is
+     * rearmed in place after each firing — repeating forever (without
+     * allocating) until cancelled via the returned id.
+     *
+     * Within a tick, a periodic event keeps the position given by its
+     * original scheduling order: it fires before everything scheduled
+     * after it was registered, every time it fires.  Registering
+     * periodic handlers in dependency order therefore fixes their
+     * intra-tick order for the whole run.
+     *
+     * @param interval must be >= 1.
+     */
+    EventId schedulePeriodic(Tick interval, Callback cb);
+
+    /**
+     * Like schedulePeriodic, but the first firing is at absolute tick
+     * @p first (clamped to "now"), then every @p interval ticks.
+     */
+    EventId schedulePeriodicAt(Tick first, Tick interval, Callback cb);
+
+    /**
+     * Cancel a pending event; no-op if already fired or cancelled.
+     * Cancelling a periodic event stops it permanently — including
+     * from inside its own callback.
+     */
     void cancel(EventId id);
 
     /** Scheduled entries not yet fired (a cancelled entry is
      *  counted until its tick is reached and it is discarded). */
-    std::size_t pending() const { return size_; }
+    std::size_t pending() const { return heap_.size(); }
 
     /** True when no events remain. */
-    bool empty() const { return size_ == 0; }
+    bool empty() const { return heap_.empty(); }
 
     /**
      * Run events in time order until the queue is empty or the next
-     * event lies beyond @p horizon.  The clock ends at the last fired
-     * event's tick (or at @p horizon when it is finite and reached).
+     * live event lies beyond @p horizon.  The clock ends at the last
+     * fired event's tick (or at @p horizon when it is finite and
+     * reached).
      *
      * @return number of events fired.
      */
@@ -69,39 +113,68 @@ class EventQueue
 
     Clock &clock() { return clock_; }
 
+    /** Pool slots ever created (capacity high-water mark, for tests). */
+    std::size_t poolSize() const { return pool_.size(); }
+
   private:
+    static constexpr std::uint32_t kNoSlot = 0xffffffffU;
+    static constexpr std::size_t kArity = 4; ///< d-ary heap fan-out
+
     struct Entry
     {
-        Tick when;
-        std::uint64_t seq; // tie-breaker: FIFO within a tick
-        EventId id;
+        Tick when = 0;
+        std::uint64_t seq = 0; ///< tie-breaker: FIFO within a tick
+        Tick interval = 0;     ///< 0 = one-shot
+        std::uint32_t gen = 1; ///< bumps on slot reuse
+        std::uint32_t next_free = kNoSlot;
+        bool cancelled = false;
+        bool in_use = false;
         Callback cb;
     };
 
-    struct Later
+    static std::uint32_t slotOf(EventId id)
     {
-        bool operator()(const Entry &a, const Entry &b) const
-        {
-            if (a.when != b.when)
-                return a.when > b.when;
-            return a.seq > b.seq;
-        }
-    };
+        return static_cast<std::uint32_t>(id & 0xffffffffULL);
+    }
+    static std::uint32_t genOf(EventId id)
+    {
+        return static_cast<std::uint32_t>(id >> 32);
+    }
+    static EventId makeId(std::uint32_t slot, std::uint32_t gen)
+    {
+        return (static_cast<EventId>(gen) << 32) | slot;
+    }
+
+    /** Strict ordering: does entry @p a fire before entry @p b? */
+    bool fires_before(std::uint32_t a, std::uint32_t b) const
+    {
+        const Entry &ea = pool_[a];
+        const Entry &eb = pool_[b];
+        if (ea.when != eb.when)
+            return ea.when < eb.when;
+        return ea.seq < eb.seq;
+    }
+
+    std::uint32_t acquireSlot();
+    void releaseSlot(std::uint32_t slot);
+
+    void heapPush(std::uint32_t slot);
+    std::uint32_t heapPopRoot();
+    void siftUp(std::size_t pos);
+    void siftDown(std::size_t pos);
+
+    EventId scheduleEntry(Tick when, Tick interval, Callback cb);
 
     Clock &clock_;
-    std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
 
-    /**
-     * Ids of scheduled-but-not-fired events.  cancel() erases the id
-     * (O(1)); a popped entry whose id is absent was cancelled and is
-     * discarded.  Bounded by pending(), unlike the old unbounded
-     * cancelled-id list that each discard scanned linearly.
-     */
-    std::unordered_set<EventId> live_;
+    /** Entry pool; slots are recycled through the free list. */
+    std::vector<Entry> pool_;
 
+    /** Min-heap of pool slots ordered by (when, seq). */
+    std::vector<std::uint32_t> heap_;
+
+    std::uint32_t free_head_ = kNoSlot;
     std::uint64_t next_seq_ = 0;
-    EventId next_id_ = 1;
-    std::size_t size_ = 0;
 };
 
 } // namespace smartconf::sim

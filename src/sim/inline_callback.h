@@ -1,0 +1,156 @@
+#ifndef SMARTCONF_SIM_INLINE_CALLBACK_H_
+#define SMARTCONF_SIM_INLINE_CALLBACK_H_
+
+/**
+ * @file
+ * Small-buffer-optimized callable for the event engine.
+ *
+ * `std::function` heap-allocates once a capture list outgrows its
+ * (implementation-defined, typically 16-byte) inline buffer — which the
+ * multi-reference captures of scenario tick handlers always do.  At one
+ * allocation per scheduled event that dominated steady-state scheduling
+ * cost.  InlineCallback stores captures up to kInlineBytes directly
+ * inside the object, so the kvstore/dfs/mapreduce handlers (a handful
+ * of references each) never touch the heap; larger captures fall back
+ * to a single heap cell.
+ *
+ * Move-only by design: the event queue is the sole owner of a scheduled
+ * callback, and copyability would force every capture to be copyable.
+ */
+
+#include <cstddef>
+#include <memory>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace smartconf::sim {
+
+/** Move-only `void()` callable with inline storage for small captures. */
+class InlineCallback
+{
+  public:
+    /**
+     * Inline capacity in bytes.  Sized for the scenario tick handlers:
+     * a by-reference capture of up to eight locals (8 pointers) stays
+     * inline with room to spare.
+     */
+    static constexpr std::size_t kInlineBytes = 64;
+
+    InlineCallback() noexcept = default;
+
+    template <typename F,
+              typename = std::enable_if_t<
+                  !std::is_same_v<std::decay_t<F>, InlineCallback> &&
+                  std::is_invocable_r_v<void, std::decay_t<F> &>>>
+    InlineCallback(F &&fn) // NOLINT(google-explicit-constructor)
+    {
+        using Fn = std::decay_t<F>;
+        if constexpr (fitsInline<Fn>()) {
+            ::new (static_cast<void *>(buf_)) Fn(std::forward<F>(fn));
+            ops_ = &inlineOps<Fn>;
+        } else {
+            ::new (static_cast<void *>(buf_))
+                Fn *(new Fn(std::forward<F>(fn)));
+            ops_ = &heapOps<Fn>;
+        }
+    }
+
+    InlineCallback(InlineCallback &&other) noexcept { moveFrom(other); }
+
+    InlineCallback &operator=(InlineCallback &&other) noexcept
+    {
+        if (this != &other) {
+            destroy();
+            moveFrom(other);
+        }
+        return *this;
+    }
+
+    InlineCallback(const InlineCallback &) = delete;
+    InlineCallback &operator=(const InlineCallback &) = delete;
+
+    ~InlineCallback() { destroy(); }
+
+    /** True when a callable is held. */
+    explicit operator bool() const noexcept { return ops_ != nullptr; }
+
+    /** Invoke the stored callable. @pre bool(*this). */
+    void operator()() { ops_->invoke(buf_); }
+
+    /** True when the stored callable lives inside the object. */
+    bool isInline() const noexcept
+    {
+        return ops_ != nullptr && ops_->inline_storage;
+    }
+
+    /** Compile-time check: would @p Fn be stored without allocating? */
+    template <typename Fn> static constexpr bool fitsInline()
+    {
+        return sizeof(Fn) <= kInlineBytes &&
+               alignof(Fn) <= alignof(std::max_align_t) &&
+               std::is_nothrow_move_constructible_v<Fn>;
+    }
+
+  private:
+    struct Ops
+    {
+        void (*invoke)(void *storage);
+        /** Move-construct into @p dst from @p src, destroying @p src. */
+        void (*relocate)(void *dst, void *src) noexcept;
+        void (*destroy)(void *storage) noexcept;
+        bool inline_storage;
+    };
+
+    template <typename Fn> static constexpr Ops inlineOps = {
+        [](void *s) { (*std::launder(reinterpret_cast<Fn *>(s)))(); },
+        [](void *dst, void *src) noexcept {
+            Fn *from = std::launder(reinterpret_cast<Fn *>(src));
+            ::new (dst) Fn(std::move(*from));
+            from->~Fn();
+        },
+        [](void *s) noexcept {
+            std::launder(reinterpret_cast<Fn *>(s))->~Fn();
+        },
+        true,
+    };
+
+    template <typename Fn> static constexpr Ops heapOps = {
+        [](void *s) {
+            (**std::launder(reinterpret_cast<Fn **>(s)))();
+        },
+        [](void *dst, void *src) noexcept {
+            Fn **from = std::launder(reinterpret_cast<Fn **>(src));
+            ::new (dst) Fn *(*from);
+            *from = nullptr;
+        },
+        [](void *s) noexcept {
+            delete *std::launder(reinterpret_cast<Fn **>(s));
+        },
+        false,
+    };
+
+    void moveFrom(InlineCallback &other) noexcept
+    {
+        ops_ = other.ops_;
+        if (ops_ != nullptr) {
+            ops_->relocate(buf_, other.buf_);
+            other.ops_ = nullptr;
+        }
+    }
+
+    void destroy() noexcept
+    {
+        if (ops_ != nullptr) {
+            ops_->destroy(buf_);
+            ops_ = nullptr;
+        }
+    }
+
+    alignas(std::max_align_t) unsigned char buf_[kInlineBytes];
+    const Ops *ops_ = nullptr;
+};
+
+} // namespace smartconf::sim
+
+#endif // SMARTCONF_SIM_INLINE_CALLBACK_H_

@@ -45,7 +45,9 @@ TimeSeries::firstAbove(double threshold) const
 std::vector<TimeSeries::Point>
 TimeSeries::downsampleMax(std::size_t buckets) const
 {
-    if (buckets == 0 || points_.size() <= buckets)
+    if (buckets == 0)
+        return {}; // "at most 0 points" is the empty series
+    if (points_.size() <= buckets)
         return points_;
     std::vector<Point> out;
     out.reserve(buckets);
@@ -98,13 +100,35 @@ Histogram::percentile(double p) const
 {
     if (values_.empty())
         return 0.0;
-    std::vector<double> sorted(values_);
-    std::sort(sorted.begin(), sorted.end());
+    if (!scratch_fresh_) {
+        // Refresh the reusable scratch copy; capacity is retained, so
+        // steady-state queries allocate only when the histogram grew.
+        scratch_.assign(values_.begin(), values_.end());
+        scratch_fresh_ = true;
+        scratch_sorted_ = false;
+        queries_since_mutation_ = 0;
+    }
     const double rank =
-        std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+        std::ceil(p / 100.0 * static_cast<double>(scratch_.size()));
     const std::size_t idx = static_cast<std::size_t>(std::max(
-        1.0, std::min(rank, static_cast<double>(sorted.size()))));
-    return sorted[idx - 1];
+        1.0, std::min(rank, static_cast<double>(scratch_.size()))));
+    if (!scratch_sorted_) {
+        if (queries_since_mutation_ == 0) {
+            // Single-query fast path: nth_element places the requested
+            // rank correctly in O(n) without sorting everything.
+            ++queries_since_mutation_;
+            std::nth_element(scratch_.begin(),
+                             scratch_.begin() +
+                                 static_cast<std::ptrdiff_t>(idx - 1),
+                             scratch_.end());
+        } else {
+            // Second query since the last mutation: sort once, then
+            // every further percentile is a plain lookup.
+            std::sort(scratch_.begin(), scratch_.end());
+            scratch_sorted_ = true;
+        }
+    }
+    return scratch_[idx - 1];
 }
 
 } // namespace smartconf::sim

@@ -8,9 +8,16 @@
  * TimeSeries captures (tick, value) curves — the raw material for the
  * paper's Figures 6-8 — and Histogram summarizes latency distributions
  * (mean, percentiles, max) for throughput/latency trade-off reporting.
+ *
+ * Both are streaming-friendly: callers that know the run horizon can
+ * reserve() capacity up front so the per-tick record() path never
+ * reallocates, and Histogram::percentile caches its sorted state so
+ * repeated queries between mutations cost O(1) instead of a fresh
+ * copy-and-sort each call.
  */
 
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -29,6 +36,9 @@ class TimeSeries
     };
 
     explicit TimeSeries(std::string name = "") : name_(std::move(name)) {}
+
+    /** Pre-size for @p n points (e.g. the scenario horizon in ticks). */
+    void reserve(std::size_t n) { points_.reserve(n); }
 
     void record(Tick tick, double value)
     {
@@ -51,13 +61,18 @@ class TimeSeries
 
     /**
      * First tick at which the value exceeded @p threshold, or -1 when it
-     * never did.  Used to report "OOM at t = 36 s" style results.
+     * never did (including on an empty series).  Used to report "OOM at
+     * t = 36 s" style results.
      */
     Tick firstAbove(double threshold) const;
 
     /**
      * Down-sample to at most @p buckets points (taking the max within
      * each bucket) — keeps printed figure data readable.
+     *
+     * Edge cases: 0 buckets yields an empty vector (the contract is
+     * "at most @p buckets points"); @p buckets >= size() returns the
+     * series unchanged; a single point survives as itself.
      */
     std::vector<Point> downsampleMax(std::size_t buckets) const;
 
@@ -73,22 +88,48 @@ class TimeSeries
 class Histogram
 {
   public:
-    void record(double value) { values_.push_back(value); }
+    /** Pre-size for @p n observations. */
+    void reserve(std::size_t n) { values_.reserve(n); }
+
+    void record(double value)
+    {
+        values_.push_back(value);
+        scratch_fresh_ = false;
+    }
 
     std::size_t count() const { return values_.size(); }
     double mean() const;
     double max() const;
 
-    /** Nearest-rank percentile in (0, 100]; 0 when empty. */
+    /**
+     * Nearest-rank percentile in (0, 100]; 0 when empty.
+     *
+     * Sorted-state caching: the first query after a mutation answers
+     * via nth_element (O(n), no full sort); a second query sorts the
+     * scratch copy once, after which further queries are O(1) lookups
+     * until the next record().  The recording-order values() view is
+     * never disturbed.
+     */
     double percentile(double p) const;
 
     /** Raw observations in recording order (for streaming consumers). */
     const std::vector<double> &values() const { return values_; }
 
-    void reset() { values_.clear(); }
+    void reset()
+    {
+        values_.clear();
+        scratch_fresh_ = false;
+    }
 
   private:
     std::vector<double> values_;
+
+    /** Query-side cache: a reusable copy of values_ for (partial)
+     *  sorting, so percentile() stops copy-allocating per call. */
+    mutable std::vector<double> scratch_;
+    mutable bool scratch_fresh_ = false;  ///< scratch_ mirrors values_
+    mutable bool scratch_sorted_ = false; ///< scratch_ is fully sorted
+    mutable std::uint32_t queries_since_mutation_ = 0;
 };
 
 } // namespace smartconf::sim

@@ -2,6 +2,9 @@
 
 #include <cassert>
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <utility>
 
 namespace smartconf::sim {
 
@@ -114,18 +117,72 @@ Rng::fork(std::uint64_t stream_id) const
     return Rng(seed_ ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
 }
 
+namespace {
+
+/**
+ * Process-wide memo of zeta(n, theta) = sum_{i=1..n} i^-theta.
+ *
+ * Guarded by a mutex because parallel sweeps construct generators on
+ * worker threads concurrently.  The summation itself runs under the
+ * lock: it executes once per distinct (n, theta) for the process
+ * lifetime, and racing duplicates would waste exactly the work the
+ * cache exists to avoid.  Determinism is untouched — the sum is a pure
+ * function of its key, so every thread reads the same bits.
+ */
+class ZetaCache
+{
+  public:
+    double get(std::uint64_t n, double theta)
+    {
+        const std::pair<std::uint64_t, double> key{n, theta};
+        std::lock_guard<std::mutex> lock(mu_);
+        const auto it = memo_.find(key);
+        if (it != memo_.end())
+            return it->second;
+        double zetan = 0.0;
+        for (std::uint64_t i = 1; i <= n; ++i)
+            zetan += 1.0 / std::pow(static_cast<double>(i), theta);
+        memo_.emplace(key, zetan);
+        return zetan;
+    }
+
+    std::size_t size()
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        return memo_.size();
+    }
+
+  private:
+    std::mutex mu_;
+    std::map<std::pair<std::uint64_t, double>, double> memo_;
+};
+
+ZetaCache &
+zetaCache()
+{
+    static ZetaCache cache;
+    return cache;
+}
+
+} // namespace
+
 ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     : n_(n), theta_(theta)
 {
     assert(n_ > 0);
     assert(theta_ >= 0.0 && theta_ < 1.0);
-    zetan_ = 0.0;
-    for (std::uint64_t i = 1; i <= n_; ++i)
-        zetan_ += 1.0 / std::pow(static_cast<double>(i), theta_);
+    zetan_ = zetaCache().get(n_, theta_);
     const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
     alpha_ = 1.0 / (1.0 - theta_);
     eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
            (1.0 - zeta2 / zetan_);
+    second_rank_threshold_ = 1.0 + std::pow(0.5, theta_);
+}
+
+std::size_t
+ZipfianGenerator::zetaCacheSize()
+{
+    return zetaCache().size();
 }
 
 std::uint64_t
@@ -135,7 +192,7 @@ ZipfianGenerator::sample(Rng &rng) const
     const double uz = u * zetan_;
     if (uz < 1.0)
         return 0;
-    if (uz < 1.0 + std::pow(0.5, theta_))
+    if (uz < second_rank_threshold_)
         return 1;
     const std::uint64_t idx = static_cast<std::uint64_t>(
         static_cast<double>(n_) *

@@ -64,6 +64,12 @@ class Rng
  * Zipfian sampler over [0, n) with skew theta, as used by YCSB.
  *
  * Uses the Gray et al. rejection-free method with precomputed zeta.
+ * Computing zeta(n) is O(n) with a pow() per term — for the 100k-key
+ * YCSB population that dwarfs the sampler's own cost — so the zeta
+ * value is memoized per (n, theta) in a process-wide, thread-safe
+ * table: every generator construction after the first with the same
+ * parameters (one per scenario run in a sweep) reuses the precomputed
+ * constant instead of redoing the summation.
  */
 class ZipfianGenerator
 {
@@ -80,12 +86,16 @@ class ZipfianGenerator
 
     std::uint64_t population() const { return n_; }
 
+    /** Memoized zeta(n, theta) entries (test/diagnostic hook). */
+    static std::size_t zetaCacheSize();
+
   private:
     std::uint64_t n_;
     double theta_;
     double zetan_;
     double alpha_;
     double eta_;
+    double second_rank_threshold_; ///< 1 + 0.5^theta, hoisted from sample()
 };
 
 } // namespace smartconf::sim

@@ -13,6 +13,14 @@ std::vector<DfsRequest>
 DfsioGenerator::tick(sim::Tick now)
 {
     std::vector<DfsRequest> out;
+    tickInto(now, out);
+    return out;
+}
+
+void
+DfsioGenerator::tickInto(sim::Tick now, std::vector<DfsRequest> &out)
+{
+    out.clear();
 
     const double raw = rng_.gaussian(
         params_.writes_per_tick,
@@ -32,7 +40,6 @@ DfsioGenerator::tick(sim::Tick now)
         out.push_back(du);
         last_du_ = now;
     }
-    return out;
 }
 
 } // namespace smartconf::workload

@@ -54,6 +54,13 @@ class DfsioGenerator
     /** Requests arriving during tick @p now. */
     std::vector<DfsRequest> tick(sim::Tick now);
 
+    /**
+     * Like tick(), but fills @p out (cleared first) instead of
+     * returning a fresh vector, so a caller-owned buffer absorbs the
+     * per-tick allocation after the first bursts.
+     */
+    void tickInto(sim::Tick now, std::vector<DfsRequest> &out);
+
     void setParams(const DfsioParams &params) { params_ = params; }
     const DfsioParams &params() const { return params_; }
 

@@ -23,13 +23,22 @@ YcsbGenerator::setParams(const YcsbParams &params)
 std::vector<Op>
 YcsbGenerator::tick()
 {
+    std::vector<Op> ops;
+    tickInto(ops);
+    return ops;
+}
+
+void
+YcsbGenerator::tickInto(std::vector<Op> &out)
+{
+    out.clear();
+
     // Batch size: Gaussian around the mean rate, truncated at zero.
     const double raw = rng_.gaussian(
         params_.ops_per_tick, params_.ops_per_tick * params_.burstiness);
     const auto n = static_cast<std::size_t>(std::max(0.0, std::round(raw)));
 
-    std::vector<Op> ops;
-    ops.reserve(n);
+    out.reserve(n);
     for (std::size_t i = 0; i < n; ++i) {
         Op op;
         op.type = rng_.chance(params_.write_fraction) ? Op::Type::Write
@@ -38,10 +47,9 @@ YcsbGenerator::tick()
         const double jitter = rng_.gaussian(
             1.0, params_.size_jitter);
         op.size_mb = params_.request_size_mb * std::max(0.05, jitter);
-        ops.push_back(op);
+        out.push_back(op);
     }
     generated_ += n;
-    return ops;
 }
 
 } // namespace smartconf::workload

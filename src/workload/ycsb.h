@@ -60,6 +60,14 @@ class YcsbGenerator
     /** Operations arriving during one tick. */
     std::vector<Op> tick();
 
+    /**
+     * Like tick(), but fills @p out (cleared first) instead of
+     * returning a fresh vector.  Re-feeding the same buffer every tick
+     * amortizes its allocation to the run's burst high-water mark —
+     * the steady-state arrival path stops touching the heap.
+     */
+    void tickInto(std::vector<Op> &out);
+
     /** Switch parameters mid-run (phase change). */
     void setParams(const YcsbParams &params);
 

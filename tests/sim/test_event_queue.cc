@@ -2,7 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <array>
 #include <limits>
+#include <utility>
 #include <vector>
 
 #include "sim/event_queue.h"
@@ -121,6 +123,163 @@ TEST(EventQueue, EmptyAndPending)
     EXPECT_EQ(q.pending(), 1u);
     q.runUntil(10);
     EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeriodicFiresAtInterval)
+{
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<Tick> fired;
+    q.schedulePeriodic(10, [&] { fired.push_back(clock.now()); });
+    q.runUntil(45);
+    EXPECT_EQ(fired, (std::vector<Tick>{10, 20, 30, 40}));
+}
+
+TEST(EventQueue, PeriodicAtStartsAtFirstTick)
+{
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<Tick> fired;
+    q.schedulePeriodicAt(0, 3, [&] { fired.push_back(clock.now()); });
+    q.runUntil(10);
+    EXPECT_EQ(fired, (std::vector<Tick>{0, 3, 6, 9}));
+}
+
+TEST(EventQueue, PeriodicKeepsRegistrationOrderAcrossIntervals)
+{
+    // A periodic keeps its registration-time position within every
+    // tick it shares with other events, even after many rearms and
+    // even against periodics at other intervals.  This is what lets
+    // scenario drivers register step / control / metrics handlers in
+    // dependency order once and rely on that order for the whole run.
+    Clock clock;
+    EventQueue q(clock);
+    std::vector<std::pair<char, Tick>> order;
+    q.schedulePeriodicAt(0, 1, [&] { order.push_back({'a', clock.now()}); });
+    q.schedulePeriodicAt(0, 3, [&] { order.push_back({'b', clock.now()}); });
+    q.schedulePeriodicAt(0, 1, [&] { order.push_back({'c', clock.now()}); });
+    q.runUntil(3);
+    const std::vector<std::pair<char, Tick>> want{
+        {'a', 0}, {'b', 0}, {'c', 0}, {'a', 1}, {'c', 1},
+        {'a', 2}, {'c', 2}, {'a', 3}, {'b', 3}, {'c', 3}};
+    EXPECT_EQ(order, want);
+}
+
+TEST(EventQueue, CancelStopsPeriodic)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    const EventId id = q.schedulePeriodic(5, [&] { ++fired; });
+    q.runUntil(20);
+    EXPECT_EQ(fired, 4);
+    q.cancel(id);
+    q.runUntil(100);
+    EXPECT_EQ(fired, 4);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, PeriodicCanCancelItself)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    EventId id = 0;
+    id = q.schedulePeriodic(1, [&] {
+        if (++fired == 3)
+            q.cancel(id);
+    });
+    q.runUntil(100);
+    EXPECT_EQ(fired, 3);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, StaleIdCannotCancelReusedSlot)
+{
+    // Pool reuse must not change EventId semantics: after an entry
+    // fires and its slot is recycled, the old id is dead — cancelling
+    // it must not touch the slot's next occupant.
+    Clock clock;
+    EventQueue q(clock);
+    int first = 0, second = 0;
+    const EventId a = q.scheduleAt(1, [&] { ++first; });
+    q.runUntil(1);
+    EXPECT_EQ(first, 1);
+    const EventId b = q.scheduleAt(2, [&] { ++second; });
+    EXPECT_EQ(q.poolSize(), 1u) << "slot must be recycled";
+    EXPECT_NE(a, b) << "recycled slot must yield a fresh id";
+    q.cancel(a); // stale: must be a no-op
+    q.runUntil(2);
+    EXPECT_EQ(second, 1);
+}
+
+TEST(EventQueue, SteadyStatePoolStaysAtHighWaterMark)
+{
+    Clock clock;
+    EventQueue q(clock);
+    q.schedulePeriodic(1, [] {});
+    for (int i = 0; i < 100; ++i) {
+        q.scheduleAfter(1, [] {});
+        q.runUntil(clock.now() + 1);
+    }
+    // One periodic + at most one one-shot alive at a time: the pool
+    // never needs more than two slots no matter how long this runs.
+    EXPECT_LE(q.poolSize(), 2u);
+}
+
+TEST(EventQueue, CancelledFrontDoesNotOvershootHorizon)
+{
+    Clock clock;
+    EventQueue q(clock);
+    int fired = 0;
+    const EventId id = q.scheduleAt(10, [&] { ++fired; });
+    q.scheduleAt(200, [&] { ++fired; });
+    q.cancel(id);
+    const auto n = q.runUntil(100);
+    EXPECT_EQ(n, 0u);
+    EXPECT_EQ(fired, 0) << "the live event lies beyond the horizon";
+    EXPECT_EQ(q.pending(), 1u);
+    EXPECT_EQ(clock.now(), 100);
+}
+
+TEST(EventQueue, LargeCaptureCallbackRuns)
+{
+    // Captures beyond the inline buffer take InlineCallback's heap
+    // path; behaviour must be identical.
+    Clock clock;
+    EventQueue q(clock);
+    std::array<double, 32> payload{};
+    payload.fill(1.5);
+    double sum = 0.0;
+    q.scheduleAt(1, [payload, &sum] {
+        for (const double v : payload)
+            sum += v;
+    });
+    q.runUntil(1);
+    EXPECT_DOUBLE_EQ(sum, 48.0);
+}
+
+TEST(InlineCallbackTest, InlineAndHeapPaths)
+{
+    int hits = 0;
+    InlineCallback small([&hits] { ++hits; });
+    EXPECT_TRUE(small.isInline()) << "tiny captures must stay inline";
+    small();
+    EXPECT_EQ(hits, 1);
+
+    std::array<char, 128> big{};
+    big[0] = 7;
+    InlineCallback large([big, &hits] { hits += big[0]; });
+    EXPECT_FALSE(large.isInline());
+    large();
+    EXPECT_EQ(hits, 8);
+
+    // Move transfers the callable; the source becomes empty.
+    InlineCallback moved(std::move(small));
+    EXPECT_TRUE(static_cast<bool>(moved));
+    EXPECT_FALSE(static_cast<bool>(small)); // NOLINT(bugprone-use-after-move)
+    moved();
+    EXPECT_EQ(hits, 9);
 }
 
 } // namespace

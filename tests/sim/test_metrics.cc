@@ -88,5 +88,73 @@ TEST(HistogramTest, ResetClears)
     EXPECT_EQ(h.count(), 0u);
 }
 
+TEST(TimeSeriesTest, FirstAboveOnEmptySeries)
+{
+    TimeSeries ts;
+    EXPECT_EQ(ts.firstAbove(0.0), -1);
+}
+
+TEST(TimeSeriesTest, DownsampleZeroBucketsIsEmpty)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    ts.record(1, 2.0);
+    EXPECT_TRUE(ts.downsampleMax(0).empty())
+        << "'at most 0 points' means none, not a crash";
+}
+
+TEST(TimeSeriesTest, DownsampleBucketsAtLeastSizeIsIdentity)
+{
+    TimeSeries ts;
+    ts.record(0, 1.0);
+    ts.record(3, 4.0);
+    ts.record(7, 2.0);
+    for (const std::size_t buckets : {3u, 4u, 100u}) {
+        const auto pts = ts.downsampleMax(buckets);
+        ASSERT_EQ(pts.size(), 3u);
+        EXPECT_EQ(pts[0].tick, 0);
+        EXPECT_DOUBLE_EQ(pts[1].value, 4.0);
+        EXPECT_EQ(pts[2].tick, 7);
+    }
+}
+
+TEST(TimeSeriesTest, DownsampleSinglePointSurvives)
+{
+    TimeSeries ts;
+    ts.record(42, 9.0);
+    const auto pts = ts.downsampleMax(5);
+    ASSERT_EQ(pts.size(), 1u);
+    EXPECT_EQ(pts[0].tick, 42);
+    EXPECT_DOUBLE_EQ(pts[0].value, 9.0);
+    EXPECT_TRUE(ts.downsampleMax(0).empty());
+}
+
+TEST(TimeSeriesTest, DownsampleEmptySeries)
+{
+    TimeSeries ts;
+    EXPECT_TRUE(ts.downsampleMax(0).empty());
+    EXPECT_TRUE(ts.downsampleMax(10).empty());
+}
+
+TEST(HistogramTest, PercentileCachedAcrossQueriesAndMutations)
+{
+    // The cached sorted state must be invalidated by record() and give
+    // the same nearest-rank answers as a fresh sort at every stage
+    // (first query = nth_element path, later queries = sorted lookups).
+    Histogram h;
+    for (int i = 100; i >= 1; --i)
+        h.record(static_cast<double>(i));
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 50.0);
+    EXPECT_DOUBLE_EQ(h.percentile(90.0), 90.0);
+    EXPECT_DOUBLE_EQ(h.percentile(10.0), 10.0);
+    h.record(1000.0);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 1000.0);
+    // 101 values now: nearest-rank p50 is the 51st smallest.
+    EXPECT_DOUBLE_EQ(h.percentile(50.0), 51.0);
+    // Recording order stays untouched by percentile's scratch work.
+    EXPECT_DOUBLE_EQ(h.values().front(), 100.0);
+    EXPECT_DOUBLE_EQ(h.values().back(), 1000.0);
+}
+
 } // namespace
 } // namespace smartconf::sim

@@ -76,6 +76,7 @@ runInteracting(std::size_t *interaction_out)
     out.tradeoff_series = sim::TimeSeries("response.queue.maxsize");
 
     const sim::Tick total = 2400;
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < total; ++t) {
         if (t == 500) {
             auto p = gen.params();
@@ -83,7 +84,8 @@ runInteracting(std::size_t *interaction_out)
             p.request_size_mb = 1.5;
             gen.setParams(p);
         }
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         const double mem = server.heap().usedMb();
 

@@ -11,6 +11,13 @@
  * pass measures pure memoization overhead — the invariant the run
  * cache exists to provide (no duplicate (scenario, policy, seed)
  * simulation, ever).
+ *
+ * The harness attaches the persistent store at `.smartconf-cache` by
+ * default (`--cache-dir PATH` overrides it, `--no-disk-cache` turns it
+ * off): the first process spills every simulated result to disk, and a
+ * second process replays the whole sweep from disk without simulating.
+ * The disk_hits/disk_stores counters in the output make which of the
+ * two happened auditable.
  */
 
 #include <cstdio>
@@ -27,7 +34,8 @@ main(int argc, char **argv)
     using smartconf::exec::SweepJob;
 
     const smartconf::exec::SweepArgs args =
-        smartconf::exec::parseSweepArgs(argc, argv);
+        smartconf::exec::parseSweepArgs(argc, argv,
+                                        ".smartconf-cache");
     smartconf::exec::SweepRunner runner(args.sweep);
 
     const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
@@ -56,6 +64,19 @@ main(int argc, char **argv)
     const std::vector<ScenarioResult> warm = runner.run(jobs);
     const double warm_ms = runner.lastWallMs();
     const auto warm_stats = runner.cache().stats();
+
+    // Simulation throughput: workload operations actually simulated
+    // during the cold sweep, per wall-clock second.  Disk-loaded runs
+    // simulate nothing, so a disk-warm process reports ops_per_sec 0 —
+    // by design (replay costs file reads, not simulated operations).
+    std::uint64_t ops_simulated = 0;
+    for (const auto &r : cold)
+        ops_simulated += r.ops_simulated;
+    const std::uint64_t cold_disk_hits = cold_stats.disk_hits;
+    const double ops_per_sec =
+        cold_ms > 0.0 && cold_disk_hits == 0
+            ? static_cast<double>(ops_simulated) / (cold_ms / 1000.0)
+            : 0.0;
 
     // Per-scenario aggregates (sanity values for trend tracking).
     struct Row
@@ -88,10 +109,19 @@ main(int argc, char **argv)
         std::printf("  \"runs\": %zu,\n", jobs.size());
         std::printf("  \"cold_wall_ms\": %.3f,\n", cold_ms);
         std::printf("  \"warm_wall_ms\": %.3f,\n", warm_ms);
+        std::printf("  \"ops_simulated\": %llu,\n",
+                    static_cast<unsigned long long>(ops_simulated));
+        std::printf("  \"ops_per_sec\": %.0f,\n", ops_per_sec);
         std::printf("  \"cache_hits\": %llu,\n",
                     static_cast<unsigned long long>(warm_stats.hits));
         std::printf("  \"cache_misses\": %llu,\n",
                     static_cast<unsigned long long>(warm_stats.misses));
+        std::printf("  \"disk_hits\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        warm_stats.disk_hits));
+        std::printf("  \"disk_stores\": %llu,\n",
+                    static_cast<unsigned long long>(
+                        warm_stats.disk_stores));
         std::printf("  \"scenarios\": [\n");
         for (std::size_t i = 0; i < rows.size(); ++i) {
             std::printf("    {\"id\": \"%s\", \"smart_tradeoff\": "
@@ -106,20 +136,30 @@ main(int argc, char **argv)
 
     std::printf("Experiment-runner sweep benchmark\n\n");
     std::printf("workers (--jobs): %zu\n", runner.jobs());
+    std::printf("disk cache: %s\n",
+                args.sweep.disk_cache_dir.empty()
+                    ? "(off)"
+                    : args.sweep.disk_cache_dir.c_str());
     std::printf("sweep: 6 scenarios x 3 policies x %zu seeds = %zu "
                 "runs\n\n", seeds.size(), jobs.size());
-    std::printf("cold sweep: %10.1f ms  (%llu misses, %llu hits)\n",
+    std::printf("cold sweep: %10.1f ms  (%llu misses, %llu hits, "
+                "%llu from disk)\n",
                 cold_ms,
                 static_cast<unsigned long long>(cold_stats.misses),
-                static_cast<unsigned long long>(cold_stats.hits));
+                static_cast<unsigned long long>(cold_stats.hits),
+                static_cast<unsigned long long>(cold_stats.disk_hits));
     std::printf("warm replay: %9.1f ms  (+%llu hits, +%llu misses — "
                 "a warm replay\n                            simulates "
-                "nothing)\n\n",
+                "nothing)\n",
                 warm_ms,
                 static_cast<unsigned long long>(warm_stats.hits -
                                                 cold_stats.hits),
                 static_cast<unsigned long long>(warm_stats.misses -
                                                 cold_stats.misses));
+    std::printf("throughput: %10.0f simulated ops/s (%llu ops, cold "
+                "pass)\n\n",
+                ops_per_sec,
+                static_cast<unsigned long long>(ops_simulated));
     std::printf("%-8s %16s %12s\n", "issue", "smart ops/s*", "violations");
     std::printf("%s\n", std::string(40, '-').c_str());
     for (const Row &row : rows)

@@ -64,6 +64,7 @@ main()
     std::printf("%8s %12s %16s %18s\n", "time(s)", "mem(MB)",
                 "req queue cap", "resp queue cap(MB)");
     double worst = 0.0;
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < 2400; ++t) {
         if (t == 500) {
             auto p = gen.params();
@@ -72,7 +73,8 @@ main()
             gen.setParams(p);
             std::printf("    -- read workload joins --\n");
         }
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         const double mem = server.heap().usedMb();
         worst = std::max(worst, mem);

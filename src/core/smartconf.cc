@@ -19,22 +19,22 @@ roundClamped(double value, const ConfEntry &entry)
 } // namespace
 
 SmartConf::SmartConf(SmartConfRuntime &runtime, std::string conf_name)
-    : runtime_(runtime), name_(std::move(conf_name))
+    : runtime_(runtime), name_(std::move(conf_name)),
+      state_(&runtime.stateFor(name_)) // validates eagerly; throws when
+                                       // undeclared
 {
-    // Validate the binding eagerly; throws when undeclared.
-    (void)runtime_.stateFor(name_);
 }
 
 SmartConfRuntime::ConfState &
 SmartConf::state()
 {
-    return runtime_.stateFor(name_);
+    return *state_;
 }
 
 const SmartConfRuntime::ConfState &
 SmartConf::state() const
 {
-    return runtime_.stateForConst(name_);
+    return *state_;
 }
 
 void

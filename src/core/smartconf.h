@@ -102,6 +102,15 @@ class SmartConf
 
     SmartConfRuntime &runtime_;
     std::string name_;
+
+  private:
+    /**
+     * Cached registry entry.  setPerf/getConf run every control tick,
+     * so the name lookup is paid once at bind time; std::map nodes are
+     * address-stable, and the runtime never erases a declared
+     * configuration, so the pointer stays valid for the handle's life.
+     */
+    SmartConfRuntime::ConfState *state_;
 };
 
 /**

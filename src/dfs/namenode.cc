@@ -19,7 +19,13 @@ Namenode::submit(const workload::DfsRequest &req, sim::Tick now)
     switch (req.type) {
       case workload::DfsRequest::Type::WriteFile: {
         // Namespace mutation: queue behind the global lock.
-        pending_writes_.push_back(now);
+        if (!pending_writes_.empty() &&
+            pending_writes_.back().arrived == now) {
+            ++pending_writes_.back().count;
+        } else {
+            pending_writes_.push_back({now, 1});
+        }
+        ++pending_count_;
         if (req.client >= client_dirs_.size())
             client_dirs_.resize(req.client + 1);
         NamespaceTree::DirRef &dir = client_dirs_[req.client];
@@ -45,6 +51,55 @@ Namenode::submit(const workload::DfsRequest &req, sim::Tick now)
         break;
       }
     }
+}
+
+void
+Namenode::submitAll(const std::vector<workload::DfsRequest> &reqs,
+                    sim::Tick now)
+{
+    std::uint64_t writes = 0;
+    const auto flush = [&] {
+        if (writes == 0)
+            return;
+        if (!pending_writes_.empty() &&
+            pending_writes_.back().arrived == now) {
+            pending_writes_.back().count += writes;
+        } else {
+            pending_writes_.push_back({now, writes});
+        }
+        pending_count_ += writes;
+        // Clients are visited in first-appearance order, so directory
+        // creation (and segment interning) happens in the same order as
+        // the request-by-request path would produce.
+        for (const std::uint32_t client : batch_clients_) {
+            NamespaceTree::DirRef &dir = client_dirs_[client];
+            if (!dir)
+                dir = tree_.dirRef(params_.du_root + "/client" +
+                                   std::to_string(client));
+            tree_.addFilesAt(dir, batch_counts_[client]);
+            batch_counts_[client] = 0;
+        }
+        batch_clients_.clear();
+        writes = 0;
+    };
+    for (const auto &req : reqs) {
+        if (req.type == workload::DfsRequest::Type::WriteFile) {
+            if (req.client >= client_dirs_.size())
+                client_dirs_.resize(req.client + 1);
+            if (req.client >= batch_counts_.size())
+                batch_counts_.resize(req.client + 1, 0);
+            if (batch_counts_[req.client]++ == 0)
+                batch_clients_.push_back(
+                    static_cast<std::uint32_t>(req.client));
+            ++writes;
+        } else {
+            // A du snapshots the namespace on arrival: apply the
+            // writes accumulated so far before it sees the tree.
+            flush();
+            submit(req, now);
+        }
+    }
+    flush();
 }
 
 void
@@ -99,17 +154,22 @@ Namenode::step(sim::Tick now)
         return;
     }
 
-    // Lock is free: serve blocked client writes.
-    auto budget = static_cast<std::size_t>(
+    // Lock is free: serve blocked client writes, whole same-tick
+    // batches at a time (every write in a batch has the same wait).
+    auto budget = static_cast<std::uint64_t>(
         std::max(0.0, std::round(params_.write_service_per_tick)));
     while (budget > 0 && !pending_writes_.empty()) {
-        const sim::Tick arrived = pending_writes_.front();
-        pending_writes_.pop_front();
-        const double wait = static_cast<double>(now - arrived);
-        write_waits_.record(wait);
+        PendingBatch &batch = pending_writes_.front();
+        const std::uint64_t served = std::min(budget, batch.count);
+        const double wait = static_cast<double>(now - batch.arrived);
+        write_waits_.record(wait, static_cast<std::size_t>(served));
         recent_max_wait_ = std::max(recent_max_wait_, wait);
-        ++served_writes_;
-        --budget;
+        served_writes_ += served;
+        pending_count_ -= served;
+        budget -= served;
+        batch.count -= served;
+        if (batch.count == 0)
+            pending_writes_.pop_front();
     }
 
     // A yielded du reacquires once the release overhead has elapsed and

@@ -62,6 +62,16 @@ class Namenode
     /** Submit one client request at @p now. */
     void submit(const workload::DfsRequest &req, sim::Tick now);
 
+    /**
+     * Submit a whole tick's worth of requests at @p now.  Equivalent to
+     * calling submit() per element in order, but write bookkeeping is
+     * amortized: the pending-queue batch and the per-client namespace
+     * counters are each updated once per tick instead of once per
+     * request.
+     */
+    void submitAll(const std::vector<workload::DfsRequest> &reqs,
+                   sim::Tick now);
+
     /** Advance one tick: du traversal or write service. */
     void step(sim::Tick now);
 
@@ -93,7 +103,10 @@ class Namenode
     bool duActive() const { return du_.has_value(); }
 
     /** Pending (blocked) client writes. */
-    std::size_t pendingWrites() const { return pending_writes_.size(); }
+    std::size_t pendingWrites() const
+    {
+        return static_cast<std::size_t>(pending_count_);
+    }
 
     /** Total client writes served. */
     std::uint64_t servedWrites() const { return served_writes_; }
@@ -125,7 +138,29 @@ class Namenode
      * a string build plus a path resolution.
      */
     std::vector<NamespaceTree::DirRef> client_dirs_;
-    std::deque<sim::Tick> pending_writes_; ///< arrival tick per write
+
+    /**
+     * submitAll scratch: per-client write counts for the current batch
+     * plus the list of clients actually touched (so resetting the
+     * counts costs O(touched), not O(clients)).
+     */
+    std::vector<std::uint64_t> batch_counts_;
+    std::vector<std::uint32_t> batch_clients_;
+
+    /**
+     * Blocked client writes, run-length encoded by arrival tick.  All
+     * writes submitted in one tick share an arrival time, so a du that
+     * blocks a few thousand writes costs a handful of batch entries
+     * instead of one deque node per write — and the drain loop serves
+     * whole batches per budget slice.
+     */
+    struct PendingBatch
+    {
+        sim::Tick arrived = 0;
+        std::uint64_t count = 0;
+    };
+    std::deque<PendingBatch> pending_writes_;
+    std::uint64_t pending_count_ = 0; ///< total writes across batches
     std::optional<DuJob> du_;
     sim::Histogram write_waits_;
     std::vector<DuResult> du_results_;

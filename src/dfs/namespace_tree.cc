@@ -1,5 +1,8 @@
 #include "dfs/namespace_tree.h"
 
+#include <algorithm>
+#include <cassert>
+
 namespace smartconf::dfs {
 
 namespace {
@@ -20,44 +23,167 @@ nextComponent(std::string_view path, std::size_t &pos)
     return path.substr(start, pos - start);
 }
 
+/** FNV-1a over the segment bytes. */
+std::uint64_t
+hashSegment(std::string_view s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const char c : s) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+/** Mix a (parent, segment) pair into a table hash. */
+std::uint64_t
+hashChildKey(std::uint32_t parent, std::uint32_t segment)
+{
+    std::uint64_t h = (static_cast<std::uint64_t>(parent) << 32) | segment;
+    h ^= h >> 33;
+    h *= 0xff51afd7ed558ccdULL;
+    h ^= h >> 33;
+    return h;
+}
+
+constexpr std::size_t kInitialSlots = 64; // both tables; power of two
+
 } // namespace
 
-NamespaceTree::NamespaceTree() : root_(std::make_unique<Node>()) {}
+NamespaceTree::NamespaceTree()
+{
+    nodes_.emplace_back(); // index 0 is the root
+    child_slots_.resize(kInitialSlots);
+    segment_slots_.assign(kInitialSlots, 0);
+}
 
-NamespaceTree::Node *
+std::uint32_t
+NamespaceTree::findSegment(std::string_view name) const
+{
+    const std::size_t mask = segment_slots_.size() - 1;
+    std::size_t i = hashSegment(name) & mask;
+    while (true) {
+        const std::uint32_t slot = segment_slots_[i];
+        if (slot == 0)
+            return kNil;
+        if (segments_[slot - 1] == name)
+            return slot - 1;
+        i = (i + 1) & mask;
+    }
+}
+
+std::uint32_t
+NamespaceTree::internSegment(std::string_view name)
+{
+    const std::uint32_t found = findSegment(name);
+    if (found != kNil)
+        return found;
+
+    // Grow at 70% load so probes stay short.
+    if ((segments_.size() + 1) * 10 >= segment_slots_.size() * 7) {
+        std::vector<std::uint32_t> bigger(segment_slots_.size() * 2, 0);
+        const std::size_t mask = bigger.size() - 1;
+        for (std::uint32_t id = 0;
+             id < static_cast<std::uint32_t>(segments_.size()); ++id) {
+            std::size_t i = hashSegment(segments_[id]) & mask;
+            while (bigger[i] != 0)
+                i = (i + 1) & mask;
+            bigger[i] = id + 1;
+        }
+        segment_slots_ = std::move(bigger);
+    }
+
+    const auto id = static_cast<std::uint32_t>(segments_.size());
+    segments_.emplace_back(name);
+    const std::size_t mask = segment_slots_.size() - 1;
+    std::size_t i = hashSegment(name) & mask;
+    while (segment_slots_[i] != 0)
+        i = (i + 1) & mask;
+    segment_slots_[i] = id + 1;
+    return id;
+}
+
+std::uint32_t
+NamespaceTree::findChild(std::uint32_t parent,
+                         std::uint32_t segment) const
+{
+    const std::size_t mask = child_slots_.size() - 1;
+    std::size_t i = hashChildKey(parent, segment) & mask;
+    while (true) {
+        const ChildSlot &slot = child_slots_[i];
+        if (slot.parent == kNil)
+            return kNil;
+        if (slot.parent == parent && slot.segment == segment)
+            return slot.child;
+        i = (i + 1) & mask;
+    }
+}
+
+void
+NamespaceTree::growChildTable()
+{
+    std::vector<ChildSlot> bigger(child_slots_.size() * 2);
+    const std::size_t mask = bigger.size() - 1;
+    for (const ChildSlot &slot : child_slots_) {
+        if (slot.parent == kNil)
+            continue;
+        std::size_t i = hashChildKey(slot.parent, slot.segment) & mask;
+        while (bigger[i].parent != kNil)
+            i = (i + 1) & mask;
+        bigger[i] = slot;
+    }
+    child_slots_ = std::move(bigger);
+}
+
+std::uint32_t
+NamespaceTree::addChild(std::uint32_t parent, std::uint32_t segment)
+{
+    if ((child_count_ + 1) * 10 >= child_slots_.size() * 7)
+        growChildTable();
+
+    const auto child = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.emplace_back();
+    Node &node = nodes_.back();
+    node.segment = segment;
+    node.next_sibling = nodes_[parent].first_child;
+    nodes_[parent].first_child = child;
+
+    const std::size_t mask = child_slots_.size() - 1;
+    std::size_t i = hashChildKey(parent, segment) & mask;
+    while (child_slots_[i].parent != kNil)
+        i = (i + 1) & mask;
+    child_slots_[i] = ChildSlot{parent, segment, child};
+    ++child_count_;
+    return child;
+}
+
+std::uint32_t
 NamespaceTree::resolve(std::string_view path, bool create)
 {
-    Node *node = root_.get();
+    std::uint32_t node = 0;
     std::size_t pos = 0;
     for (std::string_view part = nextComponent(path, pos); !part.empty();
          part = nextComponent(path, pos)) {
-        auto it = node->children.find(part);
-        if (it == node->children.end()) {
+        const std::uint32_t segment =
+            create ? internSegment(part) : findSegment(part);
+        if (segment == kNil)
+            return kNil; // segment never seen anywhere: path absent
+        std::uint32_t child = findChild(node, segment);
+        if (child == kNil) {
             if (!create)
-                return nullptr;
-            it = node->children
-                     .emplace(std::string(part),
-                              std::make_unique<Node>())
-                     .first;
+                return kNil;
+            child = addChild(node, segment);
         }
-        node = it->second.get();
+        node = child;
     }
     return node;
 }
 
-const NamespaceTree::Node *
+std::uint32_t
 NamespaceTree::resolveConst(std::string_view path) const
 {
-    const Node *node = root_.get();
-    std::size_t pos = 0;
-    for (std::string_view part = nextComponent(path, pos); !part.empty();
-         part = nextComponent(path, pos)) {
-        const auto it = node->children.find(part);
-        if (it == node->children.end())
-            return nullptr;
-        node = it->second.get();
-    }
-    return node;
+    // resolve(create=false) mutates nothing; share the walk.
+    return const_cast<NamespaceTree *>(this)->resolve(path, false);
 }
 
 void
@@ -69,13 +195,13 @@ NamespaceTree::makeDirs(std::string_view path)
 NamespaceTree::DirRef
 NamespaceTree::dirRef(std::string_view path)
 {
-    return DirRef(resolve(path, true));
+    return DirRef(&nodes_[resolve(path, true)]);
 }
 
 void
 NamespaceTree::addFiles(std::string_view path, std::uint64_t count)
 {
-    resolve(path, true)->files += count;
+    nodes_[resolve(path, true)].files += count;
 }
 
 void
@@ -87,59 +213,62 @@ NamespaceTree::addFilesAt(DirRef dir, std::uint64_t count)
 std::uint64_t
 NamespaceTree::filesAt(std::string_view path) const
 {
-    const Node *node = resolveConst(path);
-    return node ? node->files : 0;
+    const std::uint32_t node = resolveConst(path);
+    return node != kNil ? nodes_[node].files : 0;
 }
 
 std::uint64_t
-NamespaceTree::countFiles(const Node &node)
+NamespaceTree::countFiles(std::uint32_t node) const
 {
-    std::uint64_t total = node.files;
-    for (const auto &[name, child] : node.children)
-        total += countFiles(*child);
+    std::uint64_t total = nodes_[node].files;
+    for (std::uint32_t child = nodes_[node].first_child; child != kNil;
+         child = nodes_[child].next_sibling)
+        total += countFiles(child);
     return total;
 }
 
 std::uint64_t
-NamespaceTree::countDirs(const Node &node)
+NamespaceTree::countDirs(std::uint32_t node) const
 {
     std::uint64_t total = 1;
-    for (const auto &[name, child] : node.children)
-        total += countDirs(*child);
+    for (std::uint32_t child = nodes_[node].first_child; child != kNil;
+         child = nodes_[child].next_sibling)
+        total += countDirs(child);
     return total;
 }
 
 std::uint64_t
 NamespaceTree::filesUnder(std::string_view path) const
 {
-    const Node *node = resolveConst(path);
-    return node ? countFiles(*node) : 0;
+    const std::uint32_t node = resolveConst(path);
+    return node != kNil ? countFiles(node) : 0;
 }
 
 std::uint64_t
 NamespaceTree::dirsUnder(std::string_view path) const
 {
-    const Node *node = resolveConst(path);
-    return node ? countDirs(*node) : 0;
+    const std::uint32_t node = resolveConst(path);
+    return node != kNil ? countDirs(node) : 0;
 }
 
 std::vector<std::string>
 NamespaceTree::list(std::string_view path) const
 {
     std::vector<std::string> out;
-    const Node *node = resolveConst(path);
-    if (!node)
+    const std::uint32_t node = resolveConst(path);
+    if (node == kNil)
         return out;
-    out.reserve(node->children.size());
-    for (const auto &[name, child] : node->children)
-        out.push_back(name);
+    for (std::uint32_t child = nodes_[node].first_child; child != kNil;
+         child = nodes_[child].next_sibling)
+        out.push_back(segments_[nodes_[child].segment]);
+    std::sort(out.begin(), out.end());
     return out;
 }
 
 bool
 NamespaceTree::exists(std::string_view path) const
 {
-    return resolveConst(path) != nullptr;
+    return resolveConst(path) != kNil;
 }
 
 } // namespace smartconf::dfs

@@ -10,17 +10,19 @@
  * a real object to walk: directories, nested children, and file counts
  * that client traffic keeps growing during the run.
  *
- * Resolution is allocation-free: paths are tokenized in place as
- * string_views and looked up through the map's transparent comparator,
- * so the per-request hot path (millions of addFiles calls per scenario
- * run) builds no intermediate strings or vectors.  Repeat visitors can
- * go further and hold a DirRef — a stable handle to a directory node —
- * making each subsequent touch a pointer dereference.
+ * Layout: path segments are interned once into uint32 ids (an
+ * open-addressing string table backed by a segment arena), nodes live
+ * in a chunked arena and link their children through an intrusive
+ * sibling list, and child lookup goes through a single flat
+ * open-addressing hash keyed by (parent node, segment id).  A resolve
+ * step is therefore two integer-keyed probes — no string comparisons,
+ * no per-directory std::map node hops, no allocation.  Repeat visitors
+ * can go further and hold a DirRef — a stable handle to a directory
+ * node — making each subsequent touch a pointer dereference.
  */
 
 #include <cstdint>
-#include <map>
-#include <memory>
+#include <deque>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -45,8 +47,9 @@ class NamespaceTree
     /**
      * Stable, opaque reference to a directory node.
      *
-     * Nodes are never deleted, so a DirRef stays valid for the life of
-     * its tree.  Default-constructed refs are falsy.
+     * Nodes are never deleted and the node arena never relocates, so a
+     * DirRef stays valid for the life of its tree.  Default-constructed
+     * refs are falsy.
      */
     class DirRef
     {
@@ -94,22 +97,54 @@ class NamespaceTree
     /** True when @p path names an existing directory. */
     bool exists(std::string_view path) const;
 
+    /** Distinct path segments interned so far (diagnostic hook). */
+    std::size_t internedSegments() const { return segments_.size(); }
+
   private:
+    static constexpr std::uint32_t kNil = 0xffffffffu;
+
     struct Node
     {
         std::uint64_t files = 0;
-        /** Transparent comparator: lookups take string_view directly. */
-        std::map<std::string, std::unique_ptr<Node>, std::less<>>
-            children;
+        std::uint32_t segment = kNil;      ///< interned name (root: kNil)
+        std::uint32_t first_child = kNil;  ///< head of the sibling chain
+        std::uint32_t next_sibling = kNil; ///< intrusive child list
     };
 
-    Node *resolve(std::string_view path, bool create);
-    const Node *resolveConst(std::string_view path) const;
+    /** One slot of the (parent, segment) -> child open hash. */
+    struct ChildSlot
+    {
+        std::uint32_t parent = kNil; ///< kNil marks an empty slot
+        std::uint32_t segment = 0;
+        std::uint32_t child = 0;
+    };
 
-    static std::uint64_t countFiles(const Node &node);
-    static std::uint64_t countDirs(const Node &node);
+    /** Walk @p path; returns the node index or kNil when absent. */
+    std::uint32_t resolve(std::string_view path, bool create);
+    std::uint32_t resolveConst(std::string_view path) const;
 
-    std::unique_ptr<Node> root_;
+    std::uint32_t internSegment(std::string_view name);
+    std::uint32_t findSegment(std::string_view name) const;
+
+    std::uint32_t findChild(std::uint32_t parent,
+                            std::uint32_t segment) const;
+    std::uint32_t addChild(std::uint32_t parent, std::uint32_t segment);
+    void growChildTable();
+
+    std::uint64_t countFiles(std::uint32_t node) const;
+    std::uint64_t countDirs(std::uint32_t node) const;
+
+    /** Node arena; deque chunks keep addresses stable for DirRef. */
+    std::deque<Node> nodes_;
+
+    /** Flat (parent, segment) -> child index; power-of-two capacity. */
+    std::vector<ChildSlot> child_slots_;
+    std::size_t child_count_ = 0;
+
+    /** Interned segment strings; deque keeps string objects stable. */
+    std::deque<std::string> segments_;
+    /** Open-addressing index over segments_ (slot = id + 1, 0 empty). */
+    std::vector<std::uint32_t> segment_slots_;
 };
 
 } // namespace smartconf::dfs

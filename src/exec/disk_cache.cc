@@ -1,0 +1,251 @@
+#include "exec/disk_cache.h"
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <vector>
+
+#include "sim/metrics.h"
+
+namespace smartconf::exec {
+
+namespace {
+
+constexpr char kMagic[4] = {'S', 'C', 'R', 'C'};
+
+/** Append-only little buffer writer (native endianness: the cache is a
+ *  single-machine artifact, never shipped between hosts). */
+class Writer
+{
+  public:
+    void raw(const void *p, std::size_t n)
+    {
+        const auto *b = static_cast<const char *>(p);
+        buf_.insert(buf_.end(), b, b + n);
+    }
+    void u32(std::uint32_t v) { raw(&v, sizeof v); }
+    void u64(std::uint64_t v) { raw(&v, sizeof v); }
+    void i64(std::int64_t v) { raw(&v, sizeof v); }
+    void f64(double v) { raw(&v, sizeof v); }
+    void u8(std::uint8_t v) { raw(&v, sizeof v); }
+    void str(const std::string &s)
+    {
+        u64(s.size());
+        raw(s.data(), s.size());
+    }
+    void series(const sim::TimeSeries &ts)
+    {
+        str(ts.name());
+        u64(ts.points().size());
+        // Point is {Tick, double}: two 8-byte scalars with no padding
+        // (asserted below), so the curve round-trips as one block copy.
+        // A result carries up to hundreds of thousands of points; bulk
+        // I/O is what keeps warm process start-up in the market for
+        // "faster than simulating".
+        static_assert(sizeof(sim::TimeSeries::Point) == 16,
+                      "Point must pack to 16 bytes for bulk series I/O");
+        raw(ts.points().data(), ts.points().size() * 16);
+    }
+    const std::vector<char> &bytes() const { return buf_; }
+
+  private:
+    std::vector<char> buf_;
+};
+
+/** Bounds-checked reader over a loaded file; any overrun fails the
+ *  whole load (torn or foreign file -> miss). */
+class Reader
+{
+  public:
+    Reader(const char *data, std::size_t size)
+        : data_(data), size_(size)
+    {}
+
+    bool raw(void *out, std::size_t n)
+    {
+        if (pos_ + n > size_)
+            return false;
+        std::memcpy(out, data_ + pos_, n);
+        pos_ += n;
+        return true;
+    }
+    bool u32(std::uint32_t &v) { return raw(&v, sizeof v); }
+    bool u64(std::uint64_t &v) { return raw(&v, sizeof v); }
+    bool i64(std::int64_t &v) { return raw(&v, sizeof v); }
+    bool f64(double &v) { return raw(&v, sizeof v); }
+    bool u8(std::uint8_t &v) { return raw(&v, sizeof v); }
+    bool str(std::string &s)
+    {
+        std::uint64_t n = 0;
+        if (!u64(n) || pos_ + n > size_)
+            return false;
+        s.assign(data_ + pos_, static_cast<std::size_t>(n));
+        pos_ += static_cast<std::size_t>(n);
+        return true;
+    }
+    bool series(sim::TimeSeries &ts)
+    {
+        std::string name;
+        std::uint64_t n = 0;
+        if (!str(name) || !u64(n))
+            return false;
+        // 16 bytes per point; reject counts the payload can't hold
+        // before allocating (a torn length field must not OOM us).
+        if (n > (size_ - pos_) / 16)
+            return false;
+        std::vector<sim::TimeSeries::Point> points(
+            static_cast<std::size_t>(n));
+        if (!raw(points.data(), points.size() * 16))
+            return false;
+        ts = sim::TimeSeries(std::move(name));
+        ts.assign(std::move(points));
+        return true;
+    }
+    bool atEnd() const { return pos_ == size_; }
+
+  private:
+    const char *data_;
+    std::size_t size_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace
+
+DiskRunCache::DiskRunCache(std::string root)
+{
+    dir_ = std::move(root);
+    dir_ += "/v" + std::to_string(kFormatVersion) + "-e" +
+            std::to_string(kEngineVersion);
+}
+
+std::uint64_t
+DiskRunCache::fnv1a(const std::string &s)
+{
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    for (const unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ULL;
+    }
+    return h;
+}
+
+std::string
+DiskRunCache::entryPath(const std::string &key) const
+{
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(fnv1a(key)));
+    return dir_ + "/" + hex + ".bin";
+}
+
+bool
+DiskRunCache::load(const std::string &key,
+                   scenarios::ScenarioResult &out) const
+{
+    std::FILE *f = std::fopen(entryPath(key).c_str(), "rb");
+    if (!f)
+        return false;
+    // One sized read: entries run to megabytes of series points, and
+    // chunked append would copy every byte at least twice.
+    std::vector<char> data;
+    if (std::fseek(f, 0, SEEK_END) == 0) {
+        const long end = std::ftell(f);
+        if (end > 0 && std::fseek(f, 0, SEEK_SET) == 0) {
+            data.resize(static_cast<std::size_t>(end));
+            if (std::fread(data.data(), 1, data.size(), f) !=
+                data.size())
+                data.clear();
+        }
+    }
+    std::fclose(f);
+    if (data.empty())
+        return false;
+
+    Reader r(data.data(), data.size());
+    char magic[4];
+    std::uint32_t format = 0, engine = 0;
+    std::string stored_key;
+    if (!r.raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
+        return false;
+    if (!r.u32(format) || format != kFormatVersion)
+        return false;
+    if (!r.u32(engine) || engine != kEngineVersion)
+        return false;
+    if (!r.str(stored_key) || stored_key != key)
+        return false; // fnv collision: treat as a miss
+
+    scenarios::ScenarioResult res;
+    std::uint8_t violated = 0;
+    const bool ok =
+        r.str(res.scenario_id) && r.str(res.policy_label) &&
+        r.u8(violated) && r.f64(res.violation_time_s) &&
+        r.f64(res.worst_goal_metric) && r.f64(res.goal_value) &&
+        r.f64(res.tradeoff) && r.f64(res.raw_tradeoff) &&
+        r.f64(res.mean_conf) && r.u64(res.ops_simulated) &&
+        r.series(res.perf_series) && r.series(res.conf_series) &&
+        r.series(res.tradeoff_series) && r.atEnd();
+    if (!ok)
+        return false;
+    res.violated = violated != 0;
+    out = std::move(res);
+    return true;
+}
+
+bool
+DiskRunCache::store(const std::string &key,
+                    const scenarios::ScenarioResult &result) const
+{
+    namespace fs = std::filesystem;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+
+    Writer w;
+    w.raw(kMagic, 4);
+    w.u32(kFormatVersion);
+    w.u32(kEngineVersion);
+    w.str(key);
+    w.str(result.scenario_id);
+    w.str(result.policy_label);
+    w.u8(result.violated ? 1 : 0);
+    w.f64(result.violation_time_s);
+    w.f64(result.worst_goal_metric);
+    w.f64(result.goal_value);
+    w.f64(result.tradeoff);
+    w.f64(result.raw_tradeoff);
+    w.f64(result.mean_conf);
+    w.u64(result.ops_simulated);
+    w.series(result.perf_series);
+    w.series(result.conf_series);
+    w.series(result.tradeoff_series);
+
+    // Atomic publish: write a private temp file, then rename into
+    // place.  Readers either see the old entry or the complete new
+    // one, never a prefix.
+    const std::string path = entryPath(key);
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const std::size_t total = w.bytes().size();
+    const bool wrote =
+        std::fwrite(w.bytes().data(), 1, total, f) == total;
+    const bool closed = std::fclose(f) == 0;
+    if (!wrote || !closed) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace smartconf::exec

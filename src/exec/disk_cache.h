@@ -1,0 +1,94 @@
+#ifndef SMARTCONF_EXEC_DISK_CACHE_H_
+#define SMARTCONF_EXEC_DISK_CACHE_H_
+
+/**
+ * @file
+ * Persistent, versioned on-disk store for ScenarioResult.
+ *
+ * The in-memory RunCache dies with the process, so every fresh bench
+ * or CI invocation re-simulates the full sweep even though simulations
+ * are pure functions of (scenario, policy, seed).  DiskRunCache spills
+ * each computed result to one binary file and loads it back in any
+ * later process, turning the second invocation of `bench_sweep` into a
+ * file-read replay.
+ *
+ * Layout: `<root>/v<format>-e<engine>/<fnv1a64(key)>.bin`.  The
+ * directory name carries both version knobs, so bumping either one
+ * orphans old entries wholesale instead of mixing incompatible files:
+ *
+ *  - kFormatVersion changes when the serialized byte layout changes;
+ *  - kEngineVersion changes when the *simulation* changes — any edit
+ *    that alters scenario outputs must bump it, or stale results would
+ *    replay as fresh ones.
+ *
+ * Each file additionally stores the full (uncompressed) cache key and
+ * is validated against it on load, so an fnv collision degrades to a
+ * miss, never to a wrong result.
+ *
+ * Writes are atomic (temp file + rename) and best-effort: an unwritable
+ * cache directory silently degrades to "no disk cache" rather than
+ * failing the run.  Concurrent processes may race on the same entry;
+ * both compute the same pure result and the rename is atomic, so the
+ * last writer wins with identical bytes.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "scenarios/scenario.h"
+
+namespace smartconf::exec {
+
+/** One-file-per-entry persistent result store. */
+class DiskRunCache
+{
+  public:
+    /** Bump when the serialized byte layout changes. */
+    static constexpr std::uint32_t kFormatVersion = 1;
+
+    /**
+     * Bump when simulation outputs change (new scenario mechanics,
+     * RNG stream changes, new ScenarioResult fields with meaning).
+     *
+     * History: 1 = PR1 runner, 2 = event-engine rewrite,
+     * 3 = alias-table sampler + ops_simulated tracking.
+     */
+    static constexpr std::uint32_t kEngineVersion = 3;
+
+    /**
+     * Open (creating if needed) the store rooted at @p root.  The
+     * versioned subdirectory is created lazily on first store().
+     */
+    explicit DiskRunCache(std::string root);
+
+    /**
+     * Load the entry for @p key into @p out.
+     * @return true on a hit; false on miss, version skew, torn file or
+     *         key collision (all indistinguishable by design).
+     */
+    bool load(const std::string &key,
+              scenarios::ScenarioResult &out) const;
+
+    /**
+     * Persist @p result under @p key (atomic rename; best-effort —
+     * IO failure leaves the store unchanged and is not reported).
+     * @return true when the entry was written.
+     */
+    bool store(const std::string &key,
+               const scenarios::ScenarioResult &result) const;
+
+    /** Versioned directory entries live in (for tests/diagnostics). */
+    const std::string &dir() const { return dir_; }
+
+    /** FNV-1a 64-bit hash (exposed for tests). */
+    static std::uint64_t fnv1a(const std::string &s);
+
+  private:
+    std::string entryPath(const std::string &key) const;
+
+    std::string dir_; ///< <root>/v<format>-e<engine>
+};
+
+} // namespace smartconf::exec
+
+#endif // SMARTCONF_EXEC_DISK_CACHE_H_

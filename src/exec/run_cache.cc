@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "exec/disk_cache.h"
+
 namespace smartconf::exec {
 
 scenarios::ScenarioResult
@@ -10,6 +12,7 @@ RunCache::getOrRun(const std::string &key, const RunFn &fn)
     std::shared_future<scenarios::ScenarioResult> future;
     std::promise<scenarios::ScenarioResult> promise;
     bool owner = false;
+    std::shared_ptr<DiskRunCache> disk;
     {
         std::lock_guard<std::mutex> lock(mutex_);
         auto it = entries_.find(key);
@@ -21,16 +24,39 @@ RunCache::getOrRun(const std::string &key, const RunFn &fn)
             owner = true;
             future = promise.get_future().share();
             entries_.emplace(key, future);
+            disk = disk_;
         }
     }
     if (owner) {
+        // Owner path, outside the lock: disk probe, then (on a disk
+        // miss) the simulation itself.  Waiters block on the future
+        // either way, so the in-flight dedup also covers disk loads.
         try {
-            promise.set_value(fn());
+            scenarios::ScenarioResult result;
+            if (disk && disk->load(key, result)) {
+                std::lock_guard<std::mutex> lock(mutex_);
+                ++stats_.disk_hits;
+            } else {
+                result = fn();
+                if (disk && disk->store(key, result)) {
+                    std::lock_guard<std::mutex> lock(mutex_);
+                    ++stats_.disk_stores;
+                }
+            }
+            promise.set_value(std::move(result));
         } catch (...) {
             promise.set_exception(std::current_exception());
         }
     }
     return future.get();
+}
+
+void
+RunCache::attachDiskCache(const std::string &dir)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    disk_ = dir.empty() ? nullptr
+                        : std::make_shared<DiskRunCache>(dir);
 }
 
 bool

@@ -22,6 +22,7 @@
 #include <cstdint>
 #include <functional>
 #include <future>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <unordered_map>
@@ -29,6 +30,8 @@
 #include "scenarios/scenario.h"
 
 namespace smartconf::exec {
+
+class DiskRunCache;
 
 /**
  * Thread-safe memo table for ScenarioResult, keyed by an opaque string
@@ -41,7 +44,10 @@ class RunCache
     {
         std::uint64_t hits = 0;   ///< served from the table (or joined
                                   ///< an in-flight computation)
-        std::uint64_t misses = 0; ///< actually simulated
+        std::uint64_t misses = 0; ///< not in the table (loaded from
+                                  ///< disk or actually simulated)
+        std::uint64_t disk_hits = 0;   ///< misses served by disk load
+        std::uint64_t disk_stores = 0; ///< fresh results spilled to disk
     };
 
     using RunFn = std::function<scenarios::ScenarioResult()>;
@@ -57,6 +63,17 @@ class RunCache
 
     /** True when @p key already has a (possibly in-flight) entry. */
     bool contains(const std::string &key) const;
+
+    /**
+     * Attach a persistent second level rooted at @p dir (see
+     * DiskRunCache).  From then on a miss first tries a disk load, and
+     * every freshly simulated result is spilled to disk — so the next
+     * *process* starts warm.  Pass an empty dir to detach.
+     */
+    void attachDiskCache(const std::string &dir);
+
+    /** The attached disk store, or nullptr. */
+    const DiskRunCache *diskCache() const { return disk_.get(); }
 
     Stats stats() const;
     std::size_t size() const;
@@ -79,6 +96,7 @@ class RunCache
                        std::shared_future<scenarios::ScenarioResult>>
         entries_;
     Stats stats_;
+    std::shared_ptr<DiskRunCache> disk_; ///< optional second level
 };
 
 } // namespace smartconf::exec

@@ -60,6 +60,8 @@ SweepRunner::SweepRunner(SweepOptions opts)
                            : opts.jobs),
       use_cache_(opts.cache)
 {
+    if (use_cache_ && !opts.disk_cache_dir.empty())
+        cache_.attachDiskCache(opts.disk_cache_dir);
 }
 
 scenarios::ScenarioResult
@@ -120,9 +122,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
 }
 
 SweepArgs
-parseSweepArgs(int argc, char **argv)
+parseSweepArgs(int argc, char **argv,
+               const std::string &default_cache_dir)
 {
     SweepArgs args;
+    args.sweep.disk_cache_dir = default_cache_dir;
     auto parseJobs = [&](const char *text) {
         char *end = nullptr;
         const long v = std::strtol(text, &end, 10);
@@ -148,6 +152,16 @@ parseSweepArgs(int argc, char **argv)
             parseJobs(argv[++i]);
         } else if (std::strncmp(a, "--jobs=", 7) == 0) {
             parseJobs(a + 7);
+        } else if (std::strcmp(a, "--cache-dir") == 0) {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", a);
+                std::exit(2);
+            }
+            args.sweep.disk_cache_dir = argv[++i];
+        } else if (std::strncmp(a, "--cache-dir=", 12) == 0) {
+            args.sweep.disk_cache_dir = a + 12;
+        } else if (std::strcmp(a, "--no-disk-cache") == 0) {
+            args.sweep.disk_cache_dir.clear();
         }
     }
     return args;

@@ -77,6 +77,12 @@ struct SweepOptions
 
     /** Memoize results across jobs and sweeps on this runner. */
     bool cache = true;
+
+    /**
+     * Root of a persistent cross-process result store (see
+     * DiskRunCache); empty disables it.  Requires `cache`.
+     */
+    std::string disk_cache_dir;
 };
 
 /**
@@ -126,11 +132,18 @@ struct SweepArgs
 };
 
 /**
- * Parse `--jobs N` (also `--jobs=N`, `-j N`) and `--json` from a bench
- * harness's argv; unknown arguments are ignored.  Exits with a usage
- * message on a malformed --jobs value.
+ * Parse `--jobs N` (also `--jobs=N`, `-j N`), `--json`,
+ * `--cache-dir PATH` (also `--cache-dir=PATH`) and `--no-disk-cache`
+ * from a bench harness's argv; unknown arguments are ignored.  Exits
+ * with a usage message on a malformed --jobs value.
+ *
+ * @p default_cache_dir seeds SweepOptions::disk_cache_dir before the
+ * flags are applied: harnesses that want the persistent store by
+ * default (bench_sweep) pass ".smartconf-cache"; the default empty
+ * string keeps disk caching opt-in.
  */
-SweepArgs parseSweepArgs(int argc, char **argv);
+SweepArgs parseSweepArgs(int argc, char **argv,
+                         const std::string &default_cache_dir = "");
 
 } // namespace smartconf::exec
 

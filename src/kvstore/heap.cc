@@ -4,33 +4,54 @@
 
 namespace smartconf::kvstore {
 
+std::size_t
+JvmHeap::find(std::string_view name) const
+{
+    for (std::size_t i = 0; i < components_.size(); ++i) {
+        if (components_[i].first == name)
+            return i;
+    }
+    return components_.size();
+}
+
 void
 JvmHeap::setComponent(std::string_view name, double mb)
 {
-    const auto it = components_.find(name);
-    if (it != components_.end()) {
-        it->second = std::max(0.0, mb);
+    const std::size_t i = find(name);
+    if (i < components_.size()) {
+        components_[i].second = std::max(0.0, mb);
         return;
     }
-    components_.emplace(std::string(name), std::max(0.0, mb));
+    const auto pos = std::lower_bound(
+        components_.begin(), components_.end(), name,
+        [](const auto &entry, std::string_view n) {
+            return entry.first < n;
+        });
+    components_.emplace(pos, std::string(name), std::max(0.0, mb));
 }
 
 void
 JvmHeap::addComponent(std::string_view name, double mb)
 {
-    const auto it = components_.find(name);
-    if (it != components_.end()) {
-        it->second = std::max(0.0, it->second + mb);
+    const std::size_t i = find(name);
+    if (i < components_.size()) {
+        components_[i].second =
+            std::max(0.0, components_[i].second + mb);
         return;
     }
-    components_.emplace(std::string(name), std::max(0.0, mb));
+    const auto pos = std::lower_bound(
+        components_.begin(), components_.end(), name,
+        [](const auto &entry, std::string_view n) {
+            return entry.first < n;
+        });
+    components_.emplace(pos, std::string(name), std::max(0.0, mb));
 }
 
 double
 JvmHeap::component(std::string_view name) const
 {
-    const auto it = components_.find(name);
-    return it == components_.end() ? 0.0 : it->second;
+    const std::size_t i = find(name);
+    return i < components_.size() ? components_[i].second : 0.0;
 }
 
 double

@@ -14,9 +14,10 @@
  * region server.
  */
 
-#include <map>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "sim/clock.h"
 
@@ -59,10 +60,18 @@ class JvmHeap
     sim::Tick oomTick() const { return oom_tick_; }
 
   private:
+    /** @return slot for @p name, or components_.size() when absent. */
+    std::size_t find(std::string_view name) const;
+
     double capacity_mb_;
-    /** Transparent comparator: every per-tick gauge update looks up by
-     *  string_view without materializing a std::string key. */
-    std::map<std::string, double, std::less<>> components_;
+    /**
+     * Component gauges as a flat array, kept sorted by name.  A server
+     * has a handful of components but updates them every tick, so a
+     * linear scan over contiguous pairs beats a tree walk.  The sorted
+     * order keeps usedMb()'s summation order identical to the std::map
+     * this replaces — same floating-point rounding, same OOM ticks.
+     */
+    std::vector<std::pair<std::string, double>> components_;
     sim::Tick oom_tick_ = -1;
 };
 

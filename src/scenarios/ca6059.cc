@@ -120,9 +120,11 @@ Ca6059Scenario::profile(std::uint64_t seed) const
         const sim::Tick warmup = 50;
         int samples = 0;
         std::uint64_t flushes_seen = 0;
+        std::vector<workload::Op> ops; ///< reused arrival buffer
         for (sim::Tick t = 0; samples < 10; ++t) {
             other = otherWalk(opts_, rng, other);
-            for (const auto &op : gen.tick()) {
+            gen.tickInto(ops);
+            for (const auto &op : ops) {
                 if (op.type == workload::Op::Type::Write)
                     memtable.write(op.size_mb, t);
             }
@@ -283,6 +285,7 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated = gen.generated();
     return result;
 }
 

@@ -106,8 +106,10 @@ Hb2149Scenario::profile(std::uint64_t seed) const
         // handle's current value is pinned to the profiled setting.
         int flushes = 0;
         std::uint64_t seen = 0;
+        std::vector<workload::Op> ops; ///< reused arrival buffer
         for (sim::Tick t = 0; flushes < 10; ++t) {
-            for (const auto &op : gen.tick()) {
+            gen.tickInto(ops);
+            for (const auto &op : ops) {
                 if (op.type == workload::Op::Type::Write)
                     memstore.write(op.size_mb, t);
             }
@@ -252,6 +254,7 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated = gen.generated();
     return result;
 }
 

@@ -130,6 +130,7 @@ Hb3813Scenario::profile(std::uint64_t seed) const
         rng.fork(2));
 
     sim::Tick t = 0;
+    std::vector<workload::Op> ops; ///< reused arrival buffer
     for (const double setting : info_.profiling_settings) {
         server.requestQueue().setMaxItems(
             static_cast<std::size_t>(setting));
@@ -142,7 +143,8 @@ Hb3813Scenario::profile(std::uint64_t seed) const
             auto p = gen.params();
             p.ops_per_tick = arrivalRate(opts_, t);
             gen.setParams(p);
-            server.accept(gen.tick(), t);
+            gen.tickInto(ops);
+            server.accept(ops, t);
             server.step(t);
             if (t >= warmup && t % sample_every == 0) {
                 // Paper: a measurement is taken every time an RPC request
@@ -283,6 +285,7 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated = gen.generated();
     return result;
 }
 

@@ -130,11 +130,13 @@ Hb6728Scenario::profile(std::uint64_t seed) const
         const sim::Tick warmup = 100;
         int samples = 0;
         sim::Tick last_sample = -100;
+        std::vector<workload::Op> ops; ///< reused arrival buffer
         for (sim::Tick t = 0; samples < 10; ++t) {
             auto p = gen.params();
             p.ops_per_tick = arrivalRate(opts_, t);
             gen.setParams(p);
-            server.accept(gen.tick(), t);
+            gen.tickInto(ops);
+            server.accept(ops, t);
             server.step(t);
             // The threshold is *used* when responses queue against it;
             // sample at instants where the bound binds (queue more than
@@ -278,6 +280,7 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated = gen.generated();
     return result;
 }
 

@@ -131,9 +131,10 @@ Hd4995Scenario::profile(std::uint64_t seed) const
         double pending_hold = -1.0;
         const double full_hold =
             setting / opts_.traversal_files_per_tick;
+        std::vector<workload::DfsRequest> reqs; ///< reused buffer
         for (sim::Tick t = 0; samples < 10; ++t) {
-            for (const auto &req : gen.tick(t))
-                nn.submit(req, t);
+            gen.tickInto(t, reqs);
+            nn.submitAll(reqs, t);
             nn.step(t);
             if (nn.chunksCompleted() > chunks_seen) {
                 chunks_seen = nn.chunksCompleted();
@@ -227,8 +228,7 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
     events.schedulePeriodicAt(0, 1, [&] {
         const sim::Tick t = sim_clock.now();
         gen.tickInto(t, reqs);
-        for (const auto &req : reqs)
-            nn.submit(req, t);
+        nn.submitAll(reqs, t);
         nn.step(t);
     });
 
@@ -293,6 +293,7 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated = gen.generated();
     return result;
 }
 

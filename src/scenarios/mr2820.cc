@@ -272,6 +272,8 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.mean_conf =
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
+    result.ops_simulated =
+        tasks_done_before + cluster.completedTasks();
     return result;
 }
 

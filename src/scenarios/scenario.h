@@ -100,6 +100,13 @@ struct ScenarioResult
     /** Mean configuration value over the run (diagnostic). */
     double mean_conf = 0.0;
 
+    /**
+     * Workload operations simulated by the evaluation run (requests
+     * generated / tasks completed, per the scenario's natural unit).
+     * Feeds the bench harnesses' ops-per-second throughput tracking.
+     */
+    std::uint64_t ops_simulated = 0;
+
     /** Goal metric over time (Fig. 6b / 7 / 8 top). */
     sim::TimeSeries perf_series;
 

@@ -146,6 +146,72 @@ EventQueue::cancel(EventId id)
     e.cancelled = true;
 }
 
+bool
+EventQueue::runPeriodicFastPath(Tick horizon, std::size_t &fired)
+{
+    // Eligible only when every pending entry is a live period-1 event
+    // on the same tick — the steady state of the scenario drivers,
+    // which register a handful of periodic concerns at t = 0 and run
+    // for hundreds of thousands of ticks.
+    const Tick start = pool_[heap_.front()].when;
+    for (const std::uint32_t slot : heap_) {
+        const Entry &e = pool_[slot];
+        if (e.interval != 1 || e.cancelled || e.when != start)
+            return false;
+    }
+
+    // Take the entries out of the heap; fire them a whole tick at a
+    // time in seq (registration) order — exactly the (when, seq) order
+    // the heap would produce, without any sift per event.
+    batch_ = heap_;
+    heap_.clear();
+    std::sort(batch_.begin(), batch_.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                  return pool_[a].seq < pool_[b].seq;
+              });
+
+    Tick t = start;
+    while (t <= horizon && !batch_.empty()) {
+        clock_.advanceTo(t);
+        bool saw_cancel = false;
+        for (const std::uint32_t slot : batch_) {
+            if (pool_[slot].cancelled) {
+                saw_cancel = true;
+                continue;
+            }
+            pool_[slot].when = t + 1;
+            Callback cb = std::move(pool_[slot].cb);
+            cb();
+            ++fired;
+            if (!pool_[slot].cancelled)
+                pool_[slot].cb = std::move(cb);
+            else
+                saw_cancel = true;
+        }
+        ++t;
+        if (saw_cancel) {
+            std::size_t kept = 0;
+            for (const std::uint32_t slot : batch_) {
+                if (pool_[slot].cancelled)
+                    releaseSlot(slot);
+                else
+                    batch_[kept++] = slot;
+            }
+            batch_.resize(kept);
+        }
+        // A callback scheduled a new event: its (when, seq) may
+        // interleave anywhere, so merge back and let the general
+        // loop re-establish ordering.
+        if (!heap_.empty())
+            break;
+    }
+
+    for (const std::uint32_t slot : batch_)
+        heapPush(slot);
+    batch_.clear();
+    return true;
+}
+
 std::size_t
 EventQueue::runUntil(Tick horizon)
 {
@@ -157,6 +223,8 @@ EventQueue::runUntil(Tick horizon)
             releaseSlot(heapPopRoot());
         if (heap_.empty() || pool_[heap_.front()].when > horizon)
             break;
+        if (runPeriodicFastPath(horizon, fired))
+            continue;
         if (step())
             ++fired;
     }
@@ -169,9 +237,9 @@ bool
 EventQueue::step()
 {
     while (!heap_.empty()) {
-        const std::uint32_t slot = heapPopRoot();
+        const std::uint32_t slot = heap_.front();
         if (pool_[slot].cancelled) {
-            releaseSlot(slot); // entry discarded at its tick
+            releaseSlot(heapPopRoot()); // entry discarded at its tick
             continue;
         }
         clock_.advanceTo(pool_[slot].when);
@@ -179,12 +247,17 @@ EventQueue::step()
         // The callback runs outside the pool: it may schedule events,
         // which can grow (reallocate) the pool underneath any Entry
         // reference.  Periodic entries are rearmed *before* invoking so
-        // that the callback can cancel its own event.
+        // that the callback can cancel its own event.  The rearm keys
+        // the root entry forward and restores the heap with a single
+        // siftDown — no pop/push round trip, and the entry keeps its
+        // original seq, preserving intra-tick registration order.
         const Tick interval = pool_[slot].interval;
         Callback cb = std::move(pool_[slot].cb);
         if (interval > 0) {
             pool_[slot].when += interval;
-            heapPush(slot);
+            siftDown(0);
+        } else {
+            heapPopRoot();
         }
         cb();
         if (interval > 0) {

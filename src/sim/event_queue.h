@@ -158,6 +158,16 @@ class EventQueue
     std::uint32_t acquireSlot();
     void releaseSlot(std::uint32_t slot);
 
+    /**
+     * Tick-loop fast path: when every pending entry is a period-1
+     * event aligned on the same tick (the scenario drivers' steady
+     * state), fire whole ticks in seq order with zero heap operations.
+     * Falls back (returning control to the general loop) as soon as a
+     * callback schedules something new; cancellations are handled in
+     * place.  @return true when it ran at least one tick.
+     */
+    bool runPeriodicFastPath(Tick horizon, std::size_t &fired);
+
     void heapPush(std::uint32_t slot);
     std::uint32_t heapPopRoot();
     void siftUp(std::size_t pos);
@@ -175,6 +185,9 @@ class EventQueue
 
     std::uint32_t free_head_ = kNoSlot;
     std::uint64_t next_seq_ = 0;
+
+    /** Reusable scratch for the fast path's seq-ordered firing list. */
+    std::vector<std::uint32_t> batch_;
 };
 
 } // namespace smartconf::sim

@@ -45,6 +45,12 @@ class TimeSeries
         points_.push_back({tick, value});
     }
 
+    /** Replace the whole curve (bulk deserialization). */
+    void assign(std::vector<Point> points)
+    {
+        points_ = std::move(points);
+    }
+
     const std::string &name() const { return name_; }
     const std::vector<Point> &points() const { return points_; }
     bool empty() const { return points_.empty(); }
@@ -94,6 +100,18 @@ class Histogram
     void record(double value)
     {
         values_.push_back(value);
+        scratch_fresh_ = false;
+    }
+
+    /**
+     * Record @p n identical observations at once.  Batch entry point
+     * for callers that serve work in same-valued runs (e.g. the
+     * namenode draining a same-tick write backlog): one bulk insert
+     * instead of @p n push_backs, with the same observable sequence.
+     */
+    void record(double value, std::size_t n)
+    {
+        values_.insert(values_.end(), n, value);
         scratch_fresh_ = false;
     }
 

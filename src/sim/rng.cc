@@ -2,9 +2,8 @@
 
 #include <cassert>
 #include <cmath>
-#include <map>
-#include <mutex>
-#include <utility>
+
+#include "sim/alias_sampler.h"
 
 namespace smartconf::sim {
 
@@ -20,12 +19,6 @@ splitmix64(std::uint64_t &x)
     return z ^ (z >> 31);
 }
 
-std::uint64_t
-rotl(std::uint64_t x, int k)
-{
-    return (x << k) | (x >> (64 - k));
-}
-
 } // namespace
 
 Rng::Rng(std::uint64_t seed) : seed_(seed)
@@ -33,54 +26,6 @@ Rng::Rng(std::uint64_t seed) : seed_(seed)
     std::uint64_t sm = seed;
     for (auto &s : s_)
         s = splitmix64(sm);
-}
-
-std::uint64_t
-Rng::next()
-{
-    const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-    const std::uint64_t t = s_[1] << 17;
-    s_[2] ^= s_[0];
-    s_[3] ^= s_[1];
-    s_[1] ^= s_[2];
-    s_[0] ^= s_[3];
-    s_[2] ^= t;
-    s_[3] = rotl(s_[3], 45);
-    return result;
-}
-
-double
-Rng::uniform()
-{
-    // 53 high bits -> double in [0, 1).
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-}
-
-double
-Rng::uniform(double lo, double hi)
-{
-    return lo + (hi - lo) * uniform();
-}
-
-std::uint64_t
-Rng::below(std::uint64_t n)
-{
-    assert(n > 0);
-    return next() % n; // modulo bias negligible for simulation purposes
-}
-
-std::int64_t
-Rng::between(std::int64_t lo, std::int64_t hi)
-{
-    assert(lo <= hi);
-    const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
-    return lo + static_cast<std::int64_t>(below(span));
-}
-
-bool
-Rng::chance(double p)
-{
-    return uniform() < p;
 }
 
 double
@@ -117,87 +62,38 @@ Rng::fork(std::uint64_t stream_id) const
     return Rng(seed_ ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
 }
 
-namespace {
-
-/**
- * Process-wide memo of zeta(n, theta) = sum_{i=1..n} i^-theta.
- *
- * Guarded by a mutex because parallel sweeps construct generators on
- * worker threads concurrently.  The summation itself runs under the
- * lock: it executes once per distinct (n, theta) for the process
- * lifetime, and racing duplicates would waste exactly the work the
- * cache exists to avoid.  Determinism is untouched — the sum is a pure
- * function of its key, so every thread reads the same bits.
- */
-class ZetaCache
-{
-  public:
-    double get(std::uint64_t n, double theta)
-    {
-        const std::pair<std::uint64_t, double> key{n, theta};
-        std::lock_guard<std::mutex> lock(mu_);
-        const auto it = memo_.find(key);
-        if (it != memo_.end())
-            return it->second;
-        double zetan = 0.0;
-        for (std::uint64_t i = 1; i <= n; ++i)
-            zetan += 1.0 / std::pow(static_cast<double>(i), theta);
-        memo_.emplace(key, zetan);
-        return zetan;
-    }
-
-    std::size_t size()
-    {
-        std::lock_guard<std::mutex> lock(mu_);
-        return memo_.size();
-    }
-
-  private:
-    std::mutex mu_;
-    std::map<std::pair<std::uint64_t, double>, double> memo_;
-};
-
-ZetaCache &
-zetaCache()
-{
-    static ZetaCache cache;
-    return cache;
-}
-
-} // namespace
-
 ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
-    : n_(n), theta_(theta)
+    : n_(n), theta_(theta), table_(AliasTable::zipfian(n, theta))
 {
     assert(n_ > 0);
     assert(theta_ >= 0.0 && theta_ < 1.0);
-    zetan_ = zetaCache().get(n_, theta_);
-    const double zeta2 = 1.0 + 1.0 / std::pow(2.0, theta_);
-    alpha_ = 1.0 / (1.0 - theta_);
-    eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
-           (1.0 - zeta2 / zetan_);
-    second_rank_threshold_ = 1.0 + std::pow(0.5, theta_);
+    zetan_ = table_->weightSum();
 }
 
 std::size_t
 ZipfianGenerator::zetaCacheSize()
 {
-    return zetaCache().size();
+    return AliasTable::zipfCacheSize();
 }
 
 std::uint64_t
 ZipfianGenerator::sample(Rng &rng) const
 {
-    const double u = rng.uniform();
-    const double uz = u * zetan_;
-    if (uz < 1.0)
-        return 0;
-    if (uz < second_rank_threshold_)
-        return 1;
-    const std::uint64_t idx = static_cast<std::uint64_t>(
-        static_cast<double>(n_) *
-        std::pow(eta_ * u - eta_ + 1.0, alpha_));
-    return idx >= n_ ? n_ - 1 : idx;
+    return table_->sample(rng);
+}
+
+void
+ZipfianGenerator::sampleInto(Rng &rng, std::uint64_t *out,
+                             std::size_t count) const
+{
+    table_->sampleInto(rng, out, count);
+}
+
+double
+ZipfianGenerator::pmf(std::uint64_t i) const
+{
+    assert(i < n_);
+    return 1.0 / std::pow(static_cast<double>(i + 1), theta_) / zetan_;
 }
 
 } // namespace smartconf::sim

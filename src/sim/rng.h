@@ -12,9 +12,12 @@
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 namespace smartconf::sim {
+
+class AliasTable;
 
 /** xoshiro256** PRNG with splitmix64 seeding. */
 class Rng
@@ -22,23 +25,55 @@ class Rng
   public:
     explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
 
+    // The integer/uniform primitives are defined inline: they sit on
+    // the per-operation hot path of every workload generator and
+    // sampler (tens of millions of calls per sweep), where the work is
+    // a handful of ALU ops — a cross-TU call would cost more than the
+    // function body.
+
     /** Next raw 64-bit value. */
-    std::uint64_t next();
+    std::uint64_t next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
 
     /** Uniform double in [0, 1). */
-    double uniform();
+    double uniform()
+    {
+        // 53 high bits -> double in [0, 1).
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
 
     /** Uniform double in [lo, hi). */
-    double uniform(double lo, double hi);
+    double uniform(double lo, double hi)
+    {
+        return lo + (hi - lo) * uniform();
+    }
 
     /** Uniform integer in [0, n); n must be > 0. */
-    std::uint64_t below(std::uint64_t n);
+    std::uint64_t below(std::uint64_t n)
+    {
+        return next() % n; // modulo bias negligible for simulation
+    }
 
     /** Uniform integer in [lo, hi] inclusive. */
-    std::int64_t between(std::int64_t lo, std::int64_t hi);
+    std::int64_t between(std::int64_t lo, std::int64_t hi)
+    {
+        const std::uint64_t span =
+            static_cast<std::uint64_t>(hi - lo) + 1;
+        return lo + static_cast<std::int64_t>(below(span));
+    }
 
     /** Bernoulli trial with success probability p. */
-    bool chance(double p);
+    bool chance(double p) { return uniform() < p; }
 
     /** Exponential variate with the given mean (inter-arrival times). */
     double exponential(double mean);
@@ -54,6 +89,11 @@ class Rng
     Rng fork(std::uint64_t stream_id) const;
 
   private:
+    static std::uint64_t rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t s_[4];
     std::uint64_t seed_;
     bool have_spare_ = false;
@@ -63,13 +103,19 @@ class Rng
 /**
  * Zipfian sampler over [0, n) with skew theta, as used by YCSB.
  *
- * Uses the Gray et al. rejection-free method with precomputed zeta.
- * Computing zeta(n) is O(n) with a pow() per term — for the 100k-key
- * YCSB population that dwarfs the sampler's own cost — so the zeta
- * value is memoized per (n, theta) in a process-wide, thread-safe
- * table: every generator construction after the first with the same
- * parameters (one per scenario run in a sweep) reuses the precomputed
- * constant instead of redoing the summation.
+ * Draws come from a Walker alias table (see sim/alias_sampler.h):
+ * O(1), pow-free, one PRNG word per sample.  The table build is O(n)
+ * with a pow() per term — for the 100k-key YCSB population that would
+ * dwarf the sampler's own cost — so tables are memoized per
+ * (n, theta) in a process-wide, thread-safe cache: every generator
+ * construction after the first with the same parameters (one per
+ * scenario run in a sweep) shares the already-built table.
+ *
+ * Stream compatibility: a draw consumes exactly one Rng::next(), the
+ * same as the previous Gray et al. inverse-CDF sampler, so other
+ * consumers of a shared Rng stream see identical values; only the
+ * u -> rank mapping differs (exact alias pmf instead of the Gray
+ * approximation).
  */
 class ZipfianGenerator
 {
@@ -84,18 +130,26 @@ class ZipfianGenerator
     /** Sample an item index in [0, n). */
     std::uint64_t sample(Rng &rng) const;
 
+    /** Fill @p out[0..count) with samples in one pass. */
+    void sampleInto(Rng &rng, std::uint64_t *out,
+                    std::size_t count) const;
+
     std::uint64_t population() const { return n_; }
 
-    /** Memoized zeta(n, theta) entries (test/diagnostic hook). */
+    /** zeta(n, theta), the pmf normalizer (= the table's weight sum). */
+    double zeta() const { return zetan_; }
+
+    /** Exact probability of rank @p i under this distribution. */
+    double pmf(std::uint64_t i) const;
+
+    /** Memoized alias tables held process-wide (test/diagnostic hook). */
     static std::size_t zetaCacheSize();
 
   private:
     std::uint64_t n_;
     double theta_;
     double zetan_;
-    double alpha_;
-    double eta_;
-    double second_rank_threshold_; ///< 1 + 0.5^theta, hoisted from sample()
+    std::shared_ptr<const AliasTable> table_;
 };
 
 } // namespace smartconf::sim

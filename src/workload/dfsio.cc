@@ -9,29 +9,26 @@ DfsioGenerator::DfsioGenerator(const DfsioParams &params, sim::Rng rng)
     : params_(params), rng_(rng)
 {}
 
-std::vector<DfsRequest>
-DfsioGenerator::tick(sim::Tick now)
-{
-    std::vector<DfsRequest> out;
-    tickInto(now, out);
-    return out;
-}
-
 void
 DfsioGenerator::tickInto(sim::Tick now, std::vector<DfsRequest> &out)
 {
-    out.clear();
-
     const double raw = rng_.gaussian(
         params_.writes_per_tick,
         params_.writes_per_tick * params_.burstiness);
     const auto n = static_cast<std::size_t>(std::max(0.0, std::round(raw)));
-    for (std::size_t i = 0; i < n; ++i) {
-        DfsRequest req;
+
+    // resize without a preceding clear: shrink keeps constructed
+    // elements, growth value-initializes only the new tail.  Every
+    // field is overwritten below, so stale contents are harmless.
+    out.resize(n);
+    const std::uint64_t clients =
+        std::max<std::uint64_t>(1, params_.clients);
+    for (DfsRequest &req : out) {
         req.type = DfsRequest::Type::WriteFile;
-        req.client = rng_.below(std::max<std::uint64_t>(1, params_.clients));
-        out.push_back(req);
+        req.client = rng_.below(clients);
+        req.file_count = 0;
     }
+    generated_ += n;
 
     if (last_du_ < 0 || now - last_du_ >= params_.du_period) {
         DfsRequest du;
@@ -39,6 +36,7 @@ DfsioGenerator::tickInto(sim::Tick now, std::vector<DfsRequest> &out)
         du.file_count = params_.du_file_count;
         out.push_back(du);
         last_du_ = now;
+        ++generated_;
     }
 }
 

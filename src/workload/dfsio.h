@@ -51,23 +51,25 @@ class DfsioGenerator
   public:
     DfsioGenerator(const DfsioParams &params, sim::Rng rng);
 
-    /** Requests arriving during tick @p now. */
-    std::vector<DfsRequest> tick(sim::Tick now);
-
     /**
-     * Like tick(), but fills @p out (cleared first) instead of
-     * returning a fresh vector, so a caller-owned buffer absorbs the
-     * per-tick allocation after the first bursts.
+     * Fill @p out (cleared first) with the requests arriving during
+     * tick @p now; a caller-owned buffer absorbs the per-tick
+     * allocation after the first bursts.  The write batch is generated
+     * in a single resize-and-fill pass.
      */
     void tickInto(sim::Tick now, std::vector<DfsRequest> &out);
 
     void setParams(const DfsioParams &params) { params_ = params; }
     const DfsioParams &params() const { return params_; }
 
+    /** Total requests generated so far. */
+    std::uint64_t generated() const { return generated_; }
+
   private:
     DfsioParams params_;
     sim::Rng rng_;
     sim::Tick last_du_ = -1;
+    std::uint64_t generated_ = 0;
 };
 
 } // namespace smartconf::workload

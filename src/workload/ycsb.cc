@@ -20,34 +20,26 @@ YcsbGenerator::setParams(const YcsbParams &params)
         zipf_ = sim::ZipfianGenerator(params.key_count, params.zipf_theta);
 }
 
-std::vector<Op>
-YcsbGenerator::tick()
-{
-    std::vector<Op> ops;
-    tickInto(ops);
-    return ops;
-}
-
 void
 YcsbGenerator::tickInto(std::vector<Op> &out)
 {
-    out.clear();
-
     // Batch size: Gaussian around the mean rate, truncated at zero.
     const double raw = rng_.gaussian(
         params_.ops_per_tick, params_.ops_per_tick * params_.burstiness);
     const auto n = static_cast<std::size_t>(std::max(0.0, std::round(raw)));
 
-    out.reserve(n);
-    for (std::size_t i = 0; i < n; ++i) {
-        Op op;
+    // resize without a preceding clear: shrink keeps constructed
+    // elements, growth value-initializes only the new tail.  Every
+    // field is overwritten below, so stale contents are harmless.
+    out.resize(n);
+    // Draw order per op (type, key, size) matches the historical
+    // per-op loop, so the shared Rng stream stays aligned with it.
+    for (Op &op : out) {
         op.type = rng_.chance(params_.write_fraction) ? Op::Type::Write
                                                       : Op::Type::Read;
         op.key = zipf_.sample(rng_);
-        const double jitter = rng_.gaussian(
-            1.0, params_.size_jitter);
+        const double jitter = rng_.gaussian(1.0, params_.size_jitter);
         op.size_mb = params_.request_size_mb * std::max(0.05, jitter);
-        out.push_back(op);
     }
     generated_ += n;
 }

@@ -57,14 +57,15 @@ class YcsbGenerator
   public:
     YcsbGenerator(const YcsbParams &params, sim::Rng rng);
 
-    /** Operations arriving during one tick. */
-    std::vector<Op> tick();
-
     /**
-     * Like tick(), but fills @p out (cleared first) instead of
-     * returning a fresh vector.  Re-feeding the same buffer every tick
-     * amortizes its allocation to the run's burst high-water mark —
-     * the steady-state arrival path stops touching the heap.
+     * Fill @p out (cleared first) with the operations arriving during
+     * one tick.  Re-feeding the same buffer every tick amortizes its
+     * allocation to the run's burst high-water mark — the steady-state
+     * arrival path stops touching the heap.  The batch is generated in
+     * a single resize-and-fill pass: the op count is drawn once, the
+     * buffer is sized, and each op is written in place through the
+     * O(1) alias-table Zipfian sampler (no pow(), no push_back growth
+     * checks, no virtual dispatch).
      */
     void tickInto(std::vector<Op> &out);
 

@@ -1,0 +1,220 @@
+/**
+ * @file
+ * Differential test: the flat interned NamespaceTree versus a naive
+ * std::map reference model.
+ *
+ * The production tree interns path segments, stores nodes in an arena
+ * and resolves children through one open-addressing hash — all invisible
+ * behaviourally.  This test drives both implementations with the same
+ * randomized operation sequence (mkdirs, file additions through paths
+ * and through cached DirRefs, and every query the namenode uses) and
+ * requires identical answers at every step.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "dfs/namespace_tree.h"
+
+namespace smartconf::dfs {
+namespace {
+
+/** Oracle: the obvious map-of-paths implementation. */
+class ReferenceTree
+{
+  public:
+    ReferenceTree() { dirs_["/"] = 0; }
+
+    void makeDirs(const std::string &path)
+    {
+        std::string prefix;
+        std::size_t pos = 1;
+        while (pos <= path.size()) {
+            const std::size_t next = path.find('/', pos);
+            const std::size_t end =
+                next == std::string::npos ? path.size() : next;
+            prefix = path.substr(0, end);
+            dirs_.emplace(prefix, 0);
+            pos = end + 1;
+        }
+    }
+
+    void addFiles(const std::string &path, std::uint64_t count)
+    {
+        makeDirs(path);
+        dirs_[path] += count;
+    }
+
+    std::uint64_t filesAt(const std::string &path) const
+    {
+        const auto it = dirs_.find(path);
+        return it != dirs_.end() ? it->second : 0;
+    }
+
+    bool exists(const std::string &path) const
+    {
+        return dirs_.count(path) != 0;
+    }
+
+    std::uint64_t filesUnder(const std::string &path) const
+    {
+        if (!exists(path))
+            return 0;
+        std::uint64_t total = 0;
+        for (const auto &[p, files] : dirs_)
+            if (inSubtree(p, path))
+                total += files;
+        return total;
+    }
+
+    std::uint64_t dirsUnder(const std::string &path) const
+    {
+        if (!exists(path))
+            return 0;
+        std::uint64_t total = 0;
+        for (const auto &[p, files] : dirs_)
+            if (inSubtree(p, path))
+                ++total;
+        return total;
+    }
+
+    std::vector<std::string> list(const std::string &path) const
+    {
+        std::vector<std::string> out;
+        if (!exists(path))
+            return out;
+        const std::string prefix =
+            path == "/" ? path : path + "/";
+        for (const auto &[p, files] : dirs_) {
+            if (p.size() <= prefix.size() ||
+                p.compare(0, prefix.size(), prefix) != 0)
+                continue;
+            if (p.find('/', prefix.size()) != std::string::npos)
+                continue; // grandchild
+            out.push_back(p.substr(prefix.size()));
+        }
+        return out; // std::map iteration order: already sorted
+    }
+
+  private:
+    static bool inSubtree(const std::string &p, const std::string &root)
+    {
+        if (p == root)
+            return true;
+        const std::string prefix = root == "/" ? root : root + "/";
+        return p.size() > prefix.size() &&
+               p.compare(0, prefix.size(), prefix) == 0;
+    }
+
+    std::map<std::string, std::uint64_t> dirs_;
+};
+
+std::string
+randomPath(std::mt19937_64 &gen)
+{
+    static const char *kSegments[] = {"data",  "logs", "client0",
+                                      "client1", "tmp", "a",
+                                      "bb",    "ccc",  "shard"};
+    std::uniform_int_distribution<int> depth_dist(1, 4);
+    std::uniform_int_distribution<std::size_t> seg_dist(
+        0, std::size(kSegments) - 1);
+    const int depth = depth_dist(gen);
+    std::string path;
+    for (int d = 0; d < depth; ++d)
+        path += std::string("/") + kSegments[seg_dist(gen)];
+    return path;
+}
+
+TEST(NamespaceTreeDifferential, RandomOpsMatchReferenceModel)
+{
+    NamespaceTree tree;
+    ReferenceTree ref;
+    std::mt19937_64 gen(0xd1ff5eed);
+    std::uniform_int_distribution<int> op_dist(0, 9);
+    std::uniform_int_distribution<std::uint64_t> count_dist(1, 5);
+
+    // Cached handles exercise the DirRef path (the namenode's hot way
+    // in) against the same model.
+    std::vector<std::pair<NamespaceTree::DirRef, std::string>> refs;
+
+    for (int step = 0; step < 5000; ++step) {
+        const std::string path = randomPath(gen);
+        switch (op_dist(gen)) {
+          case 0:
+            tree.makeDirs(path);
+            ref.makeDirs(path);
+            break;
+          case 1:
+          case 2: {
+            const std::uint64_t c = count_dist(gen);
+            tree.addFiles(path, c);
+            ref.addFiles(path, c);
+            break;
+          }
+          case 3: {
+            refs.emplace_back(tree.dirRef(path), path);
+            ref.makeDirs(path); // dirRef creates like mkdirs
+            break;
+          }
+          case 4: {
+            if (!refs.empty()) {
+                const auto &[handle, p] =
+                    refs[step % refs.size()];
+                const std::uint64_t c = count_dist(gen);
+                tree.addFilesAt(handle, c);
+                ref.addFiles(p, c);
+            }
+            break;
+          }
+          case 5:
+            ASSERT_EQ(tree.filesAt(path), ref.filesAt(path))
+                << "filesAt(" << path << ") at step " << step;
+            break;
+          case 6:
+            ASSERT_EQ(tree.filesUnder(path), ref.filesUnder(path))
+                << "filesUnder(" << path << ") at step " << step;
+            break;
+          case 7:
+            ASSERT_EQ(tree.dirsUnder(path), ref.dirsUnder(path))
+                << "dirsUnder(" << path << ") at step " << step;
+            break;
+          case 8:
+            ASSERT_EQ(tree.exists(path), ref.exists(path))
+                << "exists(" << path << ") at step " << step;
+            break;
+          case 9:
+            ASSERT_EQ(tree.list(path), ref.list(path))
+                << "list(" << path << ") at step " << step;
+            break;
+        }
+    }
+
+    // Full sweep at the end: every path either model knows about.
+    for (const char *probe :
+         {"/data", "/data/client0", "/logs", "/tmp/a", "/a/bb/ccc",
+          "/shard", "/missing"}) {
+        const std::string p(probe);
+        EXPECT_EQ(tree.exists(p), ref.exists(p)) << p;
+        EXPECT_EQ(tree.filesAt(p), ref.filesAt(p)) << p;
+        EXPECT_EQ(tree.filesUnder(p), ref.filesUnder(p)) << p;
+        EXPECT_EQ(tree.dirsUnder(p), ref.dirsUnder(p)) << p;
+        EXPECT_EQ(tree.list(p), ref.list(p)) << p;
+    }
+}
+
+TEST(NamespaceTreeDifferential, InterningDedupesRepeatedSegments)
+{
+    NamespaceTree tree;
+    for (int i = 0; i < 100; ++i)
+        tree.addFiles("/data/client" + std::to_string(i % 10), 1);
+    // "data" plus ten distinct client names, regardless of repetition.
+    EXPECT_EQ(tree.internedSegments(), 11u);
+}
+
+} // namespace
+} // namespace smartconf::dfs

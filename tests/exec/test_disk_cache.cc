@@ -1,0 +1,228 @@
+/**
+ * @file
+ * Persistent (cross-process) run cache: round-trip fidelity,
+ * cross-instance warm start, versioning, and corruption tolerance.
+ *
+ * One DiskRunCache instance stands in for one process; a second
+ * instance over the same root models a fresh process finding the
+ * store already populated.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "exec/disk_cache.h"
+#include "exec/run_cache.h"
+#include "scenarios/scenario.h"
+#include "sim/metrics.h"
+
+namespace smartconf::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class DiskRunCacheTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root_ = (fs::temp_directory_path() /
+                 ("smartconf-cache-test-" +
+                  std::to_string(::testing::UnitTest::GetInstance()
+                                     ->random_seed()) +
+                  "-" + test_name()))
+                    .string();
+        fs::remove_all(root_);
+    }
+    void TearDown() override { fs::remove_all(root_); }
+
+    static std::string test_name()
+    {
+        return ::testing::UnitTest::GetInstance()
+            ->current_test_info()
+            ->name();
+    }
+
+    static scenarios::ScenarioResult sampleResult()
+    {
+        scenarios::ScenarioResult r;
+        r.scenario_id = "HB3813";
+        r.policy_label = "SmartConf";
+        r.violated = true;
+        r.violation_time_s = 36.25;
+        r.worst_goal_metric = 512.5;
+        r.goal_value = 495.0;
+        r.tradeoff = 1234.5;
+        r.raw_tradeoff = 2345.75;
+        r.mean_conf = 87.5;
+        r.ops_simulated = 987654321;
+        r.perf_series = sim::TimeSeries("used_memory_mb");
+        r.conf_series = sim::TimeSeries("max.queue.size");
+        r.tradeoff_series = sim::TimeSeries("completed_ops");
+        for (int t = 0; t < 1000; ++t) {
+            r.perf_series.record(t, 400.0 + 0.125 * t);
+            r.conf_series.record(t, 100.0 - 0.01 * t);
+            if (t % 10 == 0)
+                r.tradeoff_series.record(t, 17.0 * t);
+        }
+        return r;
+    }
+
+    static void expectEqual(const scenarios::ScenarioResult &a,
+                            const scenarios::ScenarioResult &b)
+    {
+        EXPECT_EQ(a.scenario_id, b.scenario_id);
+        EXPECT_EQ(a.policy_label, b.policy_label);
+        EXPECT_EQ(a.violated, b.violated);
+        EXPECT_EQ(a.violation_time_s, b.violation_time_s);
+        EXPECT_EQ(a.worst_goal_metric, b.worst_goal_metric);
+        EXPECT_EQ(a.goal_value, b.goal_value);
+        EXPECT_EQ(a.tradeoff, b.tradeoff);
+        EXPECT_EQ(a.raw_tradeoff, b.raw_tradeoff);
+        EXPECT_EQ(a.mean_conf, b.mean_conf);
+        EXPECT_EQ(a.ops_simulated, b.ops_simulated);
+        ASSERT_EQ(a.perf_series.size(), b.perf_series.size());
+        EXPECT_EQ(a.perf_series.name(), b.perf_series.name());
+        for (std::size_t i = 0; i < a.perf_series.size(); ++i) {
+            EXPECT_EQ(a.perf_series.points()[i].tick,
+                      b.perf_series.points()[i].tick);
+            EXPECT_EQ(a.perf_series.points()[i].value,
+                      b.perf_series.points()[i].value);
+        }
+        EXPECT_EQ(a.conf_series.size(), b.conf_series.size());
+        EXPECT_EQ(a.tradeoff_series.size(), b.tradeoff_series.size());
+    }
+
+    std::string root_;
+};
+
+TEST_F(DiskRunCacheTest, RoundTripsEveryField)
+{
+    DiskRunCache cache(root_);
+    const scenarios::ScenarioResult original = sampleResult();
+    ASSERT_TRUE(cache.store("key-1", original));
+
+    scenarios::ScenarioResult loaded;
+    ASSERT_TRUE(cache.load("key-1", loaded));
+    expectEqual(original, loaded);
+}
+
+TEST_F(DiskRunCacheTest, MissingKeyIsAMiss)
+{
+    DiskRunCache cache(root_);
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("never-stored", out));
+}
+
+TEST_F(DiskRunCacheTest, SecondInstanceStartsWarm)
+{
+    // Process 1 stores; process 2 (a fresh instance over the same
+    // root) must load without any shared in-memory state.
+    {
+        DiskRunCache writer(root_);
+        ASSERT_TRUE(writer.store("shared-key", sampleResult()));
+    }
+    DiskRunCache reader(root_);
+    scenarios::ScenarioResult out;
+    ASSERT_TRUE(reader.load("shared-key", out));
+    EXPECT_EQ(out.scenario_id, "HB3813");
+    EXPECT_EQ(out.ops_simulated, 987654321u);
+}
+
+TEST_F(DiskRunCacheTest, FullKeyMismatchIsAMiss)
+{
+    // Two keys engineered into the same file would be a silent wrong
+    // answer if only the hash were compared; the stored full key must
+    // be validated.  Simulate by renaming an entry to another key's
+    // slot.
+    DiskRunCache cache(root_);
+    ASSERT_TRUE(cache.store("key-a", sampleResult()));
+    const std::string src = cache.dir() + "/";
+    fs::path stored;
+    for (const auto &e : fs::directory_iterator(cache.dir()))
+        stored = e.path();
+    // Move the payload under the filename key-b hashes to.
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(
+                      DiskRunCache::fnv1a("key-b")));
+    fs::rename(stored, fs::path(cache.dir()) / (std::string(hex) + ".bin"));
+
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("key-b", out)) << "foreign payload accepted";
+}
+
+TEST_F(DiskRunCacheTest, TruncatedFileIsAMiss)
+{
+    DiskRunCache cache(root_);
+    ASSERT_TRUE(cache.store("key-t", sampleResult()));
+    fs::path stored;
+    for (const auto &e : fs::directory_iterator(cache.dir()))
+        stored = e.path();
+    fs::resize_file(stored, fs::file_size(stored) / 2);
+
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("key-t", out)) << "torn file accepted";
+}
+
+TEST_F(DiskRunCacheTest, VersionBumpInvalidatesByConstruction)
+{
+    // Entries live under a directory named for (format, engine)
+    // versions, so a version bump reads from a different directory —
+    // stale entries can never be loaded by a newer binary.
+    DiskRunCache cache(root_);
+    const std::string dir = cache.dir();
+    EXPECT_NE(dir.find("/v"), std::string::npos);
+    EXPECT_NE(dir.find("-e"), std::string::npos);
+    ASSERT_TRUE(cache.store("k", sampleResult()));
+    EXPECT_TRUE(fs::exists(dir));
+}
+
+TEST_F(DiskRunCacheTest, RunCacheSpillsAndReloadsAcrossInstances)
+{
+    int simulations = 0;
+    const auto simulate = [&] {
+        ++simulations;
+        return sampleResult();
+    };
+
+    {
+        RunCache first;
+        first.attachDiskCache(root_);
+        (void)first.getOrRun("job-key", simulate);
+        EXPECT_EQ(simulations, 1);
+        EXPECT_EQ(first.stats().disk_stores, 1u);
+    }
+
+    RunCache second; // fresh "process"
+    second.attachDiskCache(root_);
+    const scenarios::ScenarioResult replay =
+        second.getOrRun("job-key", simulate);
+    EXPECT_EQ(simulations, 1) << "second process re-simulated";
+    EXPECT_EQ(second.stats().disk_hits, 1u);
+    expectEqual(sampleResult(), replay);
+
+    // In-memory hit on the second touch: disk is not re-read.
+    (void)second.getOrRun("job-key", simulate);
+    EXPECT_EQ(second.stats().disk_hits, 1u);
+    EXPECT_EQ(second.stats().hits, 1u);
+}
+
+TEST_F(DiskRunCacheTest, DetachStopsSpilling)
+{
+    RunCache cache;
+    cache.attachDiskCache(root_);
+    cache.attachDiskCache("");
+    (void)cache.getOrRun("k", [] {
+        return scenarios::ScenarioResult{};
+    });
+    EXPECT_EQ(cache.stats().disk_stores, 0u);
+    EXPECT_FALSE(fs::exists(root_));
+}
+
+} // namespace
+} // namespace smartconf::exec

@@ -62,8 +62,10 @@ TEST(Integration, FileFormatsDriveTheControllerEndToEnd)
     wp.ops_per_tick = 10.0;
     workload::YcsbGenerator gen(wp, sim::Rng(6));
 
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < 1000; ++t) {
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         sc.setPerf(server.heap().usedMb(),
                    static_cast<double>(server.requestQueue().size()));
@@ -119,6 +121,7 @@ TEST(Integration, InteractingControllersShareTheHeap)
     workload::YcsbGenerator gen(wp, sim::Rng(8));
 
     double worst = 0.0;
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < 2400; ++t) {
         if (t == 500) {
             auto p = gen.params();
@@ -126,7 +129,8 @@ TEST(Integration, InteractingControllersShareTheHeap)
             p.request_size_mb = 1.5;
             gen.setParams(p);
         }
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         const double mem = server.heap().usedMb();
         worst = std::max(worst, mem);
@@ -201,8 +205,10 @@ TEST(Integration, TailLatencySlaThroughPercentileSensor)
     WindowPercentileSensor p99(99.0, 256);
     std::size_t delays_seen = 0;
     double late_p99 = 0.0;
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < 4000; ++t) {
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         // feed every completed op's queueing delay into the sensor
         const auto &delays = server.queueDelays().values();
@@ -273,8 +279,10 @@ TEST(Integration, ImpossibleGoalBestEffortPlusAlert)
     wp.ops_per_tick = 10.0;
     workload::YcsbGenerator gen(wp, sim::Rng(32));
 
+    std::vector<workload::Op> ops;
     for (sim::Tick t = 0; t < 300; ++t) {
-        server.accept(gen.tick(), t);
+        gen.tickInto(ops);
+        server.accept(ops, t);
         server.step(t);
         sc.setPerf(server.heap().usedMb(),
                    static_cast<double>(server.requestQueue().size()));

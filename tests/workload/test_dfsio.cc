@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "workload/dfsio.h"
 
 namespace smartconf::workload {
@@ -15,8 +17,10 @@ TEST(Dfsio, WriteRateApproximatesParameter)
     DfsioGenerator gen(p, sim::Rng(1));
     std::uint64_t writes = 0;
     const int ticks = 2000;
+    std::vector<DfsRequest> reqs;
     for (int t = 0; t < ticks; ++t) {
-        for (const auto &req : gen.tick(t))
+        gen.tickInto(t, reqs);
+        for (const auto &req : reqs)
             writes += req.type == DfsRequest::Type::WriteFile ? 1 : 0;
     }
     EXPECT_NEAR(static_cast<double>(writes) / ticks, 30.0, 1.5);
@@ -30,8 +34,10 @@ TEST(Dfsio, DuIssuedPeriodically)
     p.du_file_count = 5555;
     DfsioGenerator gen(p, sim::Rng(2));
     int dus = 0;
+    std::vector<DfsRequest> reqs;
     for (int t = 0; t < 1000; ++t) {
-        for (const auto &req : gen.tick(t)) {
+        gen.tickInto(t, reqs);
+        for (const auto &req : reqs) {
             if (req.type == DfsRequest::Type::ContentSummary) {
                 ++dus;
                 EXPECT_EQ(req.file_count, 5555u);
@@ -46,8 +52,10 @@ TEST(Dfsio, ClientIdsWithinRange)
     DfsioParams p;
     p.clients = 4;
     DfsioGenerator gen(p, sim::Rng(3));
+    std::vector<DfsRequest> reqs;
     for (int t = 0; t < 200; ++t) {
-        for (const auto &req : gen.tick(t)) {
+        gen.tickInto(t, reqs);
+        for (const auto &req : reqs) {
             if (req.type == DfsRequest::Type::WriteFile)
                 EXPECT_LT(req.client, 4u);
         }
@@ -60,7 +68,9 @@ TEST(Dfsio, FirstTickIssuesDu)
     p.du_period = 500;
     DfsioGenerator gen(p, sim::Rng(4));
     bool found = false;
-    for (const auto &req : gen.tick(0))
+    std::vector<DfsRequest> reqs;
+    gen.tickInto(0, reqs);
+    for (const auto &req : reqs)
         found |= req.type == DfsRequest::Type::ContentSummary;
     EXPECT_TRUE(found);
 }

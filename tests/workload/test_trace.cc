@@ -88,9 +88,10 @@ TEST(Trace, CapturesAGeneratorFaithfully)
     Trace trace;
     std::vector<std::vector<Op>> original;
     for (sim::Tick t = 0; t < 50; ++t) {
-        const auto ops = gen.tick();
+        std::vector<Op> ops;
+        gen.tickInto(ops);
         trace.record(t, ops);
-        original.push_back(ops);
+        original.push_back(std::move(ops));
     }
 
     TraceReplayer replay(Trace::parse(trace.serialize()));

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "workload/ycsb.h"
 
 namespace smartconf::workload {
@@ -22,8 +24,10 @@ TEST(Ycsb, WriteFractionApproximatelyHonoured)
 {
     YcsbGenerator gen(params(0.5), sim::Rng(1));
     std::uint64_t writes = 0, total = 0;
+    std::vector<Op> ops;
     for (int t = 0; t < 1000; ++t) {
-        for (const auto &op : gen.tick()) {
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             ++total;
             writes += op.type == Op::Type::Write ? 1 : 0;
         }
@@ -35,8 +39,10 @@ TEST(Ycsb, WriteFractionApproximatelyHonoured)
 TEST(Ycsb, AllWritesWhenFractionOne)
 {
     YcsbGenerator gen(params(1.0), sim::Rng(2));
+    std::vector<Op> ops;
     for (int t = 0; t < 100; ++t) {
-        for (const auto &op : gen.tick())
+        gen.tickInto(ops);
+        for (const auto &op : ops)
             EXPECT_EQ(op.type, Op::Type::Write);
     }
 }
@@ -44,8 +50,10 @@ TEST(Ycsb, AllWritesWhenFractionOne)
 TEST(Ycsb, AllReadsWhenFractionZero)
 {
     YcsbGenerator gen(params(0.0), sim::Rng(3));
+    std::vector<Op> ops;
     for (int t = 0; t < 100; ++t) {
-        for (const auto &op : gen.tick())
+        gen.tickInto(ops);
+        for (const auto &op : ops)
             EXPECT_EQ(op.type, Op::Type::Read);
     }
 }
@@ -55,8 +63,10 @@ TEST(Ycsb, MeanRequestSizeTracksParameter)
     YcsbGenerator gen(params(1.0, 2.0), sim::Rng(4));
     double acc = 0.0;
     std::uint64_t n = 0;
+    std::vector<Op> ops;
     for (int t = 0; t < 500; ++t) {
-        for (const auto &op : gen.tick()) {
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             acc += op.size_mb;
             ++n;
         }
@@ -69,8 +79,11 @@ TEST(Ycsb, MeanRateTracksParameter)
     YcsbGenerator gen(params(0.5, 1.0, 12.0), sim::Rng(5));
     std::uint64_t total = 0;
     const int ticks = 2000;
-    for (int t = 0; t < ticks; ++t)
-        total += gen.tick().size();
+    std::vector<Op> ops;
+    for (int t = 0; t < ticks; ++t) {
+        gen.tickInto(ops);
+        total += ops.size();
+    }
     EXPECT_NEAR(static_cast<double>(total) / ticks, 12.0, 0.5);
     EXPECT_EQ(gen.generated(), total);
 }
@@ -81,8 +94,10 @@ TEST(Ycsb, KeysAreZipfianSkewed)
     p.key_count = 1000;
     YcsbGenerator gen(p, sim::Rng(6));
     std::uint64_t head = 0, total = 0;
+    std::vector<Op> ops;
     for (int t = 0; t < 2000; ++t) {
-        for (const auto &op : gen.tick()) {
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             ++total;
             head += op.key < 10 ? 1 : 0;
         }
@@ -94,14 +109,16 @@ TEST(Ycsb, KeysAreZipfianSkewed)
 TEST(Ycsb, SetParamsSwitchesMidStream)
 {
     YcsbGenerator gen(params(1.0, 1.0), sim::Rng(7));
-    (void)gen.tick();
+    std::vector<Op> ops;
+    gen.tickInto(ops);
     auto p = gen.params();
     p.request_size_mb = 2.0; // HB3813's phase-2 shift
     gen.setParams(p);
     double acc = 0.0;
     std::uint64_t n = 0;
     for (int t = 0; t < 300; ++t) {
-        for (const auto &op : gen.tick()) {
+        gen.tickInto(ops);
+        for (const auto &op : ops) {
             acc += op.size_mb;
             ++n;
         }
@@ -113,9 +130,10 @@ TEST(Ycsb, DeterministicAcrossIdenticalRuns)
 {
     YcsbGenerator a(params(0.5), sim::Rng(8));
     YcsbGenerator b(params(0.5), sim::Rng(8));
+    std::vector<Op> oa, ob;
     for (int t = 0; t < 50; ++t) {
-        const auto oa = a.tick();
-        const auto ob = b.tick();
+        a.tickInto(oa);
+        b.tickInto(ob);
         ASSERT_EQ(oa.size(), ob.size());
         for (std::size_t i = 0; i < oa.size(); ++i) {
             EXPECT_EQ(oa[i].key, ob[i].key);

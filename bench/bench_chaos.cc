@@ -1,0 +1,188 @@
+/**
+ * @file
+ * Chaos sweep: the fault-injection plane exercised at benchmark scale
+ * (`bench_chaos --json > BENCH_chaos.json`).
+ *
+ * Two layers:
+ *
+ *  1. Synthetic episodes — every injector preset runs the closed-loop
+ *     chaos episode over a seed grid, and the output reports the two
+ *     hard invariants (non-finite controller outputs, out-of-clamp
+ *     outputs: both must be 0) plus fault volume and the hard-goal
+ *     violation rate.  This is the soak counterpart of the fault_tests
+ *     gtest suite: same invariants, more seeds, trend-trackable.
+ *
+ *  2. Scenario sweep — all six case studies under the kitchen-sink
+ *     campaign, fanned through the regular SweepRunner.  Chaos runs are
+ *     pure functions of (scenario, policy, spec, seed) and carry their
+ *     own cache keys, so the warm replay must hit the cache exactly
+ *     like a clean sweep — which this bench demonstrates by replaying.
+ *
+ * Clean-run determinism is bench_sweep's job; this harness never runs
+ * a chaos-free policy, so its cache entries can never collide with the
+ * regression baseline's.
+ */
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "fault/chaos.h"
+#include "fault/spec.h"
+#include "scenarios/scenario.h"
+
+namespace {
+
+struct EpisodeRow
+{
+    std::string name;
+    std::uint64_t nonfinite = 0;     // invariant: 0
+    std::uint64_t out_of_bounds = 0; // invariant: 0
+    std::uint64_t faults = 0;
+    std::uint64_t controller_holds = 0;
+    double violation_rate = 0.0; // mean over seeds
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smartconf;
+    using namespace smartconf::scenarios;
+    using smartconf::exec::SweepJob;
+
+    const exec::SweepArgs args =
+        exec::parseSweepArgs(argc, argv, ".smartconf-cache");
+
+    const std::vector<std::pair<std::string, fault::ChaosSpec>> presets =
+        {
+            {"nan", fault::ChaosSpec::nanSensor(0.10)},
+            {"inf", fault::ChaosSpec::infSensor(0.05)},
+            {"dropout", fault::ChaosSpec::dropout(0.15)},
+            {"stale", fault::ChaosSpec::staleSensor(0.05, 10)},
+            {"spike", fault::ChaosSpec::spikes(0.05, 12.0)},
+            {"skip", fault::ChaosSpec::skips(0.20)},
+            {"jitter", fault::ChaosSpec::jitter(0.5)},
+            {"delay", fault::ChaosSpec::delayedActuation(3)},
+            {"kitchen_sink", fault::ChaosSpec::kitchenSink()},
+        };
+    const std::vector<std::uint64_t> episode_seeds = {1, 2, 3, 4, 5,
+                                                      6, 7, 8};
+
+    // Layer 1: synthetic closed-loop episodes.
+    std::vector<EpisodeRow> rows;
+    for (const auto &[name, spec] : presets) {
+        EpisodeRow row;
+        row.name = name;
+        fault::ChaosEpisodeOptions opts; // hard goal by default
+        for (const std::uint64_t seed : episode_seeds) {
+            const fault::ChaosReport r =
+                fault::runChaosEpisode(spec, opts, seed);
+            row.nonfinite += r.nonfinite_outputs;
+            row.out_of_bounds += r.out_of_bounds_outputs;
+            row.faults += r.faults.injected();
+            row.controller_holds += r.controller_faults;
+            row.violation_rate +=
+                static_cast<double>(r.violations) /
+                static_cast<double>(r.ticks) /
+                static_cast<double>(episode_seeds.size());
+        }
+        rows.push_back(row);
+    }
+
+    // Layer 2: the six case studies under the kitchen-sink campaign,
+    // cold then warm (the replay must be pure cache hits).
+    exec::SweepRunner runner(args.sweep);
+    const std::vector<std::uint64_t> sweep_seeds = {1, 2};
+    const Policy chaotic =
+        Policy::smart().withChaos(fault::ChaosSpec::kitchenSink());
+
+    std::vector<SweepJob> jobs;
+    const auto all = makeAllScenarios();
+    for (const auto &s : all)
+        for (const std::uint64_t seed : sweep_seeds)
+            jobs.push_back(
+                SweepJob::forScenario(s->info().id, chaotic, seed));
+
+    const std::vector<ScenarioResult> cold = runner.run(jobs);
+    const double cold_ms = runner.lastWallMs();
+    const std::vector<ScenarioResult> warm = runner.run(jobs);
+    const double warm_ms = runner.lastWallMs();
+    const auto stats = runner.cache().stats();
+
+    std::uint64_t sweep_faults = 0;
+    int sweep_violations = 0;
+    for (const auto &r : cold) {
+        sweep_faults += r.faults_injected;
+        if (r.violated)
+            ++sweep_violations;
+    }
+
+    std::uint64_t invariant_breaks = 0;
+    for (const EpisodeRow &row : rows)
+        invariant_breaks += row.nonfinite + row.out_of_bounds;
+
+    if (args.json) {
+        std::printf("{\n");
+        std::printf("  \"bench\": \"bench_chaos\",\n");
+        std::printf("  \"episode_seeds\": %zu,\n", episode_seeds.size());
+        std::printf("  \"invariant_breaks\": %llu,\n",
+                    static_cast<unsigned long long>(invariant_breaks));
+        std::printf("  \"episodes\": [\n");
+        for (std::size_t i = 0; i < rows.size(); ++i) {
+            const EpisodeRow &r = rows[i];
+            std::printf(
+                "    {\"preset\": \"%s\", \"nonfinite\": %llu, "
+                "\"out_of_bounds\": %llu, \"faults\": %llu, "
+                "\"holds\": %llu, \"violation_rate\": %.5f}%s\n",
+                r.name.c_str(),
+                static_cast<unsigned long long>(r.nonfinite),
+                static_cast<unsigned long long>(r.out_of_bounds),
+                static_cast<unsigned long long>(r.faults),
+                static_cast<unsigned long long>(r.controller_holds),
+                r.violation_rate, i + 1 < rows.size() ? "," : "");
+        }
+        std::printf("  ],\n");
+        std::printf("  \"sweep_runs\": %zu,\n", jobs.size());
+        std::printf("  \"sweep_cold_ms\": %.3f,\n", cold_ms);
+        std::printf("  \"sweep_warm_ms\": %.3f,\n", warm_ms);
+        std::printf("  \"sweep_faults_injected\": %llu,\n",
+                    static_cast<unsigned long long>(sweep_faults));
+        std::printf("  \"sweep_violations\": %d,\n", sweep_violations);
+        std::printf("  \"cache_hits\": %llu,\n",
+                    static_cast<unsigned long long>(stats.hits));
+        std::printf("  \"cache_misses\": %llu\n",
+                    static_cast<unsigned long long>(stats.misses));
+        std::printf("}\n");
+        return invariant_breaks == 0 ? 0 : 1;
+    }
+
+    std::printf("Chaos sweep benchmark\n\n");
+    std::printf("episodes: %zu presets x %zu seeds x %d ticks\n\n",
+                presets.size(), episode_seeds.size(),
+                fault::ChaosEpisodeOptions{}.ticks);
+    std::printf("%-14s %10s %10s %10s %10s %10s\n", "preset",
+                "nonfinite", "oob", "faults", "holds", "viol.rate");
+    std::printf("%s\n", std::string(68, '-').c_str());
+    for (const EpisodeRow &r : rows)
+        std::printf("%-14s %10llu %10llu %10llu %10llu %10.4f\n",
+                    r.name.c_str(),
+                    static_cast<unsigned long long>(r.nonfinite),
+                    static_cast<unsigned long long>(r.out_of_bounds),
+                    static_cast<unsigned long long>(r.faults),
+                    static_cast<unsigned long long>(r.controller_holds),
+                    r.violation_rate);
+    std::printf("\ninvariants (nonfinite, oob must be 0): %s\n\n",
+                invariant_breaks == 0 ? "OK" : "BROKEN");
+    std::printf("scenario sweep: 6 scenarios x kitchen_sink x %zu "
+                "seeds\n", sweep_seeds.size());
+    std::printf("cold: %8.1f ms   warm replay: %8.1f ms\n", cold_ms,
+                warm_ms);
+    std::printf("faults injected: %llu   constraint violations: %d/%zu"
+                " runs\n",
+                static_cast<unsigned long long>(sweep_faults),
+                sweep_violations, jobs.size());
+    return invariant_breaks == 0 ? 0 : 1;
+}

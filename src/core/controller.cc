@@ -1,18 +1,38 @@
 #include "core/controller.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace smartconf {
 
 Controller::Controller(const ControllerParams &params, const Goal &goal)
     : params_(params), goal_(goal)
 {
-    assert(params_.alpha != 0.0 && "controller needs a non-zero gain");
-    assert(params_.pole >= 0.0 && params_.pole < 1.0);
-    assert(params_.aggressivePole >= 0.0 && params_.aggressivePole < 1.0);
-    assert(params_.interactionFactor >= 1.0);
+    // Constructor-time validation instead of debug-only asserts: a
+    // release build handed alpha == 0 (a flat profile surface) used to
+    // divide by zero on every update.  Synthesis bugs must fail loudly
+    // at build time, not emit Inf configurations at run time.
+    if (!std::isfinite(params_.alpha) || params_.alpha == 0.0)
+        throw std::invalid_argument(
+            "controller gain alpha must be finite and non-zero");
+    if (!(params_.pole >= 0.0 && params_.pole < 1.0))
+        throw std::invalid_argument(
+            "controller pole must lie in [0, 1)");
+    if (!(params_.aggressivePole >= 0.0 && params_.aggressivePole < 1.0))
+        throw std::invalid_argument(
+            "controller aggressive pole must lie in [0, 1)");
+    if (!(params_.interactionFactor >= 1.0))
+        throw std::invalid_argument(
+            "controller interaction factor must be >= 1");
+    if (!std::isfinite(params_.lambda))
+        throw std::invalid_argument(
+            "controller lambda must be finite");
+    if (std::isnan(params_.confMin) || std::isnan(params_.confMax) ||
+        params_.confMin > params_.confMax) {
+        throw std::invalid_argument(
+            "controller clamp needs confMin <= confMax");
+    }
     recomputeVirtualGoal();
 }
 
@@ -51,6 +71,22 @@ Controller::effectivePole(double perf) const
 double
 Controller::update(double measured_perf, double current_conf)
 {
+    if (!std::isfinite(measured_perf) || !std::isfinite(current_conf)) {
+        // A NaN measurement used to propagate into the configuration
+        // and stay there forever (NaN + anything = NaN).  Treat the
+        // tick as a sensor fault: count it, hold the last good output,
+        // and never emit a non-finite value.
+        ++faults_;
+        const double held =
+            last_output_
+                ? *last_output_
+                : std::clamp(std::isfinite(current_conf) ? current_conf
+                                                         : params_.confMin,
+                             params_.confMin, params_.confMax);
+        last_output_ = held;
+        return held;
+    }
+
     const double e = setPoint() - measured_perf;
     const double p = effectivePole(measured_perf);
     const double step =
@@ -83,7 +119,9 @@ Controller::setGoal(const Goal &goal)
 void
 Controller::setInteractionFactor(double n)
 {
-    assert(n >= 1.0);
+    if (!(n >= 1.0))
+        throw std::invalid_argument(
+            "controller interaction factor must be >= 1");
     params_.interactionFactor = n;
 }
 

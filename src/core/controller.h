@@ -15,6 +15,7 @@
  * makes every property testable in isolation.
  */
 
+#include <cstdint>
 #include <optional>
 
 #include "core/goal.h"
@@ -79,17 +80,28 @@ class Controller
     /**
      * @param params synthesis output (alpha, pole, lambda, clamps).
      * @param goal   the user goal this controller tracks.
+     * @throws std::invalid_argument when the parameters lie outside the
+     *         stability region (alpha zero/non-finite, pole outside
+     *         [0, 1), interaction factor < 1, inverted clamp) — the
+     *         error path that used to be a debug-only assert, so a
+     *         release build could divide by alpha == 0.
      */
     Controller(const ControllerParams &params, const Goal &goal);
 
     /**
      * Compute the next configuration value.
      *
+     * A non-finite @p measured_perf or @p current_conf (NaN sensor,
+     * poisoned deputy) is a *fault*, not an input: the controller holds
+     * its last output, increments faults(), and never emits a
+     * non-finite or out-of-clamp value.
+     *
      * @param measured_perf latest sensor reading of the goal metric.
      * @param current_conf  current value of the controlled variable (the
      *                      configuration itself for direct configs, the
      *                      deputy variable for indirect ones, Sec. 5.3).
-     * @return the clamped next value of the controlled variable.
+     * @return the clamped next value of the controlled variable;
+     *         always finite and within [confMin, confMax].
      */
     double update(double measured_perf, double current_conf);
 
@@ -125,6 +137,13 @@ class Controller
      */
     bool saturated(int streak = 3) const { return saturation_ >= streak; }
 
+    /**
+     * Updates rejected because an input was non-finite (the controller
+     * held its last output instead).  A persistently climbing count
+     * means the sensor is broken, not the plant.
+     */
+    std::uint64_t faults() const { return faults_; }
+
   private:
     void recomputeVirtualGoal();
 
@@ -133,6 +152,7 @@ class Controller
     double virtual_goal_ = 0.0;
     std::optional<double> last_output_;
     int saturation_ = 0;
+    std::uint64_t faults_ = 0;
 };
 
 } // namespace smartconf

@@ -15,21 +15,23 @@ poleFromDelta(double delta)
     return 1.0 - 2.0 / clamped;
 }
 
-double
-deltaFromProfile(const std::vector<RunningStats> &perSetting)
+PoleProjection
+projectFromProfile(const std::vector<RunningStats> &perSetting)
 {
-    // Performance "measured w.r.t minimum performance": shift every
-    // per-setting mean by the smallest per-setting mean, so the ratio
-    // sigma_i / m'_i gauges noise relative to the part of the metric the
-    // configuration actually moved.  The minimum setting itself defines
-    // the floor and is skipped (its shifted mean is zero).
+    PoleProjection out;
+
+    // Delta: performance "measured w.r.t minimum performance" — shift
+    // every per-setting mean by the smallest per-setting mean, so the
+    // ratio sigma_i / m'_i gauges noise relative to the part of the
+    // metric the configuration actually moved.  The minimum setting
+    // itself defines the floor and is skipped (its shifted mean is
+    // zero).
     double floor = std::numeric_limits<double>::infinity();
     for (const auto &s : perSetting) {
         if (s.count() >= 2)
             floor = std::min(floor, s.mean());
     }
-    double acc = 0.0;
-    std::size_t n = 0;
+    double delta_acc = 0.0;
     for (const auto &s : perSetting) {
         if (s.count() < 2)
             continue;
@@ -38,29 +40,43 @@ deltaFromProfile(const std::vector<RunningStats> &perSetting)
             continue; // the floor-defining setting carries no signal
         const double ratio =
             std::min(3.0 * s.stddev() / shifted_mean, kMaxDelta);
-        acc += ratio;
-        ++n;
+        delta_acc += ratio;
+        ++out.delta_groups;
     }
-    if (n == 0)
-        return 1.0;
-    const double delta = 1.0 + acc / static_cast<double>(n);
-    return std::clamp(delta, 1.0, kMaxDelta);
+    if (out.delta_groups > 0) {
+        const double delta =
+            1.0 + delta_acc / static_cast<double>(out.delta_groups);
+        out.delta = std::clamp(delta, 1.0, kMaxDelta);
+    } // else: keep the maximum-distrust default kMaxDelta
+
+    // Lambda: mean per-setting coefficient of variation.
+    double lambda_acc = 0.0;
+    for (const auto &s : perSetting) {
+        if (s.count() < 2)
+            continue;
+        lambda_acc += s.coefficientOfVariation();
+        ++out.lambda_groups;
+    }
+    if (out.lambda_groups > 0) {
+        out.lambda = std::clamp(
+            lambda_acc / static_cast<double>(out.lambda_groups), 0.0,
+            0.9);
+    } // else: keep the conservative default margin
+
+    out.sufficient = out.delta_groups > 0 && out.lambda_groups > 0;
+    return out;
+}
+
+double
+deltaFromProfile(const std::vector<RunningStats> &perSetting)
+{
+    return projectFromProfile(perSetting).delta;
 }
 
 double
 lambdaFromProfile(const std::vector<RunningStats> &perSetting)
 {
-    double acc = 0.0;
-    std::size_t n = 0;
-    for (const auto &s : perSetting) {
-        if (s.count() < 2)
-            continue;
-        acc += s.coefficientOfVariation();
-        ++n;
-    }
-    if (n == 0)
-        return 0.0;
-    return std::clamp(acc / static_cast<double>(n), 0.0, 0.9);
+    return projectFromProfile(perSetting).lambda;
 }
 
 } // namespace smartconf

@@ -34,6 +34,13 @@ namespace smartconf {
 inline constexpr double kMaxDelta = 100.0;
 
 /**
+ * Virtual-goal margin assumed when profiling yields no usable noise
+ * statistics (see PoleProjection::sufficient): a modest 10% safety
+ * margin instead of the old silent lambda = 0 (no margin at all).
+ */
+inline constexpr double kConservativeLambda = 0.1;
+
+/**
  * p = 1 - 2/Delta for Delta > 2, else 0 (paper Sec. 5.1).
  *
  * The result always lies in [0, 1), the stability region of Eq. 2.
@@ -41,10 +48,45 @@ inline constexpr double kMaxDelta = 100.0;
 double poleFromDelta(double delta);
 
 /**
+ * Everything pole synthesis projects from per-setting profiling stats,
+ * plus an explicit verdict on whether the stats could support it.
+ *
+ * A degenerate profile — a single profiled setting, every group with
+ * fewer than two samples, or a flat surface where no setting rises
+ * above the floor — used to *silently* yield delta = 1 (pole 0, the
+ * most aggressive possible controller) and lambda = 0 (no virtual-goal
+ * margin): maximum confidence derived from zero information.  Such
+ * profiles now surface as `sufficient == false`, and the projected
+ * values fall back to maximum distrust instead: delta = kMaxDelta
+ * (pole 0.98, slowest stable controller) and
+ * lambda = kConservativeLambda.
+ */
+struct PoleProjection
+{
+    double delta = kMaxDelta;            ///< in [1, kMaxDelta]
+    double lambda = kConservativeLambda; ///< in [0, 0.9]
+
+    /** Groups with >= 2 samples (feed lambda). */
+    std::size_t lambda_groups = 0;
+
+    /** Groups contributing noise signal above the floor (feed Delta). */
+    std::size_t delta_groups = 0;
+
+    /** False when either projection had no data and fell back. */
+    bool sufficient = false;
+};
+
+/** Project Delta and lambda with an explicit sufficiency verdict. */
+PoleProjection
+projectFromProfile(const std::vector<RunningStats> &perSetting);
+
+/**
  * Project the model-error bound Delta from per-setting profiling stats.
  *
  * @param perSetting one accumulator per profiled configuration setting.
- * @return Delta in [1, kMaxDelta]; 1 when profiling was noise-free.
+ * @return Delta in [1, kMaxDelta]; 1 when profiling was genuinely
+ *         noise-free, kMaxDelta when the profile carried no usable
+ *         noise signal at all (see PoleProjection).
  */
 double deltaFromProfile(const std::vector<RunningStats> &perSetting);
 
@@ -53,7 +95,8 @@ double deltaFromProfile(const std::vector<RunningStats> &perSetting);
  * (paper Sec. 5.2); feeds the automated virtual goal.
  *
  * @return lambda clamped into [0, 0.9] so the virtual goal stays a
- *         meaningful fraction of the real goal.
+ *         meaningful fraction of the real goal; kConservativeLambda
+ *         when no group had enough samples (see PoleProjection).
  */
 double lambdaFromProfile(const std::vector<RunningStats> &perSetting);
 

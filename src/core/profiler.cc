@@ -1,6 +1,7 @@
 #include "core/profiler.h"
 
 #include <algorithm>
+#include <cmath>
 
 #include "core/pole.h"
 
@@ -15,6 +16,11 @@ Profiler::record(double config, double perf)
 void
 Profiler::record(double config, double perf, double group)
 {
+    if (!std::isfinite(config) || !std::isfinite(perf) ||
+        !std::isfinite(group)) {
+        ++rejected_;
+        return;
+    }
     samples_.push_back({config, perf});
     groups_[group].push(perf);
 }
@@ -31,8 +37,10 @@ Profiler::summarize() const
     ProfileSummary out;
     out.settings = groups_.size();
     out.samples = samples_.size();
-    if (samples_.empty())
+    if (samples_.empty()) {
+        out.insufficient = true;
         return out;
+    }
 
     const LinearModel affine = LinearModel::fitAffine(samples_);
     out.alpha = affine.alpha();
@@ -83,9 +91,12 @@ Profiler::summarize() const
         out.monotonic = affine.plausiblyMonotonic();
     }
 
-    out.lambda = lambdaFromProfile(per_setting);
-    out.delta = deltaFromProfile(per_setting);
-    out.pole = poleFromDelta(out.delta);
+    const PoleProjection proj = projectFromProfile(per_setting);
+    out.lambda = proj.lambda;
+    out.delta = proj.delta;
+    out.pole = poleFromDelta(proj.delta);
+    out.noise_settings = proj.lambda_groups;
+    out.insufficient = !proj.sufficient;
     return out;
 }
 
@@ -94,6 +105,7 @@ Profiler::reset()
 {
     samples_.clear();
     groups_.clear();
+    rejected_ = 0;
 }
 
 } // namespace smartconf

@@ -34,6 +34,18 @@ struct ProfileSummary
     std::size_t settings = 0; ///< number of distinct profiled settings
     std::size_t samples = 0;  ///< total number of samples
     bool monotonic = true;    ///< monotonicity sanity check (Sec. 6.6)
+
+    /** Settings with enough samples to feed the noise projection. */
+    std::size_t noise_settings = 0;
+
+    /**
+     * True when the profile could not support pole/lambda synthesis
+     * (single-setting, all-singleton or flat profiles): delta/lambda/
+     * pole then carry the maximum-distrust fallbacks from
+     * PoleProjection instead of confident values, and the runtime
+     * raises an insufficient-profile alert before synthesizing.
+     */
+    bool insufficient = false;
 };
 
 /**
@@ -52,6 +64,11 @@ class Profiler
     /**
      * Record one observation.
      *
+     * Samples with a non-finite config, perf or group are *rejected*
+     * (see rejectedCount()): a single NaN measurement recorded during
+     * profiling used to poison the fitted gain and every parameter
+     * derived from it.
+     *
      * @param config the controlled variable's value (deputy for indirect
      *               configurations).
      * @param perf   the measured performance.
@@ -63,6 +80,9 @@ class Profiler
 
     /** All raw samples in insertion order. */
     const std::vector<ProfilePoint> &samples() const { return samples_; }
+
+    /** Non-finite samples discarded by record() since reset(). */
+    std::size_t rejectedCount() const { return rejected_; }
 
     /** Number of distinct settings observed. */
     std::size_t settingCount() const { return groups_.size(); }
@@ -89,6 +109,7 @@ class Profiler
   private:
     std::vector<ProfilePoint> samples_;
     std::map<double, RunningStats> groups_;
+    std::size_t rejected_ = 0;
 };
 
 } // namespace smartconf

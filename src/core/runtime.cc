@@ -1,5 +1,6 @@
 #include "core/runtime.h"
 
+#include <cmath>
 #include <filesystem>
 #include <stdexcept>
 #include <utility>
@@ -259,9 +260,25 @@ SmartConfRuntime::maybeSynthesize(ConfState &state)
         return;
     }
     const ProfileSummary &s = *state.summary;
-    if (s.alpha == 0.0)
+    if (!std::isfinite(s.alpha) || s.alpha == 0.0)
         throw std::runtime_error("profile for '" + state.entry.name +
-                                 "' has zero gain; cannot synthesize");
+                                 "' has zero or non-finite gain; "
+                                 "cannot synthesize");
+    if (s.insufficient) {
+        // Degenerate profile (single setting, all-singleton groups, or
+        // a flat surface): the projected pole/lambda are maximum-
+        // distrust fallbacks, not measurements.  Synthesize — the
+        // conservative parameters are safe — but tell the operator the
+        // controller is running on guesswork, not a profile.
+        raiseAlert(state,
+                   "profile for '" + state.entry.name +
+                       "' lacks usable per-setting noise statistics "
+                       "(single-setting, all-singleton or flat "
+                       "profile); synthesizing with maximum-distrust "
+                       "pole/margin — re-profile with >= 2 settings "
+                       "and >= 2 samples each");
+        state.alerted = false; // keep run-time alerts armed
+    }
     if (!s.monotonic) {
         // Paper Sec. 6.6: SmartConf requires a monotonic relationship
         // between configuration and performance; warn loudly (but

@@ -1,23 +1,59 @@
 #include "core/sensor.h"
 
 #include <cmath>
+#include <stdexcept>
 
 namespace smartconf {
 
 void
+GaugeSensor::observe(double value)
+{
+    if (!std::isfinite(value)) {
+        ++rejected_;
+        return;
+    }
+    value_ = value;
+    primed_ = true;
+}
+
+EwmaSensor::EwmaSensor(double weight) : weight_(weight)
+{
+    if (!(weight > 0.0) || !(weight <= 1.0))
+        throw std::invalid_argument(
+            "EwmaSensor weight must lie in (0, 1]");
+}
+
+void
 EwmaSensor::observe(double value)
 {
+    if (!std::isfinite(value)) {
+        ++rejected_;
+        return;
+    }
     if (!primed_) {
         value_ = value;
         primed_ = true;
     } else {
+        // weight_ is the NEW-observation weight (see header): the old
+        // average keeps (1 - w), the fresh sample contributes w.
         value_ = (1.0 - weight_) * value_ + weight_ * value;
     }
+}
+
+WindowMaxSensor::WindowMaxSensor(std::size_t window) : window_(window)
+{
+    if (window == 0)
+        throw std::invalid_argument(
+            "WindowMaxSensor window must be >= 1");
 }
 
 void
 WindowMaxSensor::observe(double value)
 {
+    if (!std::isfinite(value)) {
+        ++rejected_;
+        return;
+    }
     buffer_.push_back(value);
     while (buffer_.size() > window_)
         buffer_.pop_front();
@@ -26,15 +62,35 @@ WindowMaxSensor::observe(double value)
 double
 WindowMaxSensor::read() const
 {
-    double best = 0.0;
+    if (buffer_.empty())
+        return noMeasurement();
+    // Seed from the window itself, not from 0.0: an all-negative
+    // metric (e.g. headroom-to-limit) must report its true maximum.
+    double best = buffer_.front();
     for (const double v : buffer_)
         best = std::max(best, v);
     return best;
 }
 
+WindowPercentileSensor::WindowPercentileSensor(double percentile,
+                                               std::size_t window)
+    : percentile_(percentile), window_(window)
+{
+    if (!(percentile > 0.0) || !(percentile <= 100.0))
+        throw std::invalid_argument(
+            "WindowPercentileSensor percentile must lie in (0, 100]");
+    if (window == 0)
+        throw std::invalid_argument(
+            "WindowPercentileSensor window must be >= 1");
+}
+
 void
 WindowPercentileSensor::observe(double value)
 {
+    if (!std::isfinite(value)) {
+        ++rejected_;
+        return;
+    }
     buffer_.push_back(value);
     while (buffer_.size() > window_)
         buffer_.pop_front();
@@ -44,7 +100,7 @@ double
 WindowPercentileSensor::read() const
 {
     if (buffer_.empty())
-        return 0.0;
+        return noMeasurement();
     std::vector<double> sorted(buffer_.begin(), buffer_.end());
     std::sort(sorted.begin(), sorted.end());
     const double rank =

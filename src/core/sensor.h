@@ -13,11 +13,25 @@
  * (request latency, like MapReduce's RpcProcessingAvgTime), sliding-window
  * maxima (worst-case write-block time) and window percentiles (tail
  * latency SLAs).
+ *
+ * Empty-sensor contract: a sensor that has accepted no observation yet
+ * has no measurement, and read() returns quiet NaN — never a sentinel
+ * value that could be mistaken for a real reading (an empty window used
+ * to read 0.0, which a memory controller would interpret as "no memory
+ * used at all" and respond to by opening the throttle).  The Controller
+ * rejects non-finite measurements by holding its last output, so a NaN
+ * read degrades to "no adjustment this tick", not to a wild step.
+ *
+ * Input hygiene: non-finite observations (NaN/Inf from a faulty probe)
+ * are rejected at observe() and counted in rejected(); they never enter
+ * a window or an average where a single NaN would poison every later
+ * read.
  */
 
 #include <algorithm>
 #include <cstddef>
 #include <deque>
+#include <limits>
 #include <vector>
 
 namespace smartconf {
@@ -30,63 +44,123 @@ class Sensor
   public:
     virtual ~Sensor() = default;
 
-    /** Feed one raw observation into the sensor. */
+    /**
+     * Feed one raw observation into the sensor.  Non-finite values are
+     * rejected (see rejected()) and leave the measurement unchanged.
+     */
     virtual void observe(double value) = 0;
 
-    /** Current measurement to hand to SmartConf::setPerf. */
+    /**
+     * Current measurement to hand to SmartConf::setPerf; quiet NaN
+     * while no observation has been accepted yet.
+     */
     virtual double read() const = 0;
 
     /** Forget all state (e.g. at a phase boundary). */
     virtual void reset() = 0;
+
+    /** Non-finite observations discarded since construction/reset(). */
+    virtual std::size_t rejected() const = 0;
+
+  protected:
+    /** The "no measurement" reading. */
+    static double noMeasurement()
+    {
+        return std::numeric_limits<double>::quiet_NaN();
+    }
 };
 
-/** Latest-value sensor: read() returns the last observation. */
+/** Latest-value sensor: read() returns the last accepted observation. */
 class GaugeSensor : public Sensor
 {
   public:
-    void observe(double value) override { value_ = value; }
-    double read() const override { return value_; }
-    void reset() override { value_ = 0.0; }
+    void observe(double value) override;
+    double read() const override
+    {
+        return primed_ ? value_ : noMeasurement();
+    }
+    void reset() override
+    {
+        value_ = 0.0;
+        primed_ = false;
+        rejected_ = 0;
+    }
+    std::size_t rejected() const override { return rejected_; }
 
   private:
     double value_ = 0.0;
+    bool primed_ = false;
+    std::size_t rejected_ = 0;
 };
 
 /**
  * Exponentially weighted moving average.
  *
- * read() = (1 - weight) * previous + weight * observation; the first
- * observation seeds the average directly.
+ * `weight` is the weight of the NEW observation (the EWMA alpha):
+ *
+ *     read() = (1 - weight) * previous + weight * observation
+ *
+ * so a larger weight means a more responsive (less smoothed) average; a
+ * step input decays into the average as (1 - weight)^k.  The first
+ * accepted observation seeds the average directly.
  */
 class EwmaSensor : public Sensor
 {
   public:
-    /** @param weight smoothing factor in (0, 1]. */
-    explicit EwmaSensor(double weight = 0.3) : weight_(weight) {}
+    /**
+     * @param weight new-observation weight in (0, 1]; 1 degenerates to
+     *               a gauge.  @throws std::invalid_argument outside
+     *               that range (0 would freeze the average forever,
+     *               >1 oscillates and diverges).
+     */
+    explicit EwmaSensor(double weight = 0.3);
 
     void observe(double value) override;
-    double read() const override { return value_; }
-    void reset() override { value_ = 0.0; primed_ = false; }
+    double read() const override
+    {
+        return primed_ ? value_ : noMeasurement();
+    }
+    void reset() override
+    {
+        value_ = 0.0;
+        primed_ = false;
+        rejected_ = 0;
+    }
+    std::size_t rejected() const override { return rejected_; }
+
+    /** The new-observation weight this sensor was built with. */
+    double weight() const { return weight_; }
 
   private:
     double weight_;
     double value_ = 0.0;
     bool primed_ = false;
+    std::size_t rejected_ = 0;
 };
 
 /** Maximum over the last @p window observations (worst-case metrics). */
 class WindowMaxSensor : public Sensor
 {
   public:
-    explicit WindowMaxSensor(std::size_t window = 16) : window_(window) {}
+    /** @param window history length >= 1. @throws std::invalid_argument. */
+    explicit WindowMaxSensor(std::size_t window = 16);
 
     void observe(double value) override;
     double read() const override;
-    void reset() override { buffer_.clear(); }
+    void reset() override
+    {
+        buffer_.clear();
+        rejected_ = 0;
+    }
+    std::size_t rejected() const override { return rejected_; }
+
+    /** Accepted observations currently in the window. */
+    std::size_t size() const { return buffer_.size(); }
 
   private:
     std::size_t window_;
     std::deque<double> buffer_;
+    std::size_t rejected_ = 0;
 };
 
 /**
@@ -98,20 +172,30 @@ class WindowMaxSensor : public Sensor
 class WindowPercentileSensor : public Sensor
 {
   public:
-    /** @param percentile in (0, 100]; @param window history length. */
+    /**
+     * @param percentile in (0, 100]; @param window history length >= 1.
+     * @throws std::invalid_argument outside those ranges.
+     */
     WindowPercentileSensor(double percentile = 99.0,
-                           std::size_t window = 128)
-        : percentile_(percentile), window_(window)
-    {}
+                           std::size_t window = 128);
 
     void observe(double value) override;
     double read() const override;
-    void reset() override { buffer_.clear(); }
+    void reset() override
+    {
+        buffer_.clear();
+        rejected_ = 0;
+    }
+    std::size_t rejected() const override { return rejected_; }
+
+    /** Accepted observations currently in the window. */
+    std::size_t size() const { return buffer_.size(); }
 
   private:
     double percentile_;
     std::size_t window_;
     std::deque<double> buffer_;
+    std::size_t rejected_ = 0;
 };
 
 } // namespace smartconf

@@ -241,6 +241,11 @@ parseProfileFile(const std::string &text)
                 static_cast<std::size_t>(parseNumber(value, line_no));
         } else if (key == "monotonic") {
             out.summary.monotonic = parseNumber(value, line_no) != 0.0;
+        } else if (key == "noise_settings") {
+            out.summary.noise_settings =
+                static_cast<std::size_t>(parseNumber(value, line_no));
+        } else if (key == "insufficient") {
+            out.summary.insufficient = parseNumber(value, line_no) != 0.0;
         } else if (key == "sample") {
             std::istringstream pair(value);
             ProfilePoint pt;
@@ -305,6 +310,9 @@ formatProfileFile(const ProfileFile &file)
     out << "settings = " << file.summary.settings << "\n";
     out << "samples = " << file.summary.samples << "\n";
     out << "monotonic = " << (file.summary.monotonic ? 1 : 0) << "\n";
+    out << "noise_settings = " << file.summary.noise_settings << "\n";
+    out << "insufficient = " << (file.summary.insufficient ? 1 : 0)
+        << "\n";
     for (const auto &pt : file.samples)
         out << "sample = " << pt.config << " " << pt.perf << "\n";
     return out.str();

@@ -105,6 +105,10 @@ class Reader
     }
     bool atEnd() const { return pos_ == size_; }
 
+    /** Unconsumed remainder (for whole-payload checksumming). */
+    const char *rest() const { return data_ + pos_; }
+    std::size_t restSize() const { return size_ - pos_; }
+
   private:
     const char *data_;
     std::size_t size_;
@@ -123,9 +127,16 @@ DiskRunCache::DiskRunCache(std::string root)
 std::uint64_t
 DiskRunCache::fnv1a(const std::string &s)
 {
+    return fnv1a(s.data(), s.size());
+}
+
+std::uint64_t
+DiskRunCache::fnv1a(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
     std::uint64_t h = 0xcbf29ce484222325ULL;
-    for (const unsigned char c : s) {
-        h ^= c;
+    for (std::size_t i = 0; i < len; ++i) {
+        h ^= p[i];
         h *= 0x100000001b3ULL;
     }
     return h;
@@ -144,7 +155,14 @@ bool
 DiskRunCache::load(const std::string &key,
                    scenarios::ScenarioResult &out) const
 {
-    std::FILE *f = std::fopen(entryPath(key).c_str(), "rb");
+    const std::string path = entryPath(key);
+    // fopen("rb") on a *directory* succeeds on Linux and then reports a
+    // nonsense size at SEEK_END — a sized read would try to allocate
+    // it.  A blocked entry slot is layout corruption: degrade to miss.
+    std::error_code ec;
+    if (!std::filesystem::is_regular_file(path, ec))
+        return false;
+    std::FILE *f = std::fopen(path.c_str(), "rb");
     if (!f)
         return false;
     // One sized read: entries run to megabytes of series points, and
@@ -176,6 +194,15 @@ DiskRunCache::load(const std::string &key,
     if (!r.str(stored_key) || stored_key != key)
         return false; // fnv collision: treat as a miss
 
+    // Verify the payload checksum before parsing a single field: a bit
+    // flip inside series data is indistinguishable from a real value
+    // once parsed, so the only safe place to catch it is here, where
+    // it degrades to a miss instead of a wrong curve.
+    std::uint64_t stored_sum = 0;
+    if (!r.u64(stored_sum) ||
+        stored_sum != fnv1a(r.rest(), r.restSize()))
+        return false;
+
     scenarios::ScenarioResult res;
     std::uint8_t violated = 0;
     const bool ok =
@@ -184,8 +211,9 @@ DiskRunCache::load(const std::string &key,
         r.f64(res.worst_goal_metric) && r.f64(res.goal_value) &&
         r.f64(res.tradeoff) && r.f64(res.raw_tradeoff) &&
         r.f64(res.mean_conf) && r.u64(res.ops_simulated) &&
-        r.series(res.perf_series) && r.series(res.conf_series) &&
-        r.series(res.tradeoff_series) && r.atEnd();
+        r.u64(res.faults_injected) && r.series(res.perf_series) &&
+        r.series(res.conf_series) && r.series(res.tradeoff_series) &&
+        r.atEnd();
     if (!ok)
         return false;
     res.violated = violated != 0;
@@ -203,24 +231,30 @@ DiskRunCache::store(const std::string &key,
     if (ec)
         return false;
 
+    // Payload first, so its checksum can go into the header.
+    Writer payload;
+    payload.str(result.scenario_id);
+    payload.str(result.policy_label);
+    payload.u8(result.violated ? 1 : 0);
+    payload.f64(result.violation_time_s);
+    payload.f64(result.worst_goal_metric);
+    payload.f64(result.goal_value);
+    payload.f64(result.tradeoff);
+    payload.f64(result.raw_tradeoff);
+    payload.f64(result.mean_conf);
+    payload.u64(result.ops_simulated);
+    payload.u64(result.faults_injected);
+    payload.series(result.perf_series);
+    payload.series(result.conf_series);
+    payload.series(result.tradeoff_series);
+
     Writer w;
     w.raw(kMagic, 4);
     w.u32(kFormatVersion);
     w.u32(kEngineVersion);
     w.str(key);
-    w.str(result.scenario_id);
-    w.str(result.policy_label);
-    w.u8(result.violated ? 1 : 0);
-    w.f64(result.violation_time_s);
-    w.f64(result.worst_goal_metric);
-    w.f64(result.goal_value);
-    w.f64(result.tradeoff);
-    w.f64(result.raw_tradeoff);
-    w.f64(result.mean_conf);
-    w.u64(result.ops_simulated);
-    w.series(result.perf_series);
-    w.series(result.conf_series);
-    w.series(result.tradeoff_series);
+    w.u64(fnv1a(payload.bytes().data(), payload.bytes().size()));
+    w.raw(payload.bytes().data(), payload.bytes().size());
 
     // Atomic publish: write a private temp file, then rename into
     // place.  Readers either see the old entry or the complete new

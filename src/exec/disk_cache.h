@@ -23,7 +23,11 @@
  *
  * Each file additionally stores the full (uncompressed) cache key and
  * is validated against it on load, so an fnv collision degrades to a
- * miss, never to a wrong result.
+ * miss, never to a wrong result.  The header also carries an FNV-1a
+ * checksum of the payload bytes, verified before any field is parsed:
+ * a bit flip anywhere in the payload — including inside series data,
+ * where every double is a "valid" value — degrades to a miss instead
+ * of replaying a silently wrong curve.
  *
  * Writes are atomic (temp file + rename) and best-effort: an unwritable
  * cache directory silently degrades to "no disk cache" rather than
@@ -32,6 +36,7 @@
  * last writer wins with identical bytes.
  */
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 
@@ -43,8 +48,13 @@ namespace smartconf::exec {
 class DiskRunCache
 {
   public:
-    /** Bump when the serialized byte layout changes. */
-    static constexpr std::uint32_t kFormatVersion = 1;
+    /**
+     * Bump when the serialized byte layout changes.
+     *
+     * History: 1 = PR1 layout, 2 = payload checksum in the header +
+     * faults_injected field.
+     */
+    static constexpr std::uint32_t kFormatVersion = 2;
 
     /**
      * Bump when simulation outputs change (new scenario mechanics,
@@ -82,6 +92,9 @@ class DiskRunCache
 
     /** FNV-1a 64-bit hash (exposed for tests). */
     static std::uint64_t fnv1a(const std::string &s);
+
+    /** FNV-1a over raw bytes (the payload checksum). */
+    static std::uint64_t fnv1a(const void *data, std::size_t len);
 
   private:
     std::string entryPath(const std::string &key) const;

@@ -1,0 +1,80 @@
+#include "fault/cache_faults.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <system_error>
+
+namespace smartconf::fault {
+
+namespace fs = std::filesystem;
+
+std::vector<std::string>
+listEntryFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (it->is_regular_file(ec))
+            out.push_back(it->path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+std::int64_t
+fileSize(const std::string &path)
+{
+    std::error_code ec;
+    const auto size = fs::file_size(path, ec);
+    if (ec)
+        return -1;
+    return static_cast<std::int64_t>(size);
+}
+
+bool
+truncateFile(const std::string &path, std::uint64_t keep_bytes)
+{
+    std::error_code ec;
+    fs::resize_file(path, keep_bytes, ec);
+    return !ec;
+}
+
+bool
+flipBit(const std::string &path, std::uint64_t offset, unsigned bit)
+{
+    std::FILE *f = std::fopen(path.c_str(), "r+b");
+    if (!f)
+        return false;
+    bool ok = false;
+    if (std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+        const int c = std::fgetc(f);
+        if (c != EOF &&
+            std::fseek(f, static_cast<long>(offset), SEEK_SET) == 0) {
+            const unsigned char flipped =
+                static_cast<unsigned char>(c) ^
+                static_cast<unsigned char>(1u << (bit & 7u));
+            ok = std::fputc(flipped, f) != EOF;
+        }
+    }
+    ok = (std::fclose(f) == 0) && ok;
+    return ok;
+}
+
+bool
+blockPathWithFile(const std::string &path)
+{
+    std::error_code ec;
+    fs::create_directories(fs::path(path).parent_path(), ec);
+    if (ec)
+        return false;
+    fs::remove_all(path, ec); // replace whatever is there
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        return false;
+    std::fputs("not a directory\n", f);
+    return std::fclose(f) == 0;
+}
+
+} // namespace smartconf::fault

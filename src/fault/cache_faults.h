@@ -1,0 +1,51 @@
+#ifndef SMARTCONF_FAULT_CACHE_FAULTS_H_
+#define SMARTCONF_FAULT_CACHE_FAULTS_H_
+
+/**
+ * @file
+ * On-disk cache corruption helpers.
+ *
+ * DiskRunCache promises that any corruption degrades to a *miss*, never
+ * to a wrong result, and that an unusable cache directory degrades to
+ * cache-off, never to an aborted sweep.  These helpers manufacture the
+ * corruption those promises are tested against: truncation (torn
+ * write / full disk), bit flips (media errors), and directory blocking
+ * (permission and layout failures).
+ *
+ * Deterministic on purpose: flipBit touches an exact (byte, bit), and
+ * listEntryFiles returns sorted paths, so a corruption campaign driven
+ * off a seeded RNG replays identically.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace smartconf::fault {
+
+/** Regular files directly inside @p dir, sorted by path. */
+std::vector<std::string> listEntryFiles(const std::string &dir);
+
+/** Size of @p path in bytes; -1 when unreadable. */
+std::int64_t fileSize(const std::string &path);
+
+/** Truncate @p path to @p keep_bytes. @return success. */
+bool truncateFile(const std::string &path, std::uint64_t keep_bytes);
+
+/**
+ * Flip bit @p bit (0-7) of byte @p offset in @p path.
+ * @return false when the file is unreadable or @p offset out of range.
+ */
+bool flipBit(const std::string &path, std::uint64_t offset, unsigned bit);
+
+/**
+ * Make @p path impossible to use as a directory by creating a regular
+ * file there (parents are created).  create_directories(path) then
+ * fails on every platform and for every uid — unlike chmod tricks,
+ * which root bypasses.  @return success.
+ */
+bool blockPathWithFile(const std::string &path);
+
+} // namespace smartconf::fault
+
+#endif // SMARTCONF_FAULT_CACHE_FAULTS_H_

@@ -1,0 +1,113 @@
+#include "fault/chaos.h"
+
+#include <cmath>
+
+#include "core/controller.h"
+#include "core/goal.h"
+#include "core/sensor.h"
+#include "sim/rng.h"
+
+namespace smartconf::fault {
+
+namespace {
+
+// Stream ids for the private fault RNGs, disjoint from the scenario
+// stream ids (which are small integers).
+constexpr std::uint64_t kSensorStream = 0xFA017'5E50ULL;
+constexpr std::uint64_t kLoopStream = 0xFA017'100FULL;
+
+} // namespace
+
+ChaosHooks::Impl::Impl(const ChaosSpec &spec, std::uint64_t run_seed)
+    : chain(spec, sim::Rng(spec.seed ^ run_seed).fork(kSensorStream)),
+      loop(spec, sim::Rng(spec.seed ^ run_seed).fork(kLoopStream)),
+      delay(spec.actuation_delay, 0.0)
+{}
+
+ChaosHooks::ChaosHooks(const ChaosSpec &spec, std::uint64_t run_seed)
+{
+    if (spec.any())
+        impl_ = std::make_shared<Impl>(spec, run_seed);
+}
+
+ChaosStats
+ChaosHooks::stats() const
+{
+    ChaosStats out;
+    if (impl_ != nullptr) {
+        out.sensor = impl_->chain.stats();
+        out.loop = impl_->loop.stats();
+        out.loop.delayed = impl_->delay.delayedCount();
+    }
+    return out;
+}
+
+ChaosReport
+runChaosEpisode(const ChaosSpec &spec, const ChaosEpisodeOptions &opts,
+                std::uint64_t seed)
+{
+    Goal goal;
+    goal.metric = "chaos_episode_metric";
+    goal.value = opts.goal;
+    goal.direction = GoalDirection::UpperBound;
+    goal.hard = opts.hard;
+
+    ControllerParams params;
+    params.alpha = opts.alpha;
+    params.pole = opts.pole;
+    params.lambda = opts.lambda;
+    params.confMin = opts.conf_min;
+    params.confMax = opts.conf_max;
+
+    Controller controller(params, goal);
+    GaugeSensor gauge;
+
+    ChaosHooks hooks(spec, seed);
+    hooks.seedActuation(opts.conf_start);
+
+    // The plant noise stream is independent of the fault streams: the
+    // same seed runs the same workload whether or not faults fire.
+    sim::Rng plant_rng = sim::Rng(seed).fork(0x1A57ULL);
+
+    ChaosReport report;
+    report.ticks = opts.ticks;
+
+    const double two_pi = 6.283185307179586;
+    double conf = opts.conf_start;
+    bool first = true;
+    for (int t = 0; t < opts.ticks; ++t) {
+        const double wave =
+            opts.disturbance_amp *
+            std::sin(two_pi * static_cast<double>(t) /
+                     static_cast<double>(opts.disturbance_period));
+        const double true_perf = opts.alpha * conf + opts.base + wave +
+                                 plant_rng.gaussian(0.0, opts.noise);
+        if (first || true_perf > report.worst_metric)
+            report.worst_metric = true_perf;
+        first = false;
+        if (goal.violatedBy(true_perf))
+            ++report.violations;
+
+        gauge.observe(true_perf);
+
+        if (!hooks.fire())
+            continue;
+        const double measured = hooks.measure(gauge.read());
+        const double out = controller.update(measured, conf);
+        ++report.updates;
+        if (!std::isfinite(out)) {
+            ++report.nonfinite_outputs;
+            continue; // don't propagate the poison into the plant
+        }
+        if (out < params.confMin || out > params.confMax)
+            ++report.out_of_bounds_outputs;
+        conf = hooks.actuate(out);
+    }
+
+    report.controller_faults = controller.faults();
+    report.final_conf = conf;
+    report.faults = hooks.stats();
+    return report;
+}
+
+} // namespace smartconf::fault

@@ -1,0 +1,176 @@
+#ifndef SMARTCONF_FAULT_CHAOS_H_
+#define SMARTCONF_FAULT_CHAOS_H_
+
+/**
+ * @file
+ * Chaos orchestration: one handle bundling every injector, plus a
+ * synthetic closed-loop episode harness.
+ *
+ * ChaosHooks is what a scenario's control loop actually touches.  It
+ * has exactly three verbs, matching the three places any SmartConf
+ * control site can fail:
+ *
+ *     if (!hooks.fire()) return;              // loop faults
+ *     double m = hooks.measure(sensor.read()); // sensor faults
+ *     plant.apply(hooks.actuate(sc->getConf())); // actuation faults
+ *
+ * A default-constructed (inactive) hooks object is three inline null
+ * checks — no RNG draws, no allocation, no behavior change — which is
+ * what keeps the fault plane at zero overhead when disabled (the
+ * bench_sweep regression gate enforces this).  An active hooks object
+ * is a shared_ptr to the injector bundle, so copies observe one fault
+ * train.
+ *
+ * runChaosEpisode() closes the loop around a linear plant entirely
+ * inside the fault plane: it is the fixture for the randomized
+ * invariant tests ("controller output is always finite and in-clamp
+ * under any fault train") and for bench_chaos, without dragging a full
+ * scenario into either.
+ */
+
+#include <cstdint>
+#include <memory>
+
+#include "fault/loop_fault.h"
+#include "fault/sensor_fault.h"
+#include "fault/spec.h"
+
+namespace smartconf::fault {
+
+/** Aggregated injector counters for one run. */
+struct ChaosStats
+{
+    SensorFaultStats sensor;
+    LoopFaultStats loop;
+
+    /** Total faults of any kind injected. */
+    std::uint64_t injected() const
+    {
+        return sensor.injected() + loop.skips + loop.jitter_stalls +
+               loop.delayed;
+    }
+};
+
+/** The injector bundle a control site threads its loop through. */
+class ChaosHooks
+{
+  public:
+    /** Inactive hooks: fire() always true, measure/actuate identity. */
+    ChaosHooks() = default;
+
+    /**
+     * Active hooks for one run.  The fault streams are forked off
+     * (spec.seed ^ run_seed), so the same spec replayed on the same
+     * run seed injects identically, while distinct runs of a sweep get
+     * distinct fault trains.
+     */
+    ChaosHooks(const ChaosSpec &spec, std::uint64_t run_seed);
+
+    bool active() const { return impl_ != nullptr; }
+
+    /** Gate one control invocation (loop skips + period jitter). */
+    bool fire() const
+    {
+        return impl_ == nullptr || impl_->loop.fire();
+    }
+
+    /** Corrupt one sensor reading. */
+    double measure(double raw) const
+    {
+        return impl_ == nullptr ? raw : impl_->chain.apply(raw);
+    }
+
+    /** Delay one actuation. */
+    double actuate(double setting) const
+    {
+        return impl_ == nullptr ? setting : impl_->delay.push(setting);
+    }
+
+    /**
+     * Seed the actuation pipe with the plant's current setting; call
+     * once before the run so a filling pipe holds the setting steady
+     * instead of slamming it to zero.
+     */
+    void seedActuation(double current_setting) const
+    {
+        if (impl_ != nullptr)
+            impl_->delay.reset(current_setting);
+    }
+
+    /** Counters accumulated so far (zeroes when inactive). */
+    ChaosStats stats() const;
+
+  private:
+    struct Impl
+    {
+        Impl(const ChaosSpec &spec, std::uint64_t run_seed);
+
+        SensorFaultChain chain;
+        LoopFault loop;
+        ActuationDelay delay;
+    };
+
+    // Shared and mutated through const accessors: the hooks ride inside
+    // const scenario plumbing, and like an Rng the fault train is state
+    // the caller expects to advance.
+    std::shared_ptr<Impl> impl_;
+};
+
+/** Parameters of the synthetic closed-loop chaos episode. */
+struct ChaosEpisodeOptions
+{
+    double alpha = 2.0;  ///< plant gain (perf per unit of conf)
+    double base = 40.0;  ///< plant intercept
+    double noise = 4.0;  ///< gaussian sensor noise stddev
+    double disturbance_amp = 25.0; ///< sinusoidal load swing
+    int disturbance_period = 250;  ///< ticks per swing
+
+    double goal = 500.0; ///< upper-bound goal on the plant output
+    bool hard = true;
+
+    double conf_min = 0.0;
+    double conf_max = 400.0;
+    double conf_start = 100.0;
+
+    double pole = 0.5;
+    double lambda = 0.05;
+
+    int ticks = 2000;
+};
+
+/** What a chaos episode observed (invariant counters first). */
+struct ChaosReport
+{
+    int ticks = 0;
+    std::uint64_t updates = 0; ///< control invocations that fired
+
+    /** Invariant: must be 0 — controller never emits non-finite. */
+    std::uint64_t nonfinite_outputs = 0;
+
+    /** Invariant: must be 0 — controller never escapes its clamps. */
+    std::uint64_t out_of_bounds_outputs = 0;
+
+    /** Updates the controller rejected (held output on bad input). */
+    std::uint64_t controller_faults = 0;
+
+    /** Ticks where the true plant output exceeded the goal. */
+    std::uint64_t violations = 0;
+
+    double worst_metric = 0.0;
+    double final_conf = 0.0;
+
+    ChaosStats faults;
+};
+
+/**
+ * Run a seeded closed-loop episode of the SmartConf controller against
+ * a noisy linear plant with the given faults injected.  Pure function
+ * of (spec, opts, seed).
+ */
+ChaosReport runChaosEpisode(const ChaosSpec &spec,
+                            const ChaosEpisodeOptions &opts,
+                            std::uint64_t seed);
+
+} // namespace smartconf::fault
+
+#endif // SMARTCONF_FAULT_CHAOS_H_

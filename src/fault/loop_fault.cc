@@ -1,0 +1,68 @@
+#include "fault/loop_fault.h"
+
+#include <utility>
+
+namespace smartconf::fault {
+
+LoopFault::LoopFault(const ChaosSpec &spec, sim::Rng rng)
+    : spec_(spec), rng_(std::move(rng))
+{}
+
+bool
+LoopFault::fire()
+{
+    ++stats_.invocations;
+    const bool skip_hit = rng_.chance(spec_.skip_prob);
+    // jitter j stretches the expected period by (1+j): suppressing each
+    // firing with probability j/(1+j) makes the count of suppressed
+    // firings per allowed one geometric with mean j.
+    const double stall_p =
+        spec_.period_jitter > 0.0
+            ? spec_.period_jitter / (1.0 + spec_.period_jitter)
+            : 0.0;
+    const bool stall_hit = rng_.chance(stall_p);
+    if (skip_hit) {
+        ++stats_.skips;
+        return false;
+    }
+    if (stall_hit) {
+        ++stats_.jitter_stalls;
+        return false;
+    }
+    ++stats_.fired;
+    return true;
+}
+
+void
+LoopFault::reset()
+{
+    stats_ = LoopFaultStats{};
+}
+
+ActuationDelay::ActuationDelay(std::uint32_t delay, double seed_value)
+    : delay_(delay), seed_value_(seed_value)
+{}
+
+double
+ActuationDelay::push(double setting)
+{
+    if (delay_ == 0)
+        return setting;
+    pipe_.push_back(setting);
+    ++delayed_;
+    if (pipe_.size() <= delay_)
+        return seed_value_; // pipe still filling
+    const double out = pipe_.front();
+    pipe_.pop_front();
+    return out;
+}
+
+void
+ActuationDelay::reset(double seed_value)
+{
+    seed_value_ = seed_value;
+    pipe_.clear();
+    delayed_ = 0;
+}
+
+} // namespace smartconf::fault

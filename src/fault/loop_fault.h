@@ -1,0 +1,92 @@
+#ifndef SMARTCONF_FAULT_LOOP_FAULT_H_
+#define SMARTCONF_FAULT_LOOP_FAULT_H_
+
+/**
+ * @file
+ * Control-loop fault injectors.
+ *
+ * LoopFault decides, per control invocation, whether the invocation
+ * actually runs: plain skips (a wedged timer thread missing a firing)
+ * and period jitter (GC pauses stretching the effective period).  Both
+ * are stretch-only — the injector wraps the scenario's existing loop
+ * and can suppress invocations but never insert extra ones.
+ *
+ * ActuationDelay models the gap between the controller emitting a new
+ * setting and the plant honoring it (config propagation, rolling
+ * restarts): a ring of pending settings, popped one per invocation.
+ */
+
+#include <cstdint>
+#include <deque>
+
+#include "fault/spec.h"
+#include "sim/rng.h"
+
+namespace smartconf::fault {
+
+/** Counters for one loop injector. */
+struct LoopFaultStats
+{
+    std::uint64_t invocations = 0; ///< times fire() was consulted
+    std::uint64_t fired = 0;       ///< invocations allowed through
+    std::uint64_t skips = 0;       ///< suppressed by skip_prob
+    std::uint64_t jitter_stalls = 0; ///< suppressed by period_jitter
+    std::uint64_t delayed = 0;     ///< settings served late
+};
+
+/** Per-invocation gate implementing skips and period jitter. */
+class LoopFault
+{
+  public:
+    LoopFault(const ChaosSpec &spec, sim::Rng rng);
+
+    /**
+     * True when this control invocation should run.  Draws one variate
+     * per configured fault kind per call, so trains are stable under
+     * probability tweaks (same discipline as SensorFaultChain).
+     */
+    bool fire();
+
+    const LoopFaultStats &stats() const { return stats_; }
+
+    void reset();
+
+  private:
+    ChaosSpec spec_;
+    sim::Rng rng_;
+    LoopFaultStats stats_;
+};
+
+/**
+ * Delays actuation by a fixed number of control invocations.
+ *
+ * push(setting) enqueues the controller's fresh output and returns the
+ * setting the plant should honor *now*: the one emitted `delay`
+ * invocations ago, or the seed value while the pipe is still filling.
+ */
+class ActuationDelay
+{
+  public:
+    /**
+     * @param delay invocations between emit and effect (0 = identity).
+     * @param seed_value served while the pipe fills (the plant's
+     *        current setting at chaos start).
+     */
+    ActuationDelay(std::uint32_t delay, double seed_value);
+
+    double push(double setting);
+
+    std::uint64_t delayedCount() const { return delayed_; }
+
+    void reset(double seed_value);
+
+  private:
+    std::uint32_t delay_;
+    double seed_value_;
+    std::deque<double> pipe_;
+    std::uint64_t delayed_ = 0;
+};
+
+} // namespace smartconf::fault
+
+#endif // SMARTCONF_FAULT_LOOP_FAULT_H_

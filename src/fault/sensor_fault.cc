@@ -1,0 +1,87 @@
+#include "fault/sensor_fault.h"
+
+#include <cmath>
+#include <limits>
+#include <utility>
+
+namespace smartconf::fault {
+
+namespace {
+
+double
+quietNan()
+{
+    return std::numeric_limits<double>::quiet_NaN();
+}
+
+} // namespace
+
+SensorFaultChain::SensorFaultChain(const ChaosSpec &spec, sim::Rng rng)
+    : spec_(spec), rng_(std::move(rng))
+{}
+
+double
+SensorFaultChain::apply(double value)
+{
+    ++stats_.readings;
+
+    // One Bernoulli per fault kind per reading, drawn unconditionally:
+    // the fault train for kind K then depends only on (spec, seed,
+    // reading index), never on which *other* faults happened to fire —
+    // so tweaking one probability does not scramble the others' trains.
+    const bool stale_hit = rng_.chance(spec_.stale_prob);
+    const bool nan_hit = rng_.chance(spec_.nan_prob);
+    const bool inf_hit = rng_.chance(spec_.inf_prob);
+    const bool drop_hit = rng_.chance(spec_.dropout_prob);
+    const bool spike_hit = rng_.chance(spec_.spike_prob);
+
+    double out;
+    if (stale_left_ > 0) {
+        // Frozen sensor: keep re-delivering the value captured when
+        // the window began, however far the honest stream has moved.
+        --stale_left_;
+        ++stats_.stale_reads;
+        out = frozen_;
+    } else if (stale_hit && spec_.stale_len > 0) {
+        // The trigger reading itself is the first stale one; freeze at
+        // the last honest value (or this one if it is the first).
+        stale_left_ = spec_.stale_len - 1;
+        frozen_ = have_held_ ? held_ : value;
+        ++stats_.stale_reads;
+        out = frozen_;
+    } else if (nan_hit) {
+        ++stats_.nans;
+        out = quietNan();
+    } else if (inf_hit) {
+        ++stats_.infs;
+        out = std::numeric_limits<double>::infinity();
+    } else if (drop_hit) {
+        // A dropped reading re-delivers the previous one (a stuck
+        // metrics pipeline), or NaN when nothing was ever delivered.
+        ++stats_.dropouts;
+        out = have_held_ ? held_ : quietNan();
+    } else if (spike_hit) {
+        ++stats_.spikes;
+        out = value * spec_.spike_factor;
+    } else {
+        out = value;
+    }
+
+    if (std::isfinite(value)) {
+        held_ = value;
+        have_held_ = true;
+    }
+    return out;
+}
+
+void
+SensorFaultChain::reset()
+{
+    stats_ = SensorFaultStats{};
+    held_ = 0.0;
+    have_held_ = false;
+    stale_left_ = 0;
+    frozen_ = 0.0;
+}
+
+} // namespace smartconf::fault

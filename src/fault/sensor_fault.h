@@ -1,0 +1,118 @@
+#ifndef SMARTCONF_FAULT_SENSOR_FAULT_H_
+#define SMARTCONF_FAULT_SENSOR_FAULT_H_
+
+/**
+ * @file
+ * Sensor-plane fault injectors.
+ *
+ * SensorFaultChain corrupts a stream of readings according to a
+ * ChaosSpec: NaN/Inf replacement, dropouts (hold last value), stale
+ * windows (freeze for N readings) and multiplicative spikes.  Faults
+ * draw from a private forked RNG stream, so two chains built from the
+ * same (spec, seed) corrupt identically — chaos runs stay
+ * byte-reproducible.
+ *
+ * FaultySensor wraps any Sensor with a chain, corrupting at the read()
+ * boundary: the wrapped sensor keeps accumulating honest state while
+ * the consumer sees the faulty measurements, exactly like a flaky probe
+ * in front of a healthy metric.
+ */
+
+#include <cstdint>
+
+#include "core/sensor.h"
+#include "fault/spec.h"
+#include "sim/rng.h"
+
+namespace smartconf::fault {
+
+/** Per-fault-kind counters for one chain. */
+struct SensorFaultStats
+{
+    std::uint64_t readings = 0; ///< values pushed through apply()
+    std::uint64_t nans = 0;
+    std::uint64_t infs = 0;
+    std::uint64_t dropouts = 0;
+    std::uint64_t stale_reads = 0;
+    std::uint64_t spikes = 0;
+
+    std::uint64_t injected() const
+    {
+        return nans + infs + dropouts + stale_reads + spikes;
+    }
+};
+
+/** Stateful corrupter of a reading stream. */
+class SensorFaultChain
+{
+  public:
+    /**
+     * @param spec fault rates; @param rng private stream (fork one per
+     * chain — the chain draws one variate per potential fault kind per
+     * reading, and sharing a stream would entangle fault trains).
+     */
+    SensorFaultChain(const ChaosSpec &spec, sim::Rng rng);
+
+    /**
+     * Push one honest reading through the chain; returns the possibly
+     * corrupted reading.  Fault precedence (first match wins): stale
+     * window in force > new stale window > NaN > Inf > dropout > spike.
+     */
+    double apply(double value);
+
+    const SensorFaultStats &stats() const { return stats_; }
+
+    void reset();
+
+  private:
+    ChaosSpec spec_;
+    sim::Rng rng_;
+    SensorFaultStats stats_;
+    double held_ = 0.0;   ///< last honest value seen (dropout source)
+    bool have_held_ = false;
+    double frozen_ = 0.0; ///< value re-delivered during a stale window
+    std::uint32_t stale_left_ = 0;
+};
+
+/**
+ * Sensor decorator: reads from @p inner through a fault chain.
+ *
+ * observe() passes through untouched; read() is corrupted.  The inner
+ * sensor is borrowed, not owned — the scenario keeps its real sensor
+ * and can compare honest vs faulty readings.
+ */
+class FaultySensor : public Sensor
+{
+  public:
+    FaultySensor(Sensor &inner, const ChaosSpec &spec, sim::Rng rng)
+        : inner_(inner), chain_(spec, std::move(rng))
+    {}
+
+    void observe(double value) override { inner_.observe(value); }
+
+    double read() const override
+    {
+        // The chain is stateful (stale windows, held values): read()
+        // is logically const for consumers but advances the fault
+        // train, like any PRNG-backed source.
+        return chain_.apply(inner_.read());
+    }
+
+    void reset() override
+    {
+        inner_.reset();
+        chain_.reset();
+    }
+
+    std::size_t rejected() const override { return inner_.rejected(); }
+
+    const SensorFaultStats &stats() const { return chain_.stats(); }
+
+  private:
+    Sensor &inner_;
+    mutable SensorFaultChain chain_;
+};
+
+} // namespace smartconf::fault
+
+#endif // SMARTCONF_FAULT_SENSOR_FAULT_H_

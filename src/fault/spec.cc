@@ -1,0 +1,137 @@
+#include "fault/spec.h"
+
+#include <cstdio>
+
+namespace smartconf::fault {
+
+namespace {
+
+/** Round-trip-exact double encoding (mirrors Policy::cacheKey). */
+std::string
+exactDouble(double v)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+bool
+ChaosSpec::any() const
+{
+    return nan_prob > 0.0 || inf_prob > 0.0 || dropout_prob > 0.0 ||
+           stale_prob > 0.0 || spike_prob > 0.0 || skip_prob > 0.0 ||
+           period_jitter > 0.0 || actuation_delay > 0;
+}
+
+std::string
+ChaosSpec::cacheKey() const
+{
+    std::string key = "chaos:s=" + std::to_string(seed);
+    key += ":nan=" + exactDouble(nan_prob);
+    key += ":inf=" + exactDouble(inf_prob);
+    key += ":drop=" + exactDouble(dropout_prob);
+    key += ":stale=" + exactDouble(stale_prob) + "x" +
+           std::to_string(stale_len);
+    key += ":spike=" + exactDouble(spike_prob) + "x" +
+           exactDouble(spike_factor);
+    key += ":skip=" + exactDouble(skip_prob);
+    key += ":jitter=" + exactDouble(period_jitter);
+    key += ":delay=" + std::to_string(actuation_delay);
+    return key;
+}
+
+ChaosSpec
+ChaosSpec::nanSensor(double p, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.nan_prob = p;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::infSensor(double p, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.inf_prob = p;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::dropout(double p, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.dropout_prob = p;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::staleSensor(double p, std::uint32_t len, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.stale_prob = p;
+    s.stale_len = len;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::spikes(double p, double factor, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.spike_prob = p;
+    s.spike_factor = factor;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::skips(double p, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.skip_prob = p;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::jitter(double j, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.period_jitter = j;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::delayedActuation(std::uint32_t delay, std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.actuation_delay = delay;
+    return s;
+}
+
+ChaosSpec
+ChaosSpec::kitchenSink(std::uint64_t seed)
+{
+    ChaosSpec s;
+    s.seed = seed;
+    s.nan_prob = 0.05;
+    s.inf_prob = 0.02;
+    s.dropout_prob = 0.05;
+    s.stale_prob = 0.01;
+    s.stale_len = 6;
+    s.spike_prob = 0.03;
+    s.spike_factor = 8.0;
+    s.skip_prob = 0.05;
+    s.period_jitter = 0.25;
+    s.actuation_delay = 2;
+    return s;
+}
+
+} // namespace smartconf::fault

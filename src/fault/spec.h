@@ -1,0 +1,87 @@
+#ifndef SMARTCONF_FAULT_SPEC_H_
+#define SMARTCONF_FAULT_SPEC_H_
+
+/**
+ * @file
+ * Declarative description of a fault-injection campaign.
+ *
+ * A ChaosSpec is pure data: which faults to inject, at what rates, and
+ * under which seed.  The injectors in this directory interpret it; the
+ * exec layer caches on it (via cacheKey()); the bench and test harnesses
+ * sweep over grids of it.  Keeping the spec separate from the machinery
+ * means a chaos run is a pure function of (scenario, policy, spec, seed)
+ * — byte-reproducible and therefore cacheable and bisectable like any
+ * other run.
+ *
+ * All probabilities are per-opportunity Bernoulli rates in [0, 1]:
+ * nan/inf/dropout/stale/spike fire per sensor reading, skip fires per
+ * control invocation.  Faults draw from a private xoshiro stream forked
+ * off (spec.seed, run seed), so enabling chaos never perturbs the
+ * workload RNG streams — the same workload runs under the faults.
+ */
+
+#include <cstdint>
+#include <string>
+
+namespace smartconf::fault {
+
+/** Which faults to inject, at what rates, under which seed. */
+struct ChaosSpec
+{
+    /** Mixed into the run seed; distinct seeds -> distinct fault trains. */
+    std::uint64_t seed = 0;
+
+    // --- Sensor-plane faults (per reading) -------------------------------
+    double nan_prob = 0.0;     ///< reading replaced by quiet NaN
+    double inf_prob = 0.0;     ///< reading replaced by +infinity
+    double dropout_prob = 0.0; ///< reading dropped (last value held)
+    double stale_prob = 0.0;   ///< sensor freezes for stale_len readings
+    std::uint32_t stale_len = 8;
+    double spike_prob = 0.0;   ///< reading multiplied by spike_factor
+    double spike_factor = 10.0;
+
+    // --- Control-loop faults (per invocation) ----------------------------
+    /** Probability a whole control invocation is skipped. */
+    double skip_prob = 0.0;
+
+    /**
+     * Period jitter: each invocation is additionally skipped with
+     * probability jitter/(1+jitter), stretching the effective control
+     * period by (1+jitter) in expectation.  Stretch-only by design: the
+     * injectors wrap existing scenario loops and cannot invoke the
+     * controller earlier than the loop does.
+     */
+    double period_jitter = 0.0;
+
+    /** Actuation delay in control invocations (0 = immediate). */
+    std::uint32_t actuation_delay = 0;
+
+    /** True when any fault can fire (inactive specs cost nothing). */
+    bool any() const;
+
+    /**
+     * Stable string encoding of every field (exact doubles), suitable
+     * for appending to a run cache key.  Equal keys iff equal specs.
+     */
+    std::string cacheKey() const;
+
+    // Presets for the common single-fault campaigns -----------------------
+    static ChaosSpec nanSensor(double p, std::uint64_t seed = 0);
+    static ChaosSpec infSensor(double p, std::uint64_t seed = 0);
+    static ChaosSpec dropout(double p, std::uint64_t seed = 0);
+    static ChaosSpec staleSensor(double p, std::uint32_t len,
+                                 std::uint64_t seed = 0);
+    static ChaosSpec spikes(double p, double factor,
+                            std::uint64_t seed = 0);
+    static ChaosSpec skips(double p, std::uint64_t seed = 0);
+    static ChaosSpec jitter(double j, std::uint64_t seed = 0);
+    static ChaosSpec delayedActuation(std::uint32_t delay,
+                                      std::uint64_t seed = 0);
+
+    /** Everything at once, at moderate rates: the soak preset. */
+    static ChaosSpec kitchenSink(std::uint64_t seed = 0);
+};
+
+} // namespace smartconf::fault
+
+#endif // SMARTCONF_FAULT_SPEC_H_

@@ -242,11 +242,18 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
         mem = heap.usedMb();
     }));
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(initial_cap);
+
     if (sc) {
         loops.push_back(events.schedulePeriodicAt(
             0, opts_.control_period, [&] {
-                sc->setPerf(mem, memtable.occupancyMb());
-                memtable.setCapMb(std::max(8.0, sc->getConfReal()));
+                if (!chaos.fire())
+                    return;
+                sc->setPerf(chaos.measure(mem),
+                            memtable.occupancyMb());
+                memtable.setCapMb(std::max(
+                    8.0, chaos.actuate(sc->getConfReal())));
             }));
     }
 
@@ -286,6 +293,7 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
     result.ops_simulated = gen.generated();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

@@ -69,4 +69,12 @@ makeProfilingRuntime(const ControlSpec &spec)
     return rt;
 }
 
+fault::ChaosHooks
+chaosHooksFor(const Policy &policy, std::uint64_t run_seed)
+{
+    if (!policy.hasChaos())
+        return fault::ChaosHooks();
+    return fault::ChaosHooks(*policy.chaos, run_seed);
+}
+
 } // namespace smartconf::scenarios

@@ -12,10 +12,12 @@
  * recipe so the six scenario drivers stay small.
  */
 
+#include <cstdint>
 #include <memory>
 #include <optional>
 
 #include "core/runtime.h"
+#include "fault/chaos.h"
 #include "scenarios/scenario.h"
 
 namespace smartconf::scenarios {
@@ -55,6 +57,18 @@ std::unique_ptr<SmartConfRuntime> makeControlRuntime(
  */
 std::unique_ptr<SmartConfRuntime> makeProfilingRuntime(
     const ControlSpec &spec);
+
+/**
+ * Injector bundle for one evaluation run: active when the policy
+ * carries a chaos campaign, otherwise the inactive (identity) hooks.
+ * Every scenario control site threads its loop through the result:
+ *
+ *     if (!hooks.fire()) return;
+ *     sc->setPerf(hooks.measure(reading), deputy);
+ *     plant.apply(hooks.actuate(sc->getConf()));
+ */
+fault::ChaosHooks chaosHooksFor(const Policy &policy,
+                                std::uint64_t run_seed);
 
 } // namespace smartconf::scenarios
 

@@ -159,6 +159,9 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
     kvstore::Memstore memstore(initial_amount, memstoreParams(opts_));
     workload::YcsbGenerator gen(ycsbParams(opts_), rng.fork(2));
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(initial_amount);
+
     std::uint64_t accepted = 0;
     bool goal_changed = false;
     double conf_sum = 0.0;
@@ -189,10 +192,12 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
                 sc->setGoal(active_goal);
                 // Re-evaluate immediately so the flush that starts next
                 // already honours the tightened constraint.
-                if (worst_block > 0.0 && !memstore.blocked()) {
-                    sc->setPerf(memstore.lastBlockTicks());
-                    memstore.setFlushAmountMb(
-                        std::max(4.0, sc->getConfReal()));
+                if (worst_block > 0.0 && !memstore.blocked() &&
+                    chaos.fire()) {
+                    sc->setPerf(
+                        chaos.measure(memstore.lastBlockTicks()));
+                    memstore.setFlushAmountMb(std::max(
+                        4.0, chaos.actuate(sc->getConfReal())));
                 }
             }
         }
@@ -209,10 +214,10 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
                 violation_tick = static_cast<double>(t);
             }
             result.perf_series.record(t, block);
-            if (sc) {
-                sc->setPerf(block);
-                memstore.setFlushAmountMb(
-                    std::max(4.0, sc->getConfReal()));
+            if (sc && chaos.fire()) {
+                sc->setPerf(chaos.measure(block));
+                memstore.setFlushAmountMb(std::max(
+                    4.0, chaos.actuate(sc->getConfReal())));
             }
         }
         if (!memstore.blocked())
@@ -255,6 +260,7 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
     result.ops_simulated = gen.generated();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

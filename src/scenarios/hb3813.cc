@@ -242,12 +242,19 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
         mem = server.heap().usedMb();
     }));
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(static_cast<double>(initial_queue));
+
     if (sc) {
         loops.push_back(events.schedulePeriodicAt(
             0, opts_.control_period, [&] {
-                sc->setPerf(mem, static_cast<double>(
-                                     server.requestQueue().size()));
-                const int next = sc->getConf();
+                if (!chaos.fire())
+                    return;
+                sc->setPerf(chaos.measure(mem),
+                            static_cast<double>(
+                                server.requestQueue().size()));
+                const int next = static_cast<int>(chaos.actuate(
+                    static_cast<double>(sc->getConf())));
                 server.requestQueue().setMaxItems(
                     static_cast<std::size_t>(std::max(0, next)));
             }));
@@ -286,6 +293,7 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
     result.ops_simulated = gen.generated();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

@@ -240,12 +240,18 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
         mem = server.heap().usedMb();
     }));
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(initial_resp);
+
     if (sc) {
         loops.push_back(events.schedulePeriodicAt(
             0, opts_.control_period, [&] {
-                sc->setPerf(mem, server.responseQueue().bytesMb());
-                server.responseQueue().setMaxMb(
-                    std::max(1.0, sc->getConfReal()));
+                if (!chaos.fire())
+                    return;
+                sc->setPerf(chaos.measure(mem),
+                            server.responseQueue().bytesMb());
+                server.responseQueue().setMaxMb(std::max(
+                    1.0, chaos.actuate(sc->getConfReal())));
             }));
     }
 
@@ -281,6 +287,7 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
     result.ops_simulated = gen.generated();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

@@ -188,6 +188,9 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
                      static_cast<std::uint64_t>(initial_limit));
     workload::DfsioGenerator gen(dfsioParams(opts_, true), rng.fork(2));
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(initial_limit);
+
     double active_goal = opts_.phase1_goal_ticks;
     bool goal_changed = false;
     bool violated = false;
@@ -216,10 +219,11 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
                 sc->setGoal(active_goal);
                 // Re-evaluate immediately so the next du chunk already
                 // honours the tightened constraint.
-                if (last_wait > 0.0) {
-                    sc->setPerf(last_wait, last_hold);
+                if (last_wait > 0.0 && chaos.fire()) {
+                    sc->setPerf(chaos.measure(last_wait), last_hold);
                     nn.setSummaryLimit(static_cast<std::uint64_t>(
-                        std::max(20000.0, sc->getConfReal())));
+                        std::max(20000.0,
+                                 chaos.actuate(sc->getConfReal()))));
                 }
             }
         }
@@ -249,10 +253,11 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
                 }
                 last_wait = wait;
                 last_hold = prev_hold;
-                if (sc) {
-                    sc->setPerf(wait, prev_hold);
+                if (sc && chaos.fire()) {
+                    sc->setPerf(chaos.measure(wait), prev_hold);
                     nn.setSummaryLimit(static_cast<std::uint64_t>(
-                        std::max(20000.0, sc->getConfReal())));
+                        std::max(20000.0,
+                                 chaos.actuate(sc->getConfReal()))));
                 }
             }
             prev_hold = nn.lastHoldTicks();
@@ -294,6 +299,7 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
         conf_samples > 0 ? conf_sum / static_cast<double>(conf_samples)
                          : 0.0;
     result.ops_simulated = gen.generated();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

@@ -174,10 +174,17 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
     sim::Tick finished_at = opts_.max_ticks;
     std::uint64_t tasks_done_before = 0;
 
+    const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
+    chaos.seedActuation(initial);
+
     // One control invocation: sense (peak-hold + next-wave prediction)
     // and push the adjusted gate to the master.
     auto invoke_control = [&](bool force_pending_wave) {
+        // The probe runs even when the invocation is suppressed: a
+        // skipped controller does not stop the sensor accumulating.
         peak_sensor.observe(cluster.projectedDiskUsedMb());
+        if (!chaos.fire())
+            return;
         const workload::WordCountJob &job =
             phase == 0 ? opts_.phase1_job : opts_.phase2_job;
         // Admission is one task per worker heartbeat, so the next
@@ -192,10 +199,12 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
             cluster.pendingTasks() > 0 || force_pending_wave
                 ? cluster.projectedDiskUsedMb() + 1.2 * wave_mb
                 : 0.0;
-        sc->setPerf(std::max(peak_sensor.read(), predicted));
+        sc->setPerf(
+            chaos.measure(std::max(peak_sensor.read(), predicted)));
         // Master computes the new value; MrCluster models the
         // master->slave propagation delay internally.
-        cluster.setMinSpaceStart(std::max(0.0, sc->getConfReal()));
+        cluster.setMinSpaceStart(
+            std::max(0.0, chaos.actuate(sc->getConfReal())));
     };
 
     // Event-engine driver: cluster stepping, the control loop, and
@@ -274,6 +283,7 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated =
         tasks_done_before + cluster.completedTasks();
+    result.faults_injected = chaos.stats().injected();
     return result;
 }
 

@@ -48,8 +48,20 @@ Policy::cacheKey() const
         key += ":v=" + exactDouble(value);
     if (pole_override)
         key += ":pole=" + exactDouble(*pole_override);
+    // Appended only when a campaign is active, so every pre-existing
+    // chaos-free key (and its disk-cache entry) is untouched.
+    if (hasChaos())
+        key += ":" + chaos->cacheKey();
     key += ":label=" + label;
     return key;
+}
+
+Policy
+Policy::withChaos(const fault::ChaosSpec &spec) const
+{
+    Policy p = *this;
+    p.chaos = std::make_shared<const fault::ChaosSpec>(spec);
+    return p;
 }
 
 Policy

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "core/profiler.h"
+#include "fault/spec.h"
 #include "sim/metrics.h"
 
 namespace smartconf::scenarios {
@@ -43,12 +44,25 @@ struct Policy
     /** Force the regular pole (Fig. 7 uses 0.9 for both controllers). */
     std::optional<double> pole_override;
 
+    /**
+     * Optional fault-injection campaign for the evaluation run.  Null
+     * (the default) means no chaos machinery is instantiated at all —
+     * the scenario's control sites see inactive hooks, which are
+     * inline null checks.  Shared and immutable so Policy stays
+     * cheaply copyable across the sweep/exec layers.
+     */
+    std::shared_ptr<const fault::ChaosSpec> chaos;
+
     static Policy makeStatic(double v, std::string label = "");
     static Policy smart();
     static Policy singlePole(double pole = 0.9);
     static Policy noVirtualGoal();
 
+    /** Copy of this policy with @p spec injected during evaluation. */
+    Policy withChaos(const fault::ChaosSpec &spec) const;
+
     bool isSmart() const { return kind != Kind::Static; }
+    bool hasChaos() const { return chaos != nullptr && chaos->any(); }
 
     /**
      * Stable string encoding every field that can change a run's
@@ -106,6 +120,13 @@ struct ScenarioResult
      * Feeds the bench harnesses' ops-per-second throughput tracking.
      */
     std::uint64_t ops_simulated = 0;
+
+    /**
+     * Faults injected by the policy's chaos campaign (0 when chaos is
+     * off).  Lets tests assert a fault was *demonstrably* injected
+     * before claiming the run survived it.
+     */
+    std::uint64_t faults_injected = 0;
 
     /** Goal metric over time (Fig. 6b / 7 / 8 top). */
     sim::TimeSeries perf_series;

@@ -3,11 +3,16 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
+#include <stdexcept>
 
 #include "core/controller.h"
 
 namespace smartconf {
 namespace {
+
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
 
 Goal
 memGoal(double value, bool hard = true)
@@ -187,6 +192,85 @@ TEST(Controller, LastOutputTracksUpdates)
     const double out = c.update(50.0, 0.0);
     ASSERT_TRUE(c.lastOutput().has_value());
     EXPECT_DOUBLE_EQ(*c.lastOutput(), out);
+}
+
+TEST(Controller, ConstructionRejectsUnstableParameters)
+{
+    // These used to be debug-only asserts: a release build would
+    // happily divide by alpha == 0 on the first update.
+    const Goal g = memGoal(100.0);
+    EXPECT_THROW(Controller(params(0.0), g), std::invalid_argument);
+    EXPECT_THROW(Controller(params(kNan), g), std::invalid_argument);
+    EXPECT_THROW(Controller(params(kInf), g), std::invalid_argument);
+    EXPECT_THROW(Controller(params(1.0, 1.0), g),
+                 std::invalid_argument); // pole outside [0, 1)
+    EXPECT_THROW(Controller(params(1.0, -0.1), g),
+                 std::invalid_argument);
+    ControllerParams bad_clamp = params(1.0);
+    bad_clamp.confMin = 10.0;
+    bad_clamp.confMax = 5.0;
+    EXPECT_THROW(Controller(bad_clamp, g), std::invalid_argument);
+    ControllerParams bad_n = params(1.0);
+    bad_n.interactionFactor = 0.5;
+    EXPECT_THROW(Controller(bad_n, g), std::invalid_argument);
+}
+
+TEST(Controller, NonFinitePerfHoldsLastOutput)
+{
+    Controller c(params(2.0, 0.5), memGoal(100.0, false));
+    const double good = c.update(60.0, 5.0);
+    EXPECT_EQ(c.faults(), 0u);
+    EXPECT_DOUBLE_EQ(c.update(kNan, good), good);
+    EXPECT_DOUBLE_EQ(c.update(kInf, good), good);
+    EXPECT_DOUBLE_EQ(c.update(-kInf, good), good);
+    EXPECT_EQ(c.faults(), 3u);
+    // Recovery: a finite measurement resumes control from the held
+    // output as if the faulty samples never happened.
+    const double next = c.update(60.0, good);
+    EXPECT_TRUE(std::isfinite(next));
+    EXPECT_EQ(c.faults(), 3u);
+}
+
+TEST(Controller, NonFiniteConfHoldsLastOutput)
+{
+    Controller c(params(2.0, 0.5), memGoal(100.0, false));
+    const double good = c.update(60.0, 5.0);
+    EXPECT_DOUBLE_EQ(c.update(60.0, kNan), good);
+    EXPECT_EQ(c.faults(), 1u);
+}
+
+TEST(Controller, FaultBeforeFirstUpdateStaysInClamp)
+{
+    // No last output to hold yet: the controller must still emit a
+    // finite, in-clamp value, not NaN.
+    ControllerParams p = params(2.0, 0.5);
+    p.confMin = 10.0;
+    p.confMax = 50.0;
+    Controller c(p, memGoal(100.0, false));
+    const double out = c.update(kNan, kNan);
+    EXPECT_TRUE(std::isfinite(out));
+    EXPECT_GE(out, 10.0);
+    EXPECT_LE(out, 50.0);
+    EXPECT_EQ(c.faults(), 1u);
+}
+
+TEST(Controller, OutputAlwaysFiniteUnderNaNStorm)
+{
+    ControllerParams p = params(2.0, 0.5);
+    p.confMin = 0.0;
+    p.confMax = 1000.0;
+    Controller c(p, memGoal(100.0, true));
+    double conf = 5.0;
+    for (int i = 0; i < 200; ++i) {
+        const double perf = (i % 3 == 0)   ? kNan
+                            : (i % 3 == 1) ? kInf
+                                           : 60.0 + i;
+        conf = c.update(perf, conf);
+        ASSERT_TRUE(std::isfinite(conf));
+        ASSERT_GE(conf, p.confMin);
+        ASSERT_LE(conf, p.confMax);
+    }
+    EXPECT_GT(c.faults(), 0u);
 }
 
 } // namespace

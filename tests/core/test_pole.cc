@@ -83,9 +83,12 @@ TEST(Delta, ThreeSigmaScaling)
                 1e-9);
 }
 
-TEST(Delta, EmptyProfileIsUnity)
+TEST(Delta, EmptyProfileFallsBackToMaxDistrust)
 {
-    EXPECT_DOUBLE_EQ(deltaFromProfile({}), 1.0);
+    // delta = 1 used to be the *silent* answer for an empty profile —
+    // the most aggressive pole possible derived from no data at all.
+    // An unusable profile now projects the conservative ceiling.
+    EXPECT_DOUBLE_EQ(deltaFromProfile({}), kMaxDelta);
 }
 
 TEST(Lambda, MeanCoefficientOfVariation)
@@ -114,10 +117,53 @@ TEST(Lambda, NoiseFreeIsZero)
     EXPECT_DOUBLE_EQ(lambdaFromProfile(groups), 0.0);
 }
 
-TEST(Lambda, SingletonGroupsIgnored)
+TEST(Lambda, AllSingletonGroupsFallBackToConservativeMargin)
 {
+    // No group has two samples: noise is unmeasurable, and lambda = 0
+    // (the old answer) would mean "no safety margin at all".
     std::vector<RunningStats> groups = {group({5.0}), group({9.0})};
-    EXPECT_DOUBLE_EQ(lambdaFromProfile(groups), 0.0);
+    EXPECT_DOUBLE_EQ(lambdaFromProfile(groups), kConservativeLambda);
+}
+
+TEST(PoleProjectionVerdict, SufficientOnlyWithUsableGroups)
+{
+    // Healthy: two groups with >= 2 samples and distinct means.
+    std::vector<RunningStats> healthy = {
+        group({100.0, 102.0}),
+        group({198.0, 202.0}),
+    };
+    EXPECT_TRUE(projectFromProfile(healthy).sufficient);
+
+    // Single setting: lambda is measurable, delta is not (no group
+    // rises above the floor).
+    std::vector<RunningStats> single = {group({100.0, 110.0})};
+    const PoleProjection p1 = projectFromProfile(single);
+    EXPECT_FALSE(p1.sufficient);
+    EXPECT_DOUBLE_EQ(p1.delta, kMaxDelta);
+
+    // All singletons: neither part is measurable.
+    std::vector<RunningStats> singletons = {group({5.0}),
+                                            group({9.0})};
+    const PoleProjection p2 = projectFromProfile(singletons);
+    EXPECT_FALSE(p2.sufficient);
+    EXPECT_EQ(p2.lambda_groups, 0u);
+    EXPECT_EQ(p2.delta_groups, 0u);
+
+    // Zero-variance groups with distinct means are legitimate: the
+    // paper's formula gives delta = 1 (no model error observed).
+    std::vector<RunningStats> quiet = {
+        group({100.0, 100.0}),
+        group({200.0, 200.0}),
+    };
+    const PoleProjection p3 = projectFromProfile(quiet);
+    EXPECT_TRUE(p3.sufficient);
+    EXPECT_DOUBLE_EQ(p3.delta, 1.0);
+    EXPECT_DOUBLE_EQ(p3.lambda, 0.0);
+
+    // The max-distrust fallback pole is deep in the stable region.
+    const double fallback_pole = poleFromDelta(kMaxDelta);
+    EXPECT_GE(fallback_pole, 0.9);
+    EXPECT_LT(fallback_pole, 1.0);
 }
 
 } // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+
+#include "core/pole.h"
 #include "core/profiler.h"
 #include "sim/rng.h"
 
@@ -127,6 +131,67 @@ TEST(Profiler, NoisierProfileLowersVirtualGoalAndRaisesPole)
     EXPECT_LT(quiet.lambda, loud.lambda);
     EXPECT_LE(quiet.delta, loud.delta);
     EXPECT_LE(quiet.pole, loud.pole);
+}
+
+TEST(Profiler, RejectsNonFiniteSamples)
+{
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+    const double inf = std::numeric_limits<double>::infinity();
+    Profiler p;
+    p.record(10.0, 100.0);
+    p.record(nan, 100.0);
+    p.record(10.0, nan);
+    p.record(10.0, inf);
+    p.record(10.0, 100.0, nan); // poisoned group key
+    EXPECT_EQ(p.sampleCount(), 1u);
+    EXPECT_EQ(p.rejectedCount(), 4u);
+    // A single poisoned sample used to NaN the fitted gain and every
+    // parameter derived from it; the one good sample stays clean.
+    p.record(20.0, 200.0);
+    p.record(10.0, 102.0);
+    p.record(20.0, 198.0);
+    const ProfileSummary s = p.summarize();
+    EXPECT_TRUE(std::isfinite(s.alpha));
+    EXPECT_TRUE(std::isfinite(s.lambda));
+    EXPECT_TRUE(std::isfinite(s.delta));
+}
+
+TEST(Profiler, HealthyProfileIsNotInsufficient)
+{
+    Profiler p;
+    sim::Rng rng(11);
+    for (double setting : {100.0, 200.0, 300.0}) {
+        for (int i = 0; i < 8; ++i)
+            p.record(setting, setting + rng.gaussian(0.0, 5.0));
+    }
+    const ProfileSummary s = p.summarize();
+    EXPECT_FALSE(s.insufficient);
+    EXPECT_GE(s.noise_settings, 3u);
+}
+
+TEST(Profiler, SingleSettingProfileIsInsufficient)
+{
+    // All samples at one setting: no gain, no delta — the summary
+    // must say so instead of silently emitting delta=1/lambda~0.
+    Profiler p;
+    sim::Rng rng(13);
+    for (int i = 0; i < 10; ++i)
+        p.record(100.0, 500.0 + rng.gaussian(0.0, 5.0));
+    const ProfileSummary s = p.summarize();
+    EXPECT_TRUE(s.insufficient);
+    EXPECT_DOUBLE_EQ(s.delta, kMaxDelta);
+    EXPECT_GE(s.pole, 0.9); // maximum-distrust pole, not pole 0
+}
+
+TEST(Profiler, AllSingletonProfileIsInsufficient)
+{
+    Profiler p;
+    for (double setting : {40.0, 80.0, 120.0, 160.0})
+        p.record(setting, 200.0 + setting);
+    const ProfileSummary s = p.summarize();
+    EXPECT_TRUE(s.insufficient);
+    EXPECT_EQ(s.noise_settings, 0u);
+    EXPECT_DOUBLE_EQ(s.lambda, kConservativeLambda);
 }
 
 } // namespace

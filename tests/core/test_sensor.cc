@@ -2,20 +2,38 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
 #include "core/sensor.h"
 
 namespace smartconf {
 namespace {
 
+constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
 TEST(GaugeSensorTest, ReturnsLatest)
 {
     GaugeSensor s;
-    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+    EXPECT_TRUE(std::isnan(s.read())); // empty: no measurement yet
     s.observe(5.0);
     s.observe(7.0);
     EXPECT_DOUBLE_EQ(s.read(), 7.0);
     s.reset();
-    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+    EXPECT_TRUE(std::isnan(s.read()));
+}
+
+TEST(GaugeSensorTest, RejectsNonFinite)
+{
+    GaugeSensor s;
+    s.observe(5.0);
+    s.observe(kNan);
+    s.observe(kInf);
+    s.observe(-kInf);
+    EXPECT_DOUBLE_EQ(s.read(), 5.0); // last *accepted* observation
+    EXPECT_EQ(s.rejected(), 3u);
 }
 
 TEST(EwmaSensorTest, FirstObservationSeeds)
@@ -44,6 +62,43 @@ TEST(EwmaSensorTest, ResetReseeds)
     EXPECT_DOUBLE_EQ(s.read(), 3.0);
 }
 
+TEST(EwmaSensorTest, WeightIsTheNewObservationWeight)
+{
+    // Pin the documented semantics: read() = (1-w)*prev + w*obs, so a
+    // step input converges geometrically with ratio (1 - w).
+    const double w = 0.25;
+    EwmaSensor s(w);
+    s.observe(0.0); // seed at 0
+    double expected_gap = 1.0;
+    for (int k = 0; k < 20; ++k) {
+        s.observe(1.0); // step to 1
+        expected_gap *= 1.0 - w;
+        EXPECT_NEAR(1.0 - s.read(), expected_gap, 1e-12);
+    }
+    // After 20 steps the average has all but converged.
+    EXPECT_GT(s.read(), 0.99);
+}
+
+TEST(EwmaSensorTest, RejectsDegenerateWeights)
+{
+    EXPECT_THROW(EwmaSensor(0.0), std::invalid_argument);
+    EXPECT_THROW(EwmaSensor(-0.1), std::invalid_argument);
+    EXPECT_THROW(EwmaSensor(1.5), std::invalid_argument);
+    EXPECT_THROW(EwmaSensor{kNan}, std::invalid_argument);
+    EXPECT_NO_THROW(EwmaSensor(1.0)); // degenerates to a gauge
+}
+
+TEST(EwmaSensorTest, NanObservationDoesNotPoisonTheAverage)
+{
+    EwmaSensor s(0.5);
+    s.observe(10.0);
+    s.observe(kNan);
+    EXPECT_DOUBLE_EQ(s.read(), 10.0);
+    EXPECT_EQ(s.rejected(), 1u);
+    s.observe(20.0);
+    EXPECT_DOUBLE_EQ(s.read(), 15.0); // average continued from 10
+}
+
 TEST(WindowMaxSensorTest, TracksWorstCase)
 {
     WindowMaxSensor s(3);
@@ -57,10 +112,50 @@ TEST(WindowMaxSensorTest, TracksWorstCase)
     EXPECT_DOUBLE_EQ(s.read(), 2.0);
 }
 
-TEST(WindowMaxSensorTest, EmptyReadsZero)
+TEST(WindowMaxSensorTest, EmptyReadsNan)
+{
+    // The old best=0.0 seed made an empty window read 0.0 — and worse,
+    // made a window of all-negative metrics read 0.0 instead of its
+    // true maximum.  Empty now means "no measurement": quiet NaN.
+    WindowMaxSensor s(4);
+    EXPECT_TRUE(std::isnan(s.read()));
+    s.observe(1.0);
+    EXPECT_DOUBLE_EQ(s.read(), 1.0);
+    s.reset();
+    EXPECT_TRUE(std::isnan(s.read()));
+}
+
+TEST(WindowMaxSensorTest, AllNegativeWindowReadsTrueMax)
 {
     WindowMaxSensor s(4);
-    EXPECT_DOUBLE_EQ(s.read(), 0.0);
+    s.observe(-5.0);
+    s.observe(-2.0);
+    s.observe(-9.0);
+    EXPECT_DOUBLE_EQ(s.read(), -2.0); // not the old sentinel 0.0
+}
+
+TEST(WindowMaxSensorTest, RejectsNonFiniteAndZeroWindow)
+{
+    WindowMaxSensor s(4);
+    s.observe(3.0);
+    s.observe(kInf);
+    s.observe(kNan);
+    EXPECT_DOUBLE_EQ(s.read(), 3.0);
+    EXPECT_EQ(s.rejected(), 2u);
+    EXPECT_EQ(s.size(), 1u);
+    EXPECT_THROW(WindowMaxSensor(0), std::invalid_argument);
+}
+
+TEST(WindowPercentileSensorTest, EmptyReadsNanAndValidates)
+{
+    WindowPercentileSensor s(99.0, 8);
+    EXPECT_TRUE(std::isnan(s.read())); // mirrors WindowMaxSensor
+    EXPECT_THROW(WindowPercentileSensor(0.0, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(WindowPercentileSensor(101.0, 8),
+                 std::invalid_argument);
+    EXPECT_THROW(WindowPercentileSensor(50.0, 0),
+                 std::invalid_argument);
 }
 
 TEST(WindowPercentileSensorTest, MedianAndTail)

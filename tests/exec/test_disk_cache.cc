@@ -14,9 +14,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <string>
+#include <vector>
 
 #include "exec/disk_cache.h"
 #include "exec/run_cache.h"
+#include "fault/cache_faults.h"
 #include "scenarios/scenario.h"
 #include "sim/metrics.h"
 
@@ -210,6 +212,138 @@ TEST_F(DiskRunCacheTest, RunCacheSpillsAndReloadsAcrossInstances)
     (void)second.getOrRun("job-key", simulate);
     EXPECT_EQ(second.stats().disk_hits, 1u);
     EXPECT_EQ(second.stats().hits, 1u);
+}
+
+// --- Fault-path coverage (injected via fault/cache_faults.h) -----------
+//
+// The cache's two promises under corruption:
+//   1. any damaged entry degrades to a MISS, never a wrong series;
+//   2. an unusable cache directory degrades to CACHE-OFF, never an
+//      aborted sweep.
+
+TEST_F(DiskRunCacheTest, BlockedRootDegradesToCacheOff)
+{
+    // A regular file where the root directory should be defeats
+    // create_directories for every uid (unlike chmod, which root — the
+    // usual CI user — bypasses).
+    ASSERT_TRUE(fault::blockPathWithFile(root_));
+    DiskRunCache cache(root_);
+    EXPECT_FALSE(cache.store("k", sampleResult()))
+        << "store into a blocked root must fail, not abort";
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("k", out));
+}
+
+TEST_F(DiskRunCacheTest, SweepSurvivesBlockedRootAsCacheOff)
+{
+    ASSERT_TRUE(fault::blockPathWithFile(root_));
+    RunCache cache;
+    cache.attachDiskCache(root_);
+    int simulations = 0;
+    const auto simulate = [&] {
+        ++simulations;
+        return sampleResult();
+    };
+    const scenarios::ScenarioResult r = cache.getOrRun("k", simulate);
+    EXPECT_EQ(simulations, 1) << "the run itself must still happen";
+    EXPECT_EQ(r.scenario_id, "HB3813");
+    EXPECT_EQ(cache.stats().disk_stores, 0u);
+    // The in-memory layer still works: no disk, no re-simulation.
+    (void)cache.getOrRun("k", simulate);
+    EXPECT_EQ(simulations, 1);
+}
+
+TEST_F(DiskRunCacheTest, RenameTargetBlockedDegradesToStoreFailure)
+{
+    DiskRunCache cache(root_);
+    // Occupy the exact entry path with a directory: the tmp+rename
+    // commit cannot replace it, so store must report failure cleanly.
+    ASSERT_TRUE(cache.store("probe", sampleResult())); // creates dir()
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(
+                      DiskRunCache::fnv1a("victim-key")));
+    const fs::path entry =
+        fs::path(cache.dir()) / (std::string(hex) + ".bin");
+    fs::create_directories(entry / "occupied");
+    EXPECT_FALSE(cache.store("victim-key", sampleResult()));
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("victim-key", out));
+    // Unrelated keys are unaffected.
+    ASSERT_TRUE(cache.load("probe", out));
+}
+
+TEST_F(DiskRunCacheTest, TruncationAtEveryRegionIsAMiss)
+{
+    DiskRunCache cache(root_);
+    ASSERT_TRUE(cache.store("key-t", sampleResult()));
+    const std::vector<std::string> files =
+        fault::listEntryFiles(cache.dir());
+    ASSERT_EQ(files.size(), 1u);
+    const std::int64_t size = fault::fileSize(files[0]);
+    ASSERT_GT(size, 0);
+
+    // Cut inside the magic, the header, the key, the checksum, and the
+    // payload — every region must degrade to a miss.
+    const std::vector<std::uint64_t> cuts = {
+        0, 2, 8, 16, 40,
+        static_cast<std::uint64_t>(size / 4),
+        static_cast<std::uint64_t>(size / 2),
+        static_cast<std::uint64_t>(size - 1),
+    };
+    for (const std::uint64_t keep : cuts) {
+        ASSERT_TRUE(cache.store("key-t", sampleResult())); // restore
+        ASSERT_TRUE(fault::truncateFile(files[0], keep));
+        scenarios::ScenarioResult out;
+        EXPECT_FALSE(cache.load("key-t", out))
+            << "entry truncated to " << keep << " bytes accepted";
+    }
+}
+
+TEST_F(DiskRunCacheTest, BitFlipAnywhereIsAMissNeverAWrongSeries)
+{
+    // Payload doubles are all "valid" bit patterns, so without the
+    // payload checksum a flipped series byte would parse fine and
+    // replay a silently wrong curve.  Sample flips across the whole
+    // file — header, key, checksum, scalars, series — and demand a
+    // miss every time.
+    DiskRunCache cache(root_);
+    ASSERT_TRUE(cache.store("key-f", sampleResult()));
+    const std::vector<std::string> files =
+        fault::listEntryFiles(cache.dir());
+    ASSERT_EQ(files.size(), 1u);
+    const std::int64_t size = fault::fileSize(files[0]);
+    ASSERT_GT(size, 0);
+
+    int flips = 0;
+    for (std::int64_t off = 0; off < size; off += 97, ++flips) {
+        const unsigned bit = static_cast<unsigned>(off % 8);
+        ASSERT_TRUE(fault::flipBit(files[0],
+                                   static_cast<std::uint64_t>(off), bit));
+        scenarios::ScenarioResult out;
+        EXPECT_FALSE(cache.load("key-f", out))
+            << "flip at byte " << off << " bit " << bit << " accepted";
+        // Undo the flip so each iteration tests exactly one bad bit.
+        ASSERT_TRUE(fault::flipBit(files[0],
+                                   static_cast<std::uint64_t>(off), bit));
+    }
+    EXPECT_GT(flips, 100) << "sampling did not cover the file";
+
+    // With every flip undone the entry is intact again: bit-exact.
+    scenarios::ScenarioResult restored;
+    ASSERT_TRUE(cache.load("key-f", restored));
+    expectEqual(sampleResult(), restored);
+}
+
+TEST_F(DiskRunCacheTest, FaultsInjectedFieldRoundTrips)
+{
+    DiskRunCache cache(root_);
+    scenarios::ScenarioResult r = sampleResult();
+    r.faults_injected = 424242;
+    ASSERT_TRUE(cache.store("key-chaos", r));
+    scenarios::ScenarioResult out;
+    ASSERT_TRUE(cache.load("key-chaos", out));
+    EXPECT_EQ(out.faults_injected, 424242u);
 }
 
 TEST_F(DiskRunCacheTest, DetachStopsSpilling)

@@ -1,0 +1,247 @@
+/**
+ * @file Randomized chaos invariants.
+ *
+ * The invariants under ANY fault train:
+ *   1. the controller's output is always finite and within
+ *      [confMin, confMax];
+ *   2. under a hard goal, the violation (OOM-class) rate stays under a
+ *      bound even while faults fire;
+ *   3. chaos runs are byte-reproducible for a fixed seed.
+ *
+ * The seed matrix is env-driven: SMARTCONF_CHAOS_SEEDS="1,2,3" (CI
+ * pins a fixed matrix).  When SMARTCONF_CHAOS_ARTIFACT_DIR is set,
+ * any seed that fails an invariant is appended to
+ * <dir>/failed_chaos_seeds.txt so CI can upload it for replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "fault/chaos.h"
+#include "fault/spec.h"
+#include "scenarios/hb3813.h"
+#include "scenarios/scenario.h"
+
+namespace smartconf::fault {
+namespace {
+
+/** CI seed matrix; defaults keep the local run fast but non-trivial. */
+std::vector<std::uint64_t>
+seedMatrix()
+{
+    std::vector<std::uint64_t> seeds;
+    if (const char *env = std::getenv("SMARTCONF_CHAOS_SEEDS")) {
+        std::istringstream in(env);
+        std::string tok;
+        while (std::getline(in, tok, ',')) {
+            if (!tok.empty())
+                seeds.push_back(std::strtoull(tok.c_str(), nullptr, 10));
+        }
+    }
+    if (seeds.empty())
+        seeds = {1, 7, 42};
+    return seeds;
+}
+
+/** Record a failing seed for CI artifact upload. */
+void
+recordFailedSeed(const std::string &what, std::uint64_t seed)
+{
+    const char *dir = std::getenv("SMARTCONF_CHAOS_ARTIFACT_DIR");
+    if (dir == nullptr)
+        return;
+    std::ofstream out(std::string(dir) + "/failed_chaos_seeds.txt",
+                      std::ios::app);
+    out << what << " seed=" << seed << "\n";
+}
+
+/** Every injector kind, alone and combined. */
+std::vector<std::pair<std::string, ChaosSpec>>
+specGrid()
+{
+    return {
+        {"nan", ChaosSpec::nanSensor(0.10)},
+        {"inf", ChaosSpec::infSensor(0.05)},
+        {"dropout", ChaosSpec::dropout(0.15)},
+        {"stale", ChaosSpec::staleSensor(0.05, 10)},
+        {"spike", ChaosSpec::spikes(0.05, 12.0)},
+        {"skip", ChaosSpec::skips(0.20)},
+        {"jitter", ChaosSpec::jitter(0.5)},
+        {"delay", ChaosSpec::delayedActuation(3)},
+        {"kitchen_sink", ChaosSpec::kitchenSink()},
+    };
+}
+
+TEST(Chaos, ControllerOutputAlwaysFiniteAndInBounds)
+{
+    const ChaosEpisodeOptions opts;
+    for (const auto &[name, spec] : specGrid()) {
+        for (const std::uint64_t seed : seedMatrix()) {
+            const ChaosReport r = runChaosEpisode(spec, opts, seed);
+            if (r.nonfinite_outputs != 0 ||
+                r.out_of_bounds_outputs != 0)
+                recordFailedSeed("episode-invariant:" + name, seed);
+            EXPECT_EQ(r.nonfinite_outputs, 0u)
+                << name << " seed " << seed;
+            EXPECT_EQ(r.out_of_bounds_outputs, 0u)
+                << name << " seed " << seed;
+            EXPECT_TRUE(std::isfinite(r.final_conf))
+                << name << " seed " << seed;
+        }
+    }
+}
+
+TEST(Chaos, FaultsAreActuallyInjected)
+{
+    // An invariant test that never injects anything proves nothing.
+    const ChaosEpisodeOptions opts;
+    for (const auto &[name, spec] : specGrid()) {
+        const ChaosReport r = runChaosEpisode(spec, opts, 1);
+        EXPECT_GT(r.faults.injected(), 0u)
+            << name << " injected no faults";
+    }
+}
+
+TEST(Chaos, NanStormRejectedByControllerNotPropagated)
+{
+    // Heavy NaN injection: every faulted update must be *counted* as
+    // held, and the loop must keep converging between faults.
+    const ChaosSpec spec = ChaosSpec::nanSensor(0.3);
+    const ChaosEpisodeOptions opts;
+    for (const std::uint64_t seed : seedMatrix()) {
+        const ChaosReport r = runChaosEpisode(spec, opts, seed);
+        EXPECT_GT(r.faults.sensor.nans, 0u);
+        EXPECT_GE(r.controller_faults, r.faults.sensor.nans)
+            << "every injected NaN reading must be held, not applied";
+        EXPECT_EQ(r.nonfinite_outputs, 0u);
+    }
+}
+
+TEST(Chaos, HardGoalViolationRateBoundedUnderFaults)
+{
+    // The virtual-goal margin plus fault-holding keeps the plant on
+    // the safe side the overwhelming majority of ticks even under the
+    // kitchen-sink campaign.  (Zero would be too strong: spikes and
+    // stale windows can push a few ticks over before recovery.)
+    const ChaosSpec spec = ChaosSpec::kitchenSink();
+    ChaosEpisodeOptions opts;
+    opts.hard = true;
+    for (const std::uint64_t seed : seedMatrix()) {
+        const ChaosReport r = runChaosEpisode(spec, opts, seed);
+        const double rate = static_cast<double>(r.violations) /
+                            static_cast<double>(r.ticks);
+        if (rate > 0.05)
+            recordFailedSeed("hard-goal-violation-rate", seed);
+        EXPECT_LE(rate, 0.05) << "seed " << seed;
+    }
+}
+
+TEST(Chaos, EpisodesAreDeterministic)
+{
+    const ChaosSpec spec = ChaosSpec::kitchenSink();
+    const ChaosEpisodeOptions opts;
+    for (const std::uint64_t seed : seedMatrix()) {
+        const ChaosReport a = runChaosEpisode(spec, opts, seed);
+        const ChaosReport b = runChaosEpisode(spec, opts, seed);
+        EXPECT_EQ(a.updates, b.updates);
+        EXPECT_EQ(a.violations, b.violations);
+        EXPECT_EQ(a.controller_faults, b.controller_faults);
+        EXPECT_EQ(a.faults.injected(), b.faults.injected());
+        EXPECT_DOUBLE_EQ(a.final_conf, b.final_conf);
+        EXPECT_DOUBLE_EQ(a.worst_metric, b.worst_metric);
+    }
+}
+
+/** Shrunken HB3813 for scenario-level chaos (fast but real). */
+scenarios::Hb3813Options
+smallHb3813()
+{
+    scenarios::Hb3813Options o;
+    o.phase1_ticks = 400;
+    o.total_ticks = 1200;
+    return o;
+}
+
+TEST(Chaos, ScenarioRunSurvivesNanSensor)
+{
+    // End-to-end: a full HB3813 run with a demonstrably NaN-ing sensor
+    // must stay NaN-free in its outputs and keep its conf series
+    // inside the declared clamp.
+    const scenarios::Hb3813Scenario scenario(smallHb3813());
+    const scenarios::Policy policy =
+        scenarios::Policy::smart().withChaos(ChaosSpec::nanSensor(0.2));
+    const scenarios::ScenarioResult r = scenario.run(policy, 1);
+    EXPECT_GT(r.faults_injected, 0u) << "chaos must demonstrably fire";
+    for (const auto &pt : r.conf_series.points()) {
+        ASSERT_TRUE(std::isfinite(pt.value));
+        ASSERT_GE(pt.value, 0.0);
+        ASSERT_LE(pt.value, 5000.0); // HB3813's declared conf_max
+    }
+    EXPECT_TRUE(std::isfinite(r.mean_conf));
+    EXPECT_TRUE(std::isfinite(r.worst_goal_metric));
+}
+
+TEST(Chaos, ScenarioChaosRunsAreDeterministic)
+{
+    const scenarios::Hb3813Scenario scenario(smallHb3813());
+    const scenarios::Policy policy = scenarios::Policy::smart().withChaos(
+        ChaosSpec::kitchenSink(5));
+    const scenarios::ScenarioResult a = scenario.run(policy, 3);
+    const scenarios::ScenarioResult b = scenario.run(policy, 3);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    EXPECT_GT(a.faults_injected, 0u);
+    EXPECT_DOUBLE_EQ(a.worst_goal_metric, b.worst_goal_metric);
+    EXPECT_DOUBLE_EQ(a.mean_conf, b.mean_conf);
+    EXPECT_EQ(a.violated, b.violated);
+    ASSERT_EQ(a.conf_series.points().size(),
+              b.conf_series.points().size());
+}
+
+TEST(Chaos, ChaosPolicyGetsItsOwnCacheKey)
+{
+    // A chaos run must never replay from (or overwrite) the clean
+    // run's cache entry, and distinct campaigns must not share one.
+    const scenarios::Policy clean = scenarios::Policy::smart();
+    const scenarios::Policy chaotic =
+        clean.withChaos(ChaosSpec::nanSensor(0.1));
+    const scenarios::Policy chaotic2 =
+        clean.withChaos(ChaosSpec::nanSensor(0.2));
+    EXPECT_NE(clean.cacheKey(), chaotic.cacheKey());
+    EXPECT_NE(chaotic.cacheKey(), chaotic2.cacheKey());
+    // An all-zero spec is semantically "no chaos": same key.
+    const scenarios::Policy noop = clean.withChaos(ChaosSpec{});
+    EXPECT_EQ(clean.cacheKey(), noop.cacheKey());
+}
+
+TEST(Chaos, DisabledChaosLeavesScenarioOutputUntouched)
+{
+    // The zero-overhead-when-disabled claim, behaviorally: a policy
+    // with no chaos spec and one with an all-zero spec produce
+    // byte-identical results.
+    const scenarios::Hb3813Scenario scenario(smallHb3813());
+    const scenarios::ScenarioResult clean =
+        scenario.run(scenarios::Policy::smart(), 2);
+    const scenarios::ScenarioResult noop = scenario.run(
+        scenarios::Policy::smart().withChaos(ChaosSpec{}), 2);
+    EXPECT_EQ(clean.faults_injected, 0u);
+    EXPECT_EQ(noop.faults_injected, 0u);
+    EXPECT_DOUBLE_EQ(clean.worst_goal_metric, noop.worst_goal_metric);
+    EXPECT_DOUBLE_EQ(clean.mean_conf, noop.mean_conf);
+    EXPECT_DOUBLE_EQ(clean.tradeoff, noop.tradeoff);
+    ASSERT_EQ(clean.conf_series.points().size(),
+              noop.conf_series.points().size());
+    for (std::size_t i = 0; i < clean.conf_series.points().size(); ++i) {
+        ASSERT_EQ(clean.conf_series.points()[i].value,
+                  noop.conf_series.points()[i].value);
+    }
+}
+
+} // namespace
+} // namespace smartconf::fault

@@ -1,0 +1,200 @@
+/** @file Unit tests for the seeded fault injectors. */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/sensor.h"
+#include "fault/loop_fault.h"
+#include "fault/sensor_fault.h"
+#include "fault/spec.h"
+#include "sim/rng.h"
+
+namespace smartconf::fault {
+namespace {
+
+sim::Rng
+chainRng(std::uint64_t seed)
+{
+    return sim::Rng(seed).fork(42);
+}
+
+TEST(FaultInjectorChain, DeterministicForSameSeed)
+{
+    const ChaosSpec spec = ChaosSpec::kitchenSink(9);
+    SensorFaultChain a(spec, chainRng(1));
+    SensorFaultChain b(spec, chainRng(1));
+    for (int i = 0; i < 5000; ++i) {
+        const double v = 100.0 + i;
+        const double ra = a.apply(v);
+        const double rb = b.apply(v);
+        // NaN != NaN: compare bit-for-bit via the isnan split.
+        if (std::isnan(ra))
+            ASSERT_TRUE(std::isnan(rb)) << "diverged at reading " << i;
+        else
+            ASSERT_EQ(ra, rb) << "diverged at reading " << i;
+    }
+    EXPECT_EQ(a.stats().injected(), b.stats().injected());
+    EXPECT_GT(a.stats().injected(), 0u);
+}
+
+TEST(FaultInjectorChain, DistinctSeedsDiverge)
+{
+    const ChaosSpec spec = ChaosSpec::nanSensor(0.2, 3);
+    SensorFaultChain a(spec, chainRng(1));
+    SensorFaultChain b(spec, chainRng(2));
+    int differing = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const double ra = a.apply(1.0);
+        const double rb = b.apply(1.0);
+        if (std::isnan(ra) != std::isnan(rb))
+            ++differing;
+    }
+    EXPECT_GT(differing, 0);
+}
+
+TEST(FaultInjectorChain, NanRateMatchesSpec)
+{
+    const ChaosSpec spec = ChaosSpec::nanSensor(0.1, 7);
+    SensorFaultChain chain(spec, chainRng(5));
+    int nans = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (std::isnan(chain.apply(50.0)))
+            ++nans;
+    }
+    const double rate = static_cast<double>(nans) / n;
+    EXPECT_NEAR(rate, 0.1, 0.01);
+    EXPECT_EQ(chain.stats().nans, static_cast<std::uint64_t>(nans));
+}
+
+TEST(FaultInjectorChain, DropoutHoldsLastHonestValue)
+{
+    ChaosSpec spec;
+    spec.dropout_prob = 1.0; // every reading dropped
+    SensorFaultChain chain(spec, chainRng(1));
+    // Nothing delivered yet: a dropout has nothing to hold.
+    EXPECT_TRUE(std::isnan(chain.apply(5.0)));
+    // From now on the first reading (5.0) is the held value.
+    EXPECT_DOUBLE_EQ(chain.apply(6.0), 5.0);
+    EXPECT_DOUBLE_EQ(chain.apply(7.0), 6.0);
+}
+
+TEST(FaultInjectorChain, StaleWindowFreezesTheReading)
+{
+    ChaosSpec spec;
+    spec.stale_prob = 1.0; // window opens immediately and re-opens
+    spec.stale_len = 3;
+    SensorFaultChain chain(spec, chainRng(1));
+    const double first = chain.apply(10.0);
+    EXPECT_DOUBLE_EQ(first, 10.0); // frozen at the first honest value
+    EXPECT_DOUBLE_EQ(chain.apply(20.0), 10.0);
+    EXPECT_DOUBLE_EQ(chain.apply(30.0), 10.0);
+    EXPECT_EQ(chain.stats().stale_reads, 3u);
+}
+
+TEST(FaultInjectorChain, SpikesMultiply)
+{
+    const ChaosSpec spec = ChaosSpec::spikes(1.0, 10.0, 1);
+    SensorFaultChain chain(spec, chainRng(1));
+    EXPECT_DOUBLE_EQ(chain.apply(7.0), 70.0);
+    EXPECT_EQ(chain.stats().spikes, 1u);
+}
+
+TEST(FaultInjectorChain, InactiveSpecIsIdentity)
+{
+    const ChaosSpec spec; // all probabilities zero
+    EXPECT_FALSE(spec.any());
+    SensorFaultChain chain(spec, chainRng(1));
+    for (int i = 0; i < 100; ++i)
+        EXPECT_DOUBLE_EQ(chain.apply(static_cast<double>(i)),
+                         static_cast<double>(i));
+    EXPECT_EQ(chain.stats().injected(), 0u);
+}
+
+TEST(FaultInjectorSensor, WrapsWithoutDisturbingTheInner)
+{
+    GaugeSensor gauge;
+    FaultySensor faulty(gauge, ChaosSpec::nanSensor(1.0, 2),
+                        chainRng(3));
+    faulty.observe(42.0);
+    EXPECT_TRUE(std::isnan(faulty.read())); // corrupted at the boundary
+    EXPECT_DOUBLE_EQ(gauge.read(), 42.0);   // inner state stays honest
+}
+
+TEST(FaultInjectorLoop, SkipRateMatchesSpec)
+{
+    LoopFault loop(ChaosSpec::skips(0.25, 4), chainRng(6));
+    int fired = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i) {
+        if (loop.fire())
+            ++fired;
+    }
+    EXPECT_NEAR(static_cast<double>(fired) / n, 0.75, 0.01);
+    EXPECT_EQ(loop.stats().invocations, static_cast<std::uint64_t>(n));
+    EXPECT_EQ(loop.stats().fired + loop.stats().skips,
+              static_cast<std::uint64_t>(n));
+}
+
+TEST(FaultInjectorLoop, JitterStretchesThePeriod)
+{
+    // jitter j: P(stall) = j/(1+j), so the expected invocations per
+    // allowed firing is (1+j) — a stretched period, never a shrunk one.
+    const double j = 0.5;
+    LoopFault loop(ChaosSpec::jitter(j, 4), chainRng(6));
+    int fired = 0;
+    const int n = 30000;
+    for (int i = 0; i < n; ++i) {
+        if (loop.fire())
+            ++fired;
+    }
+    const double stretch = static_cast<double>(n) / fired;
+    EXPECT_NEAR(stretch, 1.0 + j, 0.05);
+}
+
+TEST(FaultInjectorDelay, ServesSeedThenLagsByDelay)
+{
+    ActuationDelay delay(2, 99.0);
+    EXPECT_DOUBLE_EQ(delay.push(1.0), 99.0); // pipe filling
+    EXPECT_DOUBLE_EQ(delay.push(2.0), 99.0);
+    EXPECT_DOUBLE_EQ(delay.push(3.0), 1.0); // now lagging by 2
+    EXPECT_DOUBLE_EQ(delay.push(4.0), 2.0);
+}
+
+TEST(FaultInjectorDelay, ZeroDelayIsIdentity)
+{
+    ActuationDelay delay(0, 99.0);
+    EXPECT_DOUBLE_EQ(delay.push(1.0), 1.0);
+    EXPECT_EQ(delay.delayedCount(), 0u);
+}
+
+TEST(ChaosSpecKey, DistinctSpecsDistinctKeys)
+{
+    std::vector<ChaosSpec> specs = {
+        ChaosSpec{},
+        ChaosSpec::nanSensor(0.1),
+        ChaosSpec::nanSensor(0.2),
+        ChaosSpec::nanSensor(0.1, 1),
+        ChaosSpec::infSensor(0.1),
+        ChaosSpec::dropout(0.1),
+        ChaosSpec::staleSensor(0.1, 8),
+        ChaosSpec::staleSensor(0.1, 9),
+        ChaosSpec::spikes(0.1, 10.0),
+        ChaosSpec::spikes(0.1, 20.0),
+        ChaosSpec::skips(0.1),
+        ChaosSpec::jitter(0.5),
+        ChaosSpec::delayedActuation(3),
+        ChaosSpec::kitchenSink(),
+    };
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+        for (std::size_t k = i + 1; k < specs.size(); ++k) {
+            EXPECT_NE(specs[i].cacheKey(), specs[k].cacheKey())
+                << "specs " << i << " and " << k << " collide";
+        }
+    }
+}
+
+} // namespace
+} // namespace smartconf::fault

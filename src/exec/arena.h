@@ -1,0 +1,160 @@
+#ifndef SMARTCONF_EXEC_ARENA_H_
+#define SMARTCONF_EXEC_ARENA_H_
+
+/**
+ * @file
+ * Monotonic bump allocator for executor-internal objects.
+ *
+ * The work-stealing pool recycles task handles and deque buffers across
+ * sweeps.  Both have awkward lifetimes for free-list-per-object schemes:
+ * retired Chase-Lev buffers must stay readable until every racing thief
+ * has moved on, and task nodes churn by the thousand per sweep.  A
+ * monotonic arena sidesteps both problems — allocation is a pointer
+ * bump, nothing is ever freed individually, and when the owner knows the
+ * structure is quiescent (between sweeps) reset() rewinds the bump
+ * pointer over the same blocks instead of walking frees.
+ *
+ * Thread-safety: none.  Each arena is owned by one shard — a worker
+ * thread for its deque buffers, or the pool's injector lock for the
+ * shared task-node heap — and the owner serializes access.
+ */
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+namespace smartconf::exec {
+
+/**
+ * Chunked bump allocator.  Blocks are kept (and reused in order) across
+ * reset(), so a steady-state consumer stops touching malloc entirely.
+ */
+class MonotonicArena
+{
+  public:
+    static constexpr std::size_t kDefaultBlockBytes = 64 * 1024;
+
+    explicit MonotonicArena(std::size_t block_bytes = kDefaultBlockBytes)
+        : block_bytes_(block_bytes < 256 ? 256 : block_bytes)
+    {}
+
+    ~MonotonicArena()
+    {
+        Block *b = head_;
+        while (b != nullptr) {
+            Block *next = b->next;
+            ::operator delete(static_cast<void *>(b));
+            b = next;
+        }
+    }
+
+    MonotonicArena(const MonotonicArena &) = delete;
+    MonotonicArena &operator=(const MonotonicArena &) = delete;
+
+    /**
+     * Allocate @p bytes with @p align (a power of two).  Storage is
+     * valid until the arena is destroyed; reset() recycles it, so the
+     * caller must know the previous tenants are dead first.
+     */
+    void *allocate(std::size_t bytes,
+                   std::size_t align = alignof(std::max_align_t))
+    {
+        for (;;) {
+            if (current_ != nullptr) {
+                const std::uintptr_t base =
+                    reinterpret_cast<std::uintptr_t>(current_->data());
+                const std::uintptr_t cursor =
+                    (base + offset_ + (align - 1)) & ~(align - 1);
+                const std::size_t new_offset = (cursor - base) + bytes;
+                if (new_offset <= current_->capacity) {
+                    offset_ = new_offset;
+                    ++allocations_;
+                    return reinterpret_cast<void *>(cursor);
+                }
+                if (current_->next != nullptr) {
+                    // Post-reset reuse: advance into the next retained
+                    // block instead of growing.
+                    current_ = current_->next;
+                    offset_ = 0;
+                    continue;
+                }
+            }
+            grow(bytes + align);
+        }
+    }
+
+    /** Typed allocation helper (no construction). */
+    template <typename T>
+    T *allocateArray(std::size_t n)
+    {
+        return static_cast<T *>(allocate(sizeof(T) * n, alignof(T)));
+    }
+
+    /**
+     * Rewind the bump pointer to the first block, keeping every block
+     * for reuse.  All outstanding allocations become invalid — callers
+     * only do this at quiescence (e.g. the pool between sweeps).
+     */
+    void reset()
+    {
+        current_ = head_;
+        offset_ = 0;
+        ++resets_;
+    }
+
+    /** Blocks ever malloc'd (growth events, not live allocations). */
+    std::size_t blocksAllocated() const { return blocks_; }
+
+    /** Total bytes reserved across all blocks. */
+    std::size_t bytesReserved() const { return reserved_; }
+
+    /** Successful allocate() calls since construction. */
+    std::uint64_t allocations() const { return allocations_; }
+
+    /** reset() calls since construction. */
+    std::uint64_t resets() const { return resets_; }
+
+  private:
+    struct Block
+    {
+        Block *next;
+        std::size_t capacity;
+
+        unsigned char *data()
+        {
+            return reinterpret_cast<unsigned char *>(this + 1);
+        }
+    };
+
+    void grow(std::size_t min_bytes)
+    {
+        const std::size_t cap =
+            min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+        void *mem = ::operator new(sizeof(Block) + cap);
+        Block *b = static_cast<Block *>(mem);
+        b->next = nullptr;
+        b->capacity = cap;
+        if (current_ != nullptr)
+            current_->next = b;
+        else
+            head_ = b;
+        current_ = b;
+        offset_ = 0;
+        ++blocks_;
+        reserved_ += cap;
+    }
+
+    Block *head_ = nullptr;    ///< first block, in allocation order
+    Block *current_ = nullptr; ///< block the bump pointer lives in
+    std::size_t offset_ = 0;   ///< bytes consumed in current_
+    std::size_t block_bytes_;
+    std::size_t blocks_ = 0;
+    std::size_t reserved_ = 0;
+    std::uint64_t allocations_ = 0;
+    std::uint64_t resets_ = 0;
+};
+
+} // namespace smartconf::exec
+
+#endif // SMARTCONF_EXEC_ARENA_H_

@@ -142,6 +142,23 @@ DiskRunCache::fnv1a(const void *data, std::size_t len)
     return h;
 }
 
+std::uint64_t
+DiskRunCache::checksum64(const void *data, std::size_t len)
+{
+    const auto *p = static_cast<const unsigned char *>(data);
+    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+    std::uint64_t h = 0xcbf29ce484222325ULL;
+    std::size_t i = 0;
+    for (; i + 8 <= len; i += 8) {
+        std::uint64_t w;
+        std::memcpy(&w, p + i, 8);
+        h = (h ^ w) * kPrime;
+    }
+    for (; i < len; ++i)
+        h = (h ^ p[i]) * kPrime;
+    return h;
+}
+
 std::string
 DiskRunCache::entryPath(const std::string &key) const
 {
@@ -200,7 +217,7 @@ DiskRunCache::load(const std::string &key,
     // it degrades to a miss instead of a wrong curve.
     std::uint64_t stored_sum = 0;
     if (!r.u64(stored_sum) ||
-        stored_sum != fnv1a(r.rest(), r.restSize()))
+        stored_sum != checksum64(r.rest(), r.restSize()))
         return false;
 
     scenarios::ScenarioResult res;
@@ -248,13 +265,14 @@ DiskRunCache::store(const std::string &key,
     payload.series(result.conf_series);
     payload.series(result.tradeoff_series);
 
+    // Header in its own small buffer; the payload is written straight
+    // from its buffer rather than copied in behind the header.
     Writer w;
     w.raw(kMagic, 4);
     w.u32(kFormatVersion);
     w.u32(kEngineVersion);
     w.str(key);
-    w.u64(fnv1a(payload.bytes().data(), payload.bytes().size()));
-    w.raw(payload.bytes().data(), payload.bytes().size());
+    w.u64(checksum64(payload.bytes().data(), payload.bytes().size()));
 
     // Atomic publish: write a private temp file, then rename into
     // place.  Readers either see the old entry or the complete new
@@ -266,9 +284,11 @@ DiskRunCache::store(const std::string &key,
     std::FILE *f = std::fopen(tmp.c_str(), "wb");
     if (!f)
         return false;
-    const std::size_t total = w.bytes().size();
     const bool wrote =
-        std::fwrite(w.bytes().data(), 1, total, f) == total;
+        std::fwrite(w.bytes().data(), 1, w.bytes().size(), f) ==
+            w.bytes().size() &&
+        std::fwrite(payload.bytes().data(), 1, payload.bytes().size(),
+                    f) == payload.bytes().size();
     const bool closed = std::fclose(f) == 0;
     if (!wrote || !closed) {
         fs::remove(tmp, ec);

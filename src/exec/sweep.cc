@@ -93,25 +93,20 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
     } else {
         if (!pool_)
             pool_ = std::make_unique<ThreadPool>(jobs_);
-        std::vector<std::future<scenarios::ScenarioResult>> futures;
-        futures.reserve(jobs.size());
-        for (const SweepJob &job : jobs)
-            futures.push_back(
-                pool_->submit([this, job] { return execute(job); }));
-        // Collect in submission order: completion order is
-        // scheduler-dependent, result order is not.
-        std::exception_ptr first_error;
-        for (std::future<scenarios::ScenarioResult> &f : futures) {
-            try {
-                results.push_back(f.get());
-            } catch (...) {
-                if (!first_error)
-                    first_error = std::current_exception();
-                results.emplace_back(); // keep indices aligned
-            }
-        }
-        if (first_error)
-            std::rethrow_exception(first_error);
+        // Bulk submission: the whole grid goes through one
+        // parallelFor (one injector lock, K pooled chunk runners) and
+        // every result is written at its own index — submission-order
+        // determinism by construction rather than by future
+        // collection.  On a body exception parallelFor still runs
+        // every index, then rethrows the lowest-index error; failed
+        // slots keep their default-constructed results, matching the
+        // old futures path.
+        results.resize(jobs.size());
+        pool_->parallelFor(jobs.size(), [&](std::size_t i) {
+            results[i] = execute(jobs[i]);
+        });
+        // Quiescent between sweeps: recycle the task-node arena.
+        pool_->reclaim();
     }
 
     last_wall_ms_ =

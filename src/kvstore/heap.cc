@@ -7,68 +7,71 @@ namespace smartconf::kvstore {
 std::size_t
 JvmHeap::find(std::string_view name) const
 {
-    for (std::size_t i = 0; i < components_.size(); ++i) {
-        if (components_[i].first == name)
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
             return i;
     }
-    return components_.size();
+    return names_.size();
+}
+
+std::size_t
+JvmHeap::insert(std::string_view name, double mb)
+{
+    const auto pos = std::lower_bound(names_.begin(), names_.end(), name);
+    const auto i = static_cast<std::size_t>(pos - names_.begin());
+    names_.emplace(pos, name);
+    mb_.insert(mb_.begin() + static_cast<std::ptrdiff_t>(i),
+               std::max(0.0, mb));
+    pos_slot_.insert(pos_slot_.begin() + static_cast<std::ptrdiff_t>(i),
+                     kNoSlot);
+    for (std::uint32_t &p : slot_pos_) {
+        if (p >= i)
+            ++p;
+    }
+    return i;
+}
+
+JvmHeap::Slot
+JvmHeap::slot(std::string_view name)
+{
+    std::size_t i = find(name);
+    if (i == names_.size())
+        i = insert(name, 0.0);
+    if (pos_slot_[i] != kNoSlot)
+        return pos_slot_[i];
+    const Slot s = static_cast<Slot>(slot_pos_.size());
+    slot_pos_.push_back(static_cast<std::uint32_t>(i));
+    pos_slot_[i] = s;
+    return s;
 }
 
 void
 JvmHeap::setComponent(std::string_view name, double mb)
 {
     const std::size_t i = find(name);
-    if (i < components_.size()) {
-        components_[i].second = std::max(0.0, mb);
+    if (i < names_.size()) {
+        mb_[i] = std::max(0.0, mb);
         return;
     }
-    const auto pos = std::lower_bound(
-        components_.begin(), components_.end(), name,
-        [](const auto &entry, std::string_view n) {
-            return entry.first < n;
-        });
-    components_.emplace(pos, std::string(name), std::max(0.0, mb));
+    insert(name, mb);
 }
 
 void
 JvmHeap::addComponent(std::string_view name, double mb)
 {
     const std::size_t i = find(name);
-    if (i < components_.size()) {
-        components_[i].second =
-            std::max(0.0, components_[i].second + mb);
+    if (i < names_.size()) {
+        mb_[i] = std::max(0.0, mb_[i] + mb);
         return;
     }
-    const auto pos = std::lower_bound(
-        components_.begin(), components_.end(), name,
-        [](const auto &entry, std::string_view n) {
-            return entry.first < n;
-        });
-    components_.emplace(pos, std::string(name), std::max(0.0, mb));
+    insert(name, mb);
 }
 
 double
 JvmHeap::component(std::string_view name) const
 {
     const std::size_t i = find(name);
-    return i < components_.size() ? components_[i].second : 0.0;
-}
-
-double
-JvmHeap::usedMb() const
-{
-    double total = 0.0;
-    for (const auto &[name, mb] : components_)
-        total += mb;
-    return total;
-}
-
-bool
-JvmHeap::checkOom(sim::Tick now)
-{
-    if (oom_tick_ < 0 && usedMb() > capacity_mb_)
-        oom_tick_ = now;
-    return oom();
+    return i < names_.size() ? mb_[i] : 0.0;
 }
 
 } // namespace smartconf::kvstore

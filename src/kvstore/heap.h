@@ -14,9 +14,9 @@
  * region server.
  */
 
+#include <cstdint>
 #include <string>
 #include <string_view>
-#include <utility>
 #include <vector>
 
 #include "sim/clock.h"
@@ -25,12 +25,49 @@ namespace smartconf::kvstore {
 
 /**
  * Accounting heap: component gauges plus an OOM latch.
+ *
+ * Storage is struct-of-arrays: component names (kept sorted) in one
+ * vector, their gauges in a parallel contiguous double array.  Hot
+ * callers register a Slot once and update through it — a direct array
+ * store instead of a per-call string scan — while usedMb() sums the
+ * gauge array in name-sorted order, so the floating-point rounding
+ * (and therefore every OOM tick) is identical to the sorted-pairs and
+ * std::map layouts this evolved from.  Registering a component early
+ * at 0.0 is also rounding-neutral: adding 0.0 to a non-negative
+ * partial sum never changes it.
  */
 class JvmHeap
 {
   public:
+    /** Stable handle to one component's gauge. */
+    using Slot = std::uint32_t;
+
     /** @param capacity_mb JVM max heap (e.g. 495 MB in Fig. 6). */
     explicit JvmHeap(double capacity_mb) : capacity_mb_(capacity_mb) {}
+
+    /**
+     * Register (or look up) @p name and return its slot.  A new
+     * component starts at 0 MB.  Slots stay valid for the heap's
+     * lifetime, across later registrations.
+     */
+    Slot slot(std::string_view name);
+
+    /** Set the gauge behind @p s (clamped at zero, like setComponent). */
+    void set(Slot s, double mb)
+    {
+        mb_[slot_pos_[s]] = mb > 0.0 ? mb : 0.0;
+    }
+
+    /** Add to the gauge behind @p s (may be negative; floors at 0). */
+    void add(Slot s, double mb)
+    {
+        double &gauge = mb_[slot_pos_[s]];
+        const double next = gauge + mb;
+        gauge = next > 0.0 ? next : 0.0;
+    }
+
+    /** Current gauge behind @p s. */
+    double at(Slot s) const { return mb_[slot_pos_[s]]; }
 
     /** Set the current size of one named component. */
     void setComponent(std::string_view name, double mb);
@@ -42,7 +79,13 @@ class JvmHeap
     double component(std::string_view name) const;
 
     /** Total heap usage across all components. */
-    double usedMb() const;
+    double usedMb() const
+    {
+        double total = 0.0;
+        for (const double mb : mb_)
+            total += mb;
+        return total;
+    }
 
     /** Configured capacity. */
     double capacityMb() const { return capacity_mb_; }
@@ -51,7 +94,12 @@ class JvmHeap
      * Latch OOM if usage exceeds capacity at @p now.
      * @return true when the heap is (now or previously) OOM.
      */
-    bool checkOom(sim::Tick now);
+    bool checkOom(sim::Tick now)
+    {
+        if (oom_tick_ < 0 && usedMb() > capacity_mb_)
+            oom_tick_ = now;
+        return oom();
+    }
 
     /** True once usage ever exceeded capacity. */
     bool oom() const { return oom_tick_ >= 0; }
@@ -60,18 +108,32 @@ class JvmHeap
     sim::Tick oomTick() const { return oom_tick_; }
 
   private:
-    /** @return slot for @p name, or components_.size() when absent. */
+    /** @return position of @p name in names_, or names_.size(). */
     std::size_t find(std::string_view name) const;
 
+    /** Insert @p name sorted with gauge @p mb; fix slot positions. */
+    std::size_t insert(std::string_view name, double mb);
+
+    static constexpr std::uint32_t kNoSlot = 0xffffffffu;
+
     double capacity_mb_;
+
     /**
-     * Component gauges as a flat array, kept sorted by name.  A server
-     * has a handful of components but updates them every tick, so a
-     * linear scan over contiguous pairs beats a tree walk.  The sorted
-     * order keeps usedMb()'s summation order identical to the std::map
-     * this replaces — same floating-point rounding, same OOM ticks.
+     * Component names, kept sorted, with gauges in the parallel mb_
+     * array.  A server has a handful of components but updates them
+     * every tick; the contiguous double array keeps both the slotted
+     * update path and usedMb()'s summation on one cache line, and the
+     * sorted order pins the summation order (same floating-point
+     * rounding, same OOM ticks as every earlier layout).
      */
-    std::vector<std::pair<std::string, double>> components_;
+    std::vector<std::string> names_;
+    std::vector<double> mb_;
+
+    /** Slot id -> position in names_/mb_ (fixed up on rare inserts). */
+    std::vector<std::uint32_t> slot_pos_;
+    /** Position -> slot id (kNoSlot when never slotted). */
+    std::vector<std::uint32_t> pos_slot_;
+
     sim::Tick oom_tick_ = -1;
 };
 

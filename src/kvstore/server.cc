@@ -9,9 +9,12 @@ KvServer::KvServer(const KvServerParams &params, sim::Rng rng)
     : params_(params), rng_(rng), heap_(params.heap_mb),
       request_queue_(params.request_queue_items),
       response_queue_(params.response_queue_mb),
-      other_mb_(params.other_base_mb)
+      other_mb_(params.other_base_mb),
+      other_slot_(heap_.slot("other")),
+      request_slot_(heap_.slot("request.queue")),
+      response_slot_(heap_.slot("response.queue"))
 {
-    heap_.setComponent("other", other_mb_);
+    heap_.set(other_slot_, other_mb_);
 }
 
 void
@@ -31,7 +34,7 @@ KvServer::accept(const std::vector<workload::Op> &ops, sim::Tick now)
         request_queue_.offer(item, now);
     }
     // Queue payloads live on the heap the moment they are accepted.
-    heap_.setComponent("request.queue", request_queue_.bytesMb());
+    heap_.set(request_slot_, request_queue_.bytesMb());
     heap_.checkOom(now);
 }
 
@@ -46,7 +49,7 @@ KvServer::step(sim::Tick now)
                               params_.other_walk_mb);
     other_mb_ = std::clamp(other_mb_, params_.other_base_mb * 0.8,
                            params_.other_max_mb);
-    heap_.setComponent("other", other_mb_);
+    heap_.set(other_slot_, other_mb_);
 
     // 2. Expire requests whose client has given up.
     if (params_.request_timeout > 0) {
@@ -63,6 +66,7 @@ KvServer::step(sim::Tick now)
         std::max(0.0, std::round(rng_.gaussian(
                           params_.service_ops_per_tick,
                           params_.service_ops_per_tick * 0.1))));
+    delay_batch_.clear();
     while (budget > 0 && request_queue_.front() != nullptr) {
         const RpcItem *item = request_queue_.front();
         const double response_mb =
@@ -73,7 +77,7 @@ KvServer::step(sim::Tick now)
         const bool delivered = response_queue_.offer(response_mb);
         const RpcItem done = request_queue_.pop();
         if (delivered) {
-            queue_delays_.record(
+            delay_batch_.push_back(
                 static_cast<double>(now - done.enqueued));
             ++completed_;
         } else {
@@ -81,13 +85,16 @@ KvServer::step(sim::Tick now)
         }
         --budget;
     }
+    // One bulk histogram insert per tick; same sequence as per-op
+    // record() calls.
+    queue_delays_.recordBatch(delay_batch_.data(), delay_batch_.size());
 
     // 4. Network drains responses.
     response_queue_.drain(params_.network_mb_per_tick);
 
     // 5. Heap accounting + OOM check.
-    heap_.setComponent("request.queue", request_queue_.bytesMb());
-    heap_.setComponent("response.queue", response_queue_.bytesMb());
+    heap_.set(request_slot_, request_queue_.bytesMb());
+    heap_.set(response_slot_, response_queue_.bytesMb());
     heap_.checkOom(now);
 }
 

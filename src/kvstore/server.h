@@ -105,6 +105,16 @@ class KvServer
     std::uint64_t timed_out_ = 0;
     std::uint64_t dropped_responses_ = 0;
     sim::Histogram queue_delays_;
+
+    /** Heap gauges the server republishes every tick, slot-resolved
+     *  once here instead of name-scanned per update. */
+    JvmHeap::Slot other_slot_;
+    JvmHeap::Slot request_slot_;
+    JvmHeap::Slot response_slot_;
+
+    /** Per-tick queueing delays, flushed to queue_delays_ in one
+     *  batch (same recorded sequence as the per-op path). */
+    std::vector<double> delay_batch_;
 };
 
 } // namespace smartconf::kvstore

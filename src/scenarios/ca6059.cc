@@ -121,6 +121,9 @@ Ca6059Scenario::profile(std::uint64_t seed) const
         int samples = 0;
         std::uint64_t flushes_seen = 0;
         std::vector<workload::Op> ops; ///< reused arrival buffer
+        const kvstore::JvmHeap::Slot other_slot = heap.slot("other");
+        const kvstore::JvmHeap::Slot memtable_slot =
+            heap.slot("memtable");
         for (sim::Tick t = 0; samples < 10; ++t) {
             other = otherWalk(opts_, rng, other);
             gen.tickInto(ops);
@@ -129,8 +132,8 @@ Ca6059Scenario::profile(std::uint64_t seed) const
                     memtable.write(op.size_mb, t);
             }
             memtable.step(t);
-            heap.setComponent("other", other);
-            heap.setComponent("memtable", memtable.occupancyMb());
+            heap.set(other_slot, other);
+            heap.set(memtable_slot, memtable.occupancyMb());
             // The configuration is *used* when a flush-or-not decision
             // is made; profiling samples at those instants (occupancy
             // at the cap), mirroring "every time C is used".
@@ -209,12 +212,13 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     double mem = 0.0; ///< heap usage after this tick's accounting
     std::vector<workload::Op> ops; ///< reused arrival buffer
+    const kvstore::JvmHeap::Slot other_slot = heap.slot("other");
+    const kvstore::JvmHeap::Slot cache_slot = heap.slot("cache");
+    const kvstore::JvmHeap::Slot memtable_slot = heap.slot("memtable");
 
     loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
         const sim::Tick t = sim_clock.now();
-        auto p = gen.params();
-        p.write_fraction = write_frac.at(t);
-        gen.setParams(p);
+        gen.setWriteFraction(write_frac.at(t));
 
         // Read index cache warms gradually toward its target share.
         const double cache_target =
@@ -235,9 +239,9 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
         }
         memtable.step(t);
 
-        heap.setComponent("other", other);
-        heap.setComponent("cache", cache);
-        heap.setComponent("memtable", memtable.occupancyMb());
+        heap.set(other_slot, other);
+        heap.set(cache_slot, cache);
+        heap.set(memtable_slot, memtable.occupancyMb());
         heap.checkOom(t);
         mem = heap.usedMb();
     }));

@@ -140,9 +140,7 @@ Hb3813Scenario::profile(std::uint64_t seed) const
         const sim::Tick sample_every = 10;
         int samples = 0;
         for (; samples < opts_.profile_samples; ++t) {
-            auto p = gen.params();
-            p.ops_per_tick = arrivalRate(opts_, t);
-            gen.setParams(p);
+            gen.setOpsPerTick(arrivalRate(opts_, t));
             gen.tickInto(ops);
             server.accept(ops, t);
             server.step(t);
@@ -218,13 +216,13 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     double mem = 0.0; ///< heap usage after this tick's server step
     std::vector<workload::Op> ops; ///< reused arrival buffer
+    const kvstore::JvmHeap::Slot compaction_slot =
+        server.heap().slot("compaction");
 
     loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
         const sim::Tick t = sim_clock.now();
-        auto p = gen.params();
-        p.request_size_mb = req_size.at(t);
-        p.ops_per_tick = arrivalRate(opts_, t);
-        gen.setParams(p);
+        gen.setRequestSizeMb(req_size.at(t));
+        gen.setOpsPerTick(arrivalRate(opts_, t));
 
         gen.tickInto(ops);
         server.accept(ops, t);
@@ -234,8 +232,8 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
                 static_cast<double>(t - opts_.spike_at) /
                 static_cast<double>(std::max<sim::Tick>(
                     1, opts_.spike_ramp));
-            server.heap().setComponent(
-                "compaction",
+            server.heap().set(
+                compaction_slot,
                 opts_.spike_mb * std::min(1.0, progress));
             server.heap().checkOom(t);
         }

@@ -132,9 +132,7 @@ Hb6728Scenario::profile(std::uint64_t seed) const
         sim::Tick last_sample = -100;
         std::vector<workload::Op> ops; ///< reused arrival buffer
         for (sim::Tick t = 0; samples < 10; ++t) {
-            auto p = gen.params();
-            p.ops_per_tick = arrivalRate(opts_, t);
-            gen.setParams(p);
+            gen.setOpsPerTick(arrivalRate(opts_, t));
             gen.tickInto(ops);
             server.accept(ops, t);
             server.step(t);
@@ -220,13 +218,13 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     double mem = 0.0; ///< heap usage after this tick's server step
     std::vector<workload::Op> ops; ///< reused arrival buffer
+    const kvstore::JvmHeap::Slot memstore_slot =
+        server.heap().slot("memstore");
 
     loops.push_back(events.schedulePeriodicAt(0, 1, [&] {
         const sim::Tick t = sim_clock.now();
-        auto p = gen.params();
-        p.write_fraction = write_frac.at(t);
-        p.ops_per_tick = arrivalRate(opts_, t);
-        gen.setParams(p);
+        gen.setWriteFraction(write_frac.at(t));
+        gen.setOpsPerTick(arrivalRate(opts_, t));
 
         gen.tickInto(ops);
         for (const auto &op : ops) {
@@ -234,7 +232,7 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
                 memstore.write(op.size_mb, t);
         }
         memstore.step(t);
-        server.heap().setComponent("memstore", memstore.occupancyMb());
+        server.heap().set(memstore_slot, memstore.occupancyMb());
         server.accept(ops, t);
         server.step(t);
         mem = server.heap().usedMb();

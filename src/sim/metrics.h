@@ -115,6 +115,21 @@ class Histogram
         scratch_fresh_ = false;
     }
 
+    /**
+     * Append @p n observations from a contiguous array.  The batch
+     * form of the per-event record() loop: one range insert and a
+     * single sorted-flag invalidation, with the same recorded sequence
+     * as @p n scalar calls.  Callers accumulate a tick's observations
+     * in a reusable scratch buffer and flush once.
+     */
+    void recordBatch(const double *values, std::size_t n)
+    {
+        if (n == 0)
+            return;
+        values_.insert(values_.end(), values, values + n);
+        scratch_fresh_ = false;
+    }
+
     std::size_t count() const { return values_.size(); }
     double mean() const;
     double max() const;

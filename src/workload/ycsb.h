@@ -72,6 +72,19 @@ class YcsbGenerator
     /** Switch parameters mid-run (phase change). */
     void setParams(const YcsbParams &params);
 
+    /**
+     * Single-knob mutators for per-tick schedules.  Scenario drivers
+     * retune the arrival rate (and friends) every tick; these skip the
+     * params()-copy / setParams round trip and its rebuild check —
+     * none of these knobs feed the Zipfian table, so mutating them in
+     * place is observably identical.
+     */
+    void setOpsPerTick(double v) { params_.ops_per_tick = v; }
+    void setWriteFraction(double v) { params_.write_fraction = v; }
+    void setRequestSizeMb(double v) { params_.request_size_mb = v; }
+    void setBurstiness(double v) { params_.burstiness = v; }
+    void setCacheRatio(double v) { params_.cache_ratio = v; }
+
     const YcsbParams &params() const { return params_; }
 
     /** Total operations generated so far. */

@@ -1,0 +1,378 @@
+/**
+ * @file
+ * Stress and unit coverage for the work-stealing executor internals:
+ * forced-steal schedules, skewed task durations, shutdown drains with
+ * follow-up submissions, parallelFor semantics, and the Chase-Lev
+ * deque / arena building blocks.  The ThreadPool/StealDeque suites run
+ * under the tsan preset (see CMakePresets.json).
+ */
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <future>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "exec/arena.h"
+#include "exec/steal_deque.h"
+#include "exec/thread_pool.h"
+
+namespace {
+
+using smartconf::exec::MonotonicArena;
+using smartconf::exec::StealDeque;
+using smartconf::exec::ThreadPool;
+
+/**
+ * reclaim() is opportunistic: a future becomes ready when the promise
+ * is satisfied, a beat before the worker releases the task node and
+ * drops the outstanding count.  Retry briefly so the tests assert
+ * "reclaims once quiescent", not "reclaims on the first try".
+ */
+bool
+reclaimSoon(ThreadPool &pool)
+{
+    for (int i = 0; i < 2000; ++i) {
+        if (pool.reclaim())
+            return true;
+        std::this_thread::sleep_for(std::chrono::microseconds(500));
+    }
+    return false;
+}
+
+TEST(ThreadPoolStress, StealsAreTheOnlyPathToBlockedProducersWork)
+{
+    // One worker submits a burst of follow-up tasks (they land on its
+    // own deque) and then blocks on their futures.  The producer's
+    // slot is occupied, so the only way those tasks can run — and the
+    // only way this test can terminate — is other workers stealing
+    // them.  This forces the steal path deterministically instead of
+    // hoping a scheduler preemption creates imbalance.
+    ThreadPool pool(4);
+    constexpr int kTasks = 64;
+    std::atomic<int> executed{0};
+
+    std::future<int> producer = pool.submit([&pool, &executed] {
+        std::vector<std::future<int>> inner;
+        inner.reserve(kTasks);
+        for (int i = 0; i < kTasks; ++i)
+            inner.push_back(pool.submit([&executed, i] {
+                executed.fetch_add(1, std::memory_order_relaxed);
+                return i;
+            }));
+        int sum = 0;
+        for (auto &f : inner)
+            sum += f.get();
+        return sum;
+    });
+
+    EXPECT_EQ(producer.get(), (kTasks - 1) * kTasks / 2);
+    EXPECT_EQ(executed.load(), kTasks);
+    EXPECT_GE(pool.steals(), static_cast<std::uint64_t>(kTasks));
+}
+
+TEST(ThreadPoolStress, SkewedTaskDurationsAllComplete)
+{
+    // Steal-heavy by load shape: a few grinding tasks next to many
+    // trivial ones.  Idle workers must keep draining the short tail
+    // while the long tasks pin their owners.
+    ThreadPool pool(4);
+    constexpr int kTasks = 400;
+    std::vector<std::future<long>> futures;
+    futures.reserve(kTasks);
+    for (int i = 0; i < kTasks; ++i) {
+        futures.push_back(pool.submit([i]() -> long {
+            if (i % 37 == 0) {
+                // Grinder: ~100x the work of the short tasks.
+                volatile long acc = 0;
+                for (long k = 0; k < 200000; ++k)
+                    acc += k;
+                return acc >= 0 ? i : -1;
+            }
+            return i;
+        }));
+    }
+    long sum = 0;
+    for (auto &f : futures)
+        sum += f.get();
+    EXPECT_EQ(sum, static_cast<long>(kTasks - 1) * kTasks / 2);
+}
+
+TEST(ThreadPoolStress, DestructorDrainsFollowUpSubmissions)
+{
+    // Satellite criterion: the drain covers not just queued tasks but
+    // tasks that *those* tasks submit while the destructor is already
+    // waiting.
+    std::atomic<int> outer_run{0};
+    std::atomic<int> inner_run{0};
+    constexpr int kOuter = 32;
+    {
+        ThreadPool pool(2);
+        for (int i = 0; i < kOuter; ++i) {
+            pool.submit([&pool, &outer_run, &inner_run] {
+                outer_run.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::sleep_for(
+                    std::chrono::microseconds(50));
+                pool.submit([&inner_run] {
+                    inner_run.fetch_add(1,
+                                        std::memory_order_relaxed);
+                });
+            });
+        }
+    } // ~ThreadPool must run all 32 outers AND all 32 inners
+    EXPECT_EQ(outer_run.load(), kOuter);
+    EXPECT_EQ(inner_run.load(), kOuter);
+}
+
+TEST(ThreadPoolStress, ReclaimRecyclesNodesAcrossBatches)
+{
+    ThreadPool pool(2);
+    for (int i = 0; i < 256; ++i)
+        pool.submit([] { return 0; }).get();
+    EXPECT_TRUE(reclaimSoon(pool));
+    const std::size_t blocks = pool.nodeArenaBlocks();
+    // A second batch of the same shape reuses the rewound arena: no
+    // further growth.
+    for (int batch = 0; batch < 4; ++batch) {
+        for (int i = 0; i < 256; ++i)
+            pool.submit([] { return 0; }).get();
+        EXPECT_TRUE(reclaimSoon(pool));
+    }
+    EXPECT_EQ(pool.nodeArenaBlocks(), blocks);
+}
+
+TEST(ThreadPoolStress, ReclaimRefusesWhileTasksOutstanding)
+{
+    ThreadPool pool(2);
+    std::promise<void> gate;
+    std::shared_future<void> opened = gate.get_future().share();
+    std::future<int> blocked =
+        pool.submit([opened]() mutable {
+            opened.get();
+            return 5;
+        });
+    EXPECT_FALSE(pool.reclaim()); // the gated task is outstanding
+    gate.set_value();
+    EXPECT_EQ(blocked.get(), 5);
+    EXPECT_TRUE(reclaimSoon(pool));
+}
+
+TEST(ThreadPoolParallelFor, ResultsLandAtOwnIndex)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 1000;
+    std::vector<std::size_t> out(kN, 0);
+    pool.parallelFor(kN, [&](std::size_t i) { out[i] = i * 3 + 1; });
+    for (std::size_t i = 0; i < kN; ++i)
+        ASSERT_EQ(out[i], i * 3 + 1) << "index " << i;
+}
+
+TEST(ThreadPoolParallelFor, ZeroIterationsIsANoop)
+{
+    ThreadPool pool(2);
+    bool touched = false;
+    pool.parallelFor(0, [&](std::size_t) { touched = true; });
+    EXPECT_FALSE(touched);
+}
+
+TEST(ThreadPoolParallelFor, FewerItemsThanWorkers)
+{
+    ThreadPool pool(8);
+    std::vector<int> out(3, 0);
+    pool.parallelFor(3, [&](std::size_t i) {
+        out[i] = static_cast<int>(i) + 10;
+    });
+    EXPECT_EQ(out[0], 10);
+    EXPECT_EQ(out[1], 11);
+    EXPECT_EQ(out[2], 12);
+}
+
+TEST(ThreadPoolParallelFor, LowestIndexExceptionWinsAndAllIndicesRun)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kN = 500;
+    std::atomic<std::size_t> ran{0};
+    try {
+        pool.parallelFor(kN, [&](std::size_t i) {
+            ran.fetch_add(1, std::memory_order_relaxed);
+            if (i == 3 || i == 250 || i == 400)
+                throw std::runtime_error("body " +
+                                         std::to_string(i));
+        });
+        FAIL() << "expected parallelFor to rethrow";
+    } catch (const std::runtime_error &e) {
+        EXPECT_STREQ(e.what(), "body 3");
+    }
+    // Every index still executed; a throwing body does not abort the
+    // rest of the grid.
+    EXPECT_EQ(ran.load(), kN);
+}
+
+TEST(ThreadPoolParallelFor, RepeatedCallsWithReclaim)
+{
+    ThreadPool pool(4);
+    std::vector<double> out(256, 0.0);
+    for (int round = 0; round < 10; ++round) {
+        pool.parallelFor(out.size(), [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * round;
+        });
+        EXPECT_TRUE(reclaimSoon(pool));
+        for (std::size_t i = 0; i < out.size(); ++i)
+            ASSERT_EQ(out[i], static_cast<double>(i) * round);
+    }
+}
+
+TEST(StealDeque, OwnerPushPopIsLifo)
+{
+    MonotonicArena arena;
+    StealDeque<int> deque(arena, 8);
+    int items[3] = {1, 2, 3};
+    deque.push(&items[0]);
+    deque.push(&items[1]);
+    deque.push(&items[2]);
+    EXPECT_EQ(deque.pop(), &items[2]);
+    EXPECT_EQ(deque.pop(), &items[1]);
+    EXPECT_EQ(deque.pop(), &items[0]);
+    EXPECT_EQ(deque.pop(), nullptr);
+}
+
+TEST(StealDeque, StealTakesOldestFirst)
+{
+    MonotonicArena arena;
+    StealDeque<int> deque(arena, 8);
+    int items[3] = {1, 2, 3};
+    for (int &item : items)
+        deque.push(&item);
+    EXPECT_EQ(deque.steal(), &items[0]);
+    EXPECT_EQ(deque.steal(), &items[1]);
+    EXPECT_EQ(deque.steal(), &items[2]);
+    EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(StealDeque, GrowthPreservesEveryElement)
+{
+    MonotonicArena arena;
+    StealDeque<int> deque(arena, 8);
+    constexpr int kN = 1000; // forces several doublings
+    std::vector<int> items(kN);
+    for (int i = 0; i < kN; ++i) {
+        items[i] = i;
+        deque.push(&items[i]);
+    }
+    EXPECT_GE(deque.capacity(), kN);
+    // Steal half from the top (oldest), pop half from the bottom.
+    for (int i = 0; i < kN / 2; ++i)
+        ASSERT_EQ(deque.steal(), &items[i]);
+    for (int i = kN - 1; i >= kN / 2; --i)
+        ASSERT_EQ(deque.pop(), &items[i]);
+    EXPECT_EQ(deque.pop(), nullptr);
+    EXPECT_EQ(deque.steal(), nullptr);
+}
+
+TEST(StealDeque, ConcurrentOwnerAndThievesConserveItems)
+{
+    // Owner interleaves pushes and pops while three thieves hammer
+    // steal(); every item must be taken exactly once, none lost, none
+    // duplicated.  Run under the tsan preset this doubles as the
+    // memory-model check for the seq_cst Chase-Lev formulation.
+    MonotonicArena arena;
+    StealDeque<int> deque(arena, 8);
+    constexpr int kItems = 20000;
+    std::vector<int> items(kItems);
+    std::iota(items.begin(), items.end(), 0);
+    std::vector<std::atomic<int>> taken(kItems);
+    for (auto &t : taken)
+        t.store(0);
+    std::atomic<int> total_taken{0};
+    std::atomic<bool> owner_done{false};
+
+    auto take = [&](int *p) {
+        taken[*p].fetch_add(1, std::memory_order_relaxed);
+        total_taken.fetch_add(1, std::memory_order_relaxed);
+    };
+
+    std::vector<std::thread> thieves;
+    for (int t = 0; t < 3; ++t) {
+        thieves.emplace_back([&] {
+            while (!owner_done.load(std::memory_order_acquire) ||
+                   deque.sizeApprox() > 0) {
+                if (int *p = deque.steal())
+                    take(p);
+            }
+        });
+    }
+
+    for (int i = 0; i < kItems; ++i) {
+        deque.push(&items[i]);
+        if (i % 3 == 0) {
+            if (int *p = deque.pop())
+                take(p);
+        }
+    }
+    // Owner drains what the thieves have not raced away yet.
+    while (int *p = deque.pop())
+        take(p);
+    owner_done.store(true, std::memory_order_release);
+    for (std::thread &t : thieves)
+        t.join();
+    // Late stragglers: deque must now be empty.
+    EXPECT_EQ(deque.steal(), nullptr);
+
+    EXPECT_EQ(total_taken.load(), kItems);
+    for (int i = 0; i < kItems; ++i)
+        ASSERT_EQ(taken[i].load(), 1) << "item " << i;
+}
+
+TEST(MonotonicArena, AllocationsAreAligned)
+{
+    MonotonicArena arena;
+    for (std::size_t align : {std::size_t(8), std::size_t(16),
+                              std::size_t(64)}) {
+        void *p = arena.allocate(24, align);
+        EXPECT_EQ(reinterpret_cast<std::uintptr_t>(p) % align, 0u);
+    }
+}
+
+TEST(MonotonicArena, ResetReusesBlocksWithoutGrowth)
+{
+    MonotonicArena arena(1024);
+    for (int i = 0; i < 100; ++i)
+        arena.allocate(64);
+    const std::size_t blocks = arena.blocksAllocated();
+    EXPECT_GT(blocks, 1u); // the pattern spilled into extra blocks
+    for (int round = 0; round < 5; ++round) {
+        arena.reset();
+        for (int i = 0; i < 100; ++i)
+            arena.allocate(64);
+    }
+    EXPECT_EQ(arena.blocksAllocated(), blocks);
+    EXPECT_EQ(arena.resets(), 5u);
+}
+
+TEST(MonotonicArena, OversizedRequestGetsItsOwnBlock)
+{
+    MonotonicArena arena(1024);
+    void *big = arena.allocate(100 * 1024);
+    EXPECT_NE(big, nullptr);
+    EXPECT_GE(arena.bytesReserved(), std::size_t(100 * 1024));
+    // The arena stays usable afterwards.
+    void *small = arena.allocate(16);
+    EXPECT_NE(small, nullptr);
+}
+
+TEST(MonotonicArena, AllocateArrayIsTypedAndWritable)
+{
+    MonotonicArena arena;
+    double *xs = arena.allocateArray<double>(128);
+    for (int i = 0; i < 128; ++i)
+        xs[i] = i * 0.5;
+    EXPECT_EQ(xs[127], 63.5);
+}
+
+} // namespace

@@ -243,5 +243,42 @@ TEST(Chaos, DisabledChaosLeavesScenarioOutputUntouched)
     }
 }
 
+TEST(Chaos, HookCadencePinnedToControlInvocationsNotBatchSize)
+{
+    // The scenario hot loops batch their per-op metrics (one
+    // recordBatch / heap-slot write per tick instead of per op), but
+    // chaos hooks gate *logical control invocations*.  A skip_prob of
+    // 1.0 turns every fire() into a counted skip, so faults_injected
+    // becomes an exact census of hook calls: one per control-loop
+    // firing, independent of how many ops each tick batches.  If
+    // batching ever moved the hooks into a per-op or per-batch path,
+    // this count would explode or collapse.
+    scenarios::Hb3813Options opts = smallHb3813();
+    ASSERT_EQ(opts.control_period, 1);
+    const scenarios::Hb3813Scenario scenario(opts);
+    const scenarios::Policy policy =
+        scenarios::Policy::smart().withChaos(ChaosSpec::skips(1.0));
+    const scenarios::ScenarioResult r = scenario.run(policy, 1);
+
+    // Control fires at t = 0, period, 2*period, ... while t <
+    // total_ticks; the run must not crash early (every invocation is
+    // skipped, so the queue bound stays at the harmless initial 0).
+    ASSERT_FALSE(r.violated);
+    const std::uint64_t invocations = static_cast<std::uint64_t>(
+        (opts.total_ticks - 1) / opts.control_period + 1);
+    EXPECT_EQ(r.faults_injected, invocations);
+
+    // Same census at a coarser control period: the count follows the
+    // control cadence, not the tick or op count.
+    scenarios::Hb3813Options coarse = smallHb3813();
+    coarse.control_period = 25;
+    const scenarios::Hb3813Scenario scenario25(coarse);
+    const scenarios::ScenarioResult r25 = scenario25.run(policy, 1);
+    ASSERT_FALSE(r25.violated);
+    EXPECT_EQ(r25.faults_injected,
+              static_cast<std::uint64_t>(
+                  (coarse.total_ticks - 1) / coarse.control_period + 1));
+}
+
 } // namespace
 } // namespace smartconf::fault

@@ -49,5 +49,62 @@ TEST(Heap, ExactCapacityIsNotOom)
     EXPECT_FALSE(h.checkOom(1));
 }
 
+TEST(Heap, SlotApiMatchesStringApi)
+{
+    JvmHeap by_name(500.0);
+    JvmHeap by_slot(500.0);
+
+    const JvmHeap::Slot q = by_slot.slot("queue");
+    const JvmHeap::Slot o = by_slot.slot("other");
+    by_name.setComponent("queue", 100.0);
+    by_name.setComponent("other", 200.0);
+    by_slot.set(q, 100.0);
+    by_slot.set(o, 200.0);
+    EXPECT_EQ(by_name.usedMb(), by_slot.usedMb()); // bit-identical
+    EXPECT_DOUBLE_EQ(by_slot.at(q), 100.0);
+    EXPECT_DOUBLE_EQ(by_slot.component("queue"), 100.0);
+
+    by_name.addComponent("queue", -150.0); // floors at zero
+    by_slot.add(q, -150.0);
+    EXPECT_EQ(by_name.usedMb(), by_slot.usedMb());
+    EXPECT_DOUBLE_EQ(by_slot.at(q), 0.0);
+}
+
+TEST(Heap, SlotHandlesSurviveLaterInsertions)
+{
+    // Slots registered early must keep addressing their component
+    // after the sorted name table shifts underneath them.
+    JvmHeap h(500.0);
+    const JvmHeap::Slot m = h.slot("memtable");
+    h.set(m, 40.0);
+    // Insert names on both sides of "memtable" in sort order.
+    const JvmHeap::Slot a = h.slot("aaa");
+    const JvmHeap::Slot z = h.slot("zzz");
+    const JvmHeap::Slot c = h.slot("cache");
+    h.set(a, 1.0);
+    h.set(z, 2.0);
+    h.set(c, 4.0);
+    EXPECT_DOUBLE_EQ(h.at(m), 40.0);
+    EXPECT_DOUBLE_EQ(h.component("memtable"), 40.0);
+    EXPECT_DOUBLE_EQ(h.usedMb(), 47.0);
+    h.set(m, 50.0);
+    EXPECT_DOUBLE_EQ(h.component("memtable"), 50.0);
+}
+
+TEST(Heap, SlotIsFindOrInsert)
+{
+    JvmHeap h(100.0);
+    h.setComponent("cache", 30.0);
+    const JvmHeap::Slot c = h.slot("cache"); // existing component
+    EXPECT_DOUBLE_EQ(h.at(c), 30.0);
+    const JvmHeap::Slot c2 = h.slot("cache");
+    EXPECT_EQ(c, c2); // stable handle, not a fresh registration
+    // Registering a brand new name starts it at 0.0 — adding a zero
+    // component must not disturb the running sum.
+    const double before = h.usedMb();
+    (void)h.slot("fresh");
+    EXPECT_EQ(h.usedMb(), before);
+}
+
 } // namespace
 } // namespace smartconf::kvstore

@@ -156,5 +156,44 @@ TEST(HistogramTest, PercentileCachedAcrossQueriesAndMutations)
     EXPECT_DOUBLE_EQ(h.values().back(), 1000.0);
 }
 
+TEST(HistogramTest, RecordBatchMatchesScalarRecords)
+{
+    // The per-tick service loops switched to one recordBatch() per
+    // tick; the batch must be observably identical to the per-op
+    // record() sequence it replaced.
+    Histogram scalar;
+    Histogram batched;
+    const double values[] = {5.0, 1.0, 9.0, 1.0, 3.5, 7.25};
+    for (const double v : values)
+        scalar.record(v);
+    batched.recordBatch(values, 6);
+
+    EXPECT_EQ(scalar.count(), batched.count());
+    EXPECT_EQ(scalar.mean(), batched.mean()); // bit-identical sums
+    EXPECT_EQ(scalar.max(), batched.max());
+    EXPECT_EQ(scalar.percentile(50.0), batched.percentile(50.0));
+    EXPECT_EQ(scalar.percentile(99.0), batched.percentile(99.0));
+}
+
+TEST(HistogramTest, RecordBatchInvalidatesPercentileCache)
+{
+    Histogram h;
+    const double first[] = {1.0, 2.0, 3.0};
+    h.recordBatch(first, 3);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 3.0); // warms the cache
+    const double second[] = {10.0};
+    h.recordBatch(second, 1);
+    EXPECT_DOUBLE_EQ(h.percentile(100.0), 10.0);
+}
+
+TEST(HistogramTest, RecordBatchEmptyIsNoop)
+{
+    Histogram h;
+    h.record(4.0);
+    h.recordBatch(nullptr, 0);
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_DOUBLE_EQ(h.mean(), 4.0);
+}
+
 } // namespace
 } // namespace smartconf::sim

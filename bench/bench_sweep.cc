@@ -22,10 +22,13 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "exec/sweep.h"
 #include "scenarios/scenario.h"
+#include "sim/kernels.h"
+#include "sim/simd.h"
 
 int
 main(int argc, char **argv)
@@ -105,6 +108,18 @@ main(int argc, char **argv)
     if (args.json) {
         std::printf("{\n");
         std::printf("  \"bench\": \"bench_sweep\",\n");
+        // Host capabilities on one line so the regression gate can
+        // both exclude it from the payload hash and warn when a
+        // recorded baseline came from a different machine/ISA.
+        std::printf("  \"host\": {\"cpus\": %u, \"isa_detected\": "
+                    "\"%s\", \"isa_active\": \"%s\", \"compiler\": "
+                    "\"%s\"},\n",
+                    std::thread::hardware_concurrency(),
+                    smartconf::sim::simd::name(
+                        smartconf::sim::simd::detected()),
+                    smartconf::sim::simd::name(
+                        smartconf::sim::kernels::activeIsa()),
+                    __VERSION__);
         std::printf("  \"jobs\": %zu,\n", runner.jobs());
         std::printf("  \"runs\": %zu,\n", jobs.size());
         std::printf("  \"cold_wall_ms\": %.3f,\n", cold_ms);

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <vector>
 
+#include "sim/kernels.h"
 #include "sim/metrics.h"
 
 namespace smartconf::exec {
@@ -43,10 +44,15 @@ class Writer
         // (asserted below), so the curve round-trips as one block copy.
         // A result carries up to hundreds of thousands of points; bulk
         // I/O is what keeps warm process start-up in the market for
-        // "faster than simulating".
+        // "faster than simulating".  The block goes through the kernel
+        // layer's widened copy rather than insert()'s element path.
         static_assert(sizeof(sim::TimeSeries::Point) == 16,
                       "Point must pack to 16 bytes for bulk series I/O");
-        raw(ts.points().data(), ts.points().size() * 16);
+        const std::size_t bytes = ts.points().size() * 16;
+        const std::size_t off = buf_.size();
+        buf_.resize(off + bytes);
+        sim::kernels::copyBytes(buf_.data() + off, ts.points().data(),
+                                bytes);
     }
     const std::vector<char> &bytes() const { return buf_; }
 
@@ -67,7 +73,7 @@ class Reader
     {
         if (pos_ + n > size_)
             return false;
-        std::memcpy(out, data_ + pos_, n);
+        sim::kernels::copyBytes(out, data_ + pos_, n);
         pos_ += n;
         return true;
     }
@@ -145,18 +151,7 @@ DiskRunCache::fnv1a(const void *data, std::size_t len)
 std::uint64_t
 DiskRunCache::checksum64(const void *data, std::size_t len)
 {
-    const auto *p = static_cast<const unsigned char *>(data);
-    constexpr std::uint64_t kPrime = 0x100000001b3ULL;
-    std::uint64_t h = 0xcbf29ce484222325ULL;
-    std::size_t i = 0;
-    for (; i + 8 <= len; i += 8) {
-        std::uint64_t w;
-        std::memcpy(&w, p + i, 8);
-        h = (h ^ w) * kPrime;
-    }
-    for (; i < len; ++i)
-        h = (h ^ p[i]) * kPrime;
-    return h;
+    return sim::kernels::checksum(data, len);
 }
 
 std::string

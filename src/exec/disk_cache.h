@@ -52,18 +52,21 @@ class DiskRunCache
      * Bump when the serialized byte layout changes.
      *
      * History: 1 = PR1 layout, 2 = payload checksum in the header +
-     * faults_injected field, 3 = word-at-a-time payload checksum.
+     * faults_injected field, 3 = word-at-a-time payload checksum,
+     * 4 = four-lane interleaved kernel checksum (sim/kernels.h).
      */
-    static constexpr std::uint32_t kFormatVersion = 3;
+    static constexpr std::uint32_t kFormatVersion = 4;
 
     /**
      * Bump when simulation outputs change (new scenario mechanics,
      * RNG stream changes, new ScenarioResult fields with meaning).
      *
      * History: 1 = PR1 runner, 2 = event-engine rewrite,
-     * 3 = alias-table sampler + ops_simulated tracking.
+     * 3 = alias-table sampler + ops_simulated tracking,
+     * 4 = YCSB struct-of-arrays draw order (coins/keys/sizes batched
+     *     per tick instead of interleaved per op).
      */
-    static constexpr std::uint32_t kEngineVersion = 3;
+    static constexpr std::uint32_t kEngineVersion = 4;
 
     /**
      * Open (creating if needed) the store rooted at @p root.  The
@@ -97,11 +100,13 @@ class DiskRunCache
     static std::uint64_t fnv1a(const void *data, std::size_t len);
 
     /**
-     * Payload checksum: FNV-1a-style mixing over 8-byte lanes (tail
-     * bytes folded in one at a time).  Detects any bit flip like the
-     * byte-wise hash, but runs one multiply per word instead of per
-     * byte — the payload is megabytes of series points, and the
-     * byte-serial dependency chain dominated cold store time.
+     * Payload checksum: the kernel layer's four-lane interleaved
+     * FNV-1a-style hash (sim/kernels::checksum) — bit-identical across
+     * SIMD dispatch levels, vectorized where the host allows.  Detects
+     * any bit flip like the byte-wise hash; the interleaving breaks
+     * the word-serial multiply chain that bounded both store and load
+     * verification.  Checksum values differ from format v3, hence the
+     * format bump.
      */
     static std::uint64_t checksum64(const void *data, std::size_t len);
 

@@ -6,6 +6,8 @@
 #include <mutex>
 #include <utility>
 
+#include "sim/kernels.h"
+
 namespace smartconf::sim {
 
 AliasTable::AliasTable(const std::vector<double> &weights)
@@ -72,11 +74,11 @@ AliasTable::AliasTable(const std::vector<double> &weights)
 }
 
 void
-AliasTable::sampleInto(Rng &rng, std::uint64_t *out,
-                       std::size_t count) const
+AliasTable::sampleBatch(Rng &rng, std::uint64_t *out,
+                        std::size_t count) const
 {
-    for (std::size_t i = 0; i < count; ++i)
-        out[i] = sample(rng);
+    rng.fillRaw(out, count);
+    kernels::aliasResolve(entries_.data(), n_, out, count);
 }
 
 namespace {

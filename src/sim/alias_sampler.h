@@ -62,8 +62,22 @@ class AliasTable
                    : static_cast<std::uint32_t>(entry);
     }
 
-    /** Fill @p out[0..count) with draws (batch form of sample()). */
-    void sampleInto(Rng &rng, std::uint64_t *out, std::size_t count) const;
+    /**
+     * Fill @p out[0..count) with draws — bit-identical to @p count
+     * serial sample() calls, in the same Rng stream positions.  The
+     * raw words come from Rng::fillRaw() (serial-stream-equivalent
+     * batch generation) and the slot/accept/alias resolution runs
+     * through the SIMD kernel layer (packed-uint64 entries, AVX2
+     * gathers where available; see sim/kernels.h).
+     */
+    void sampleBatch(Rng &rng, std::uint64_t *out,
+                     std::size_t count) const;
+
+    /** Alias kept from the pre-kernel batch API; see sampleBatch(). */
+    void sampleInto(Rng &rng, std::uint64_t *out, std::size_t count) const
+    {
+        sampleBatch(rng, out, count);
+    }
 
     /** Population size n. */
     std::size_t size() const { return static_cast<std::size_t>(n_); }

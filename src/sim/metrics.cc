@@ -4,6 +4,8 @@
 #include <cmath>
 #include <sstream>
 
+#include "sim/kernels.h"
+
 namespace smartconf::sim {
 
 double
@@ -75,24 +77,19 @@ TimeSeries::toCsv(const TickConverter &conv) const
     return out.str();
 }
 
-double
-Histogram::mean() const
+void
+Histogram::recordBatch(const double *values, std::size_t n)
 {
-    if (values_.empty())
-        return 0.0;
-    double acc = 0.0;
-    for (const double v : values_)
-        acc += v;
-    return acc / static_cast<double>(values_.size());
-}
-
-double
-Histogram::max() const
-{
-    double best = 0.0;
-    for (const double v : values_)
-        best = std::max(best, v);
-    return best;
+    if (n == 0)
+        return;
+    values_.insert(values_.end(), values, values + n);
+    sum_ += kernels::reduceSum(values, n);
+    const kernels::MinMax mm = kernels::reduceMinMax(values, n);
+    // Fold the batch partials with the same directional rules the
+    // kernels use per element.
+    min_ = mm.min < min_ ? mm.min : min_;
+    max_ = mm.max > max_ ? mm.max : max_;
+    scratch_fresh_ = false;
 }
 
 double

@@ -90,7 +90,21 @@ class TimeSeries
     std::vector<Point> points_;
 };
 
-/** Latency/size distribution summary. */
+/**
+ * Latency/size distribution summary.
+ *
+ * Count, sum, min and max are maintained *streaming*, at record time,
+ * through the SIMD kernel layer: recordBatch() reduces the incoming
+ * array with the kernels' pinned lane-then-combine accumulation order
+ * (sim/kernels.h) and folds the partial into the running aggregates,
+ * so mean()/min()/max() are O(1) queries instead of full scans.  The
+ * scalar record() path uses the same per-element rules, which makes
+ * every aggregate bit-identical across SIMD dispatch levels — but the
+ * floating-point *sum* does depend on how observations are grouped
+ * into batches (a batch is reduced lane-wise before joining the
+ * running sum).  Call shapes are deterministic in this codebase, so
+ * results stay reproducible; only values_ is call-shape-independent.
+ */
 class Histogram
 {
   public:
@@ -100,6 +114,11 @@ class Histogram
     void record(double value)
     {
         values_.push_back(value);
+        sum_ += value;
+        // minpd/maxpd(x, acc) rules — NaN keeps the accumulator —
+        // matching the kernels' reduceMinMax element rule exactly.
+        min_ = value < min_ ? value : min_;
+        max_ = value > max_ ? value : max_;
         scratch_fresh_ = false;
     }
 
@@ -108,31 +127,58 @@ class Histogram
      * for callers that serve work in same-valued runs (e.g. the
      * namenode draining a same-tick write backlog): one bulk insert
      * instead of @p n push_backs, with the same observable sequence.
+     * The running sum advances by value * n (the definition for this
+     * call shape, not n serial additions).
      */
     void record(double value, std::size_t n)
     {
+        if (n == 0)
+            return;
         values_.insert(values_.end(), n, value);
+        sum_ += value * static_cast<double>(n);
+        min_ = value < min_ ? value : min_;
+        max_ = value > max_ ? value : max_;
         scratch_fresh_ = false;
     }
 
     /**
      * Append @p n observations from a contiguous array.  The batch
-     * form of the per-event record() loop: one range insert and a
-     * single sorted-flag invalidation, with the same recorded sequence
-     * as @p n scalar calls.  Callers accumulate a tick's observations
-     * in a reusable scratch buffer and flush once.
+     * form of the per-event record() loop: one range insert, one
+     * SIMD reduction for the streaming aggregates, and a single
+     * sorted-flag invalidation.  The recorded *sequence* matches @p n
+     * scalar calls; the running sum receives the batch's lane-combined
+     * partial (see the class comment).
      */
-    void recordBatch(const double *values, std::size_t n)
-    {
-        if (n == 0)
-            return;
-        values_.insert(values_.end(), values, values + n);
-        scratch_fresh_ = false;
-    }
+    void recordBatch(const double *values, std::size_t n);
 
     std::size_t count() const { return values_.size(); }
-    double mean() const;
-    double max() const;
+
+    /** Mean of recorded values (streaming sum / count); 0 when empty. */
+    double mean() const
+    {
+        return values_.empty()
+                   ? 0.0
+                   : sum_ / static_cast<double>(values_.size());
+    }
+
+    /**
+     * Largest recorded value, never below 0 (the pre-streaming fold
+     * started at 0.0 and this keeps that floor); NaN observations are
+     * ignored; 0 when empty.
+     */
+    double max() const
+    {
+        return !values_.empty() && max_ > 0.0 ? max_ : 0.0;
+    }
+
+    /**
+     * Smallest recorded value (NaN observations ignored); 0 when
+     * empty.  A histogram holding only NaN reports the +inf identity.
+     */
+    double min() const { return values_.empty() ? 0.0 : min_; }
+
+    /** Running sum of observations (lane-order; see class comment). */
+    double sum() const { return values_.empty() ? 0.0 : sum_; }
 
     /**
      * Nearest-rank percentile in (0, 100]; 0 when empty.
@@ -151,11 +197,21 @@ class Histogram
     void reset()
     {
         values_.clear();
+        sum_ = 0.0;
+        min_ = kInf;
+        max_ = -kInf;
         scratch_fresh_ = false;
     }
 
   private:
+    static constexpr double kInf = __builtin_inf();
+
     std::vector<double> values_;
+
+    /** Streaming aggregates (see class comment for ordering rules). */
+    double sum_ = 0.0;
+    double min_ = kInf;
+    double max_ = -kInf;
 
     /** Query-side cache: a reusable copy of values_ for (partial)
      *  sorting, so percentile() stops copy-allocating per call. */

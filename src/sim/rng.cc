@@ -1,9 +1,11 @@
 #include "sim/rng.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cmath>
 
 #include "sim/alias_sampler.h"
+#include "sim/kernels.h"
 
 namespace smartconf::sim {
 
@@ -28,6 +30,21 @@ Rng::Rng(std::uint64_t seed) : seed_(seed)
         s = splitmix64(sm);
 }
 
+void
+Rng::fillRaw(std::uint64_t *out, std::size_t n)
+{
+    // Phase 1 (serial): walk the state, recording each step's
+    // pre-transition s[1] — the only word the output map reads.  This
+    // is cheaper than next() per word (no multiplies) and is the part
+    // that cannot vectorize.  Phase 2 (parallel): the kernel applies
+    // rotl(x*5, 7)*9 to the whole buffer in SIMD lanes.
+    for (std::size_t i = 0; i < n; ++i) {
+        out[i] = s_[1];
+        advance();
+    }
+    kernels::rngOutputMap(out, n);
+}
+
 double
 Rng::exponential(double mean)
 {
@@ -45,15 +62,49 @@ Rng::gaussian(double mean, double stddev)
         have_spare_ = false;
         return mean + stddev * spare_;
     }
-    double u1 = uniform();
-    if (u1 <= 0.0)
-        u1 = 1e-12;
-    const double u2 = uniform();
-    const double mag = std::sqrt(-2.0 * std::log(u1));
-    const double two_pi = 6.283185307179586;
-    spare_ = mag * std::sin(two_pi * u2);
+    // Inline next() twice instead of fillRaw(w, 2): same words, but a
+    // single-pair draw doesn't amortize the batch path's two dispatch
+    // hops (per-tick batch-size draws hit this at scenario-tick rate).
+    std::uint64_t w[2];
+    w[0] = next();
+    w[1] = next();
+    double z[2];
+    kernels::gaussianPairs(w, z, 1);
+    spare_ = z[1];
     have_spare_ = true;
-    return mean + stddev * mag * std::cos(two_pi * u2);
+    return mean + stddev * z[0];
+}
+
+void
+Rng::gaussianBatch(double mean, double stddev, double *out,
+                   std::size_t n)
+{
+    std::size_t i = 0;
+    if (n != 0 && have_spare_) {
+        have_spare_ = false;
+        out[i++] = mean + stddev * spare_;
+    }
+    // Chunked so the word/normal staging stays on the stack; the word
+    // stream is exactly what n serial gaussian() calls would consume
+    // (two per pair, trailing odd normal's partner carried as spare).
+    constexpr std::size_t kChunk = 128;
+    std::uint64_t w[2 * kChunk];
+    double z[2 * kChunk];
+    while (i < n) {
+        const std::size_t remaining = n - i;
+        const std::size_t pairs =
+            std::min(kChunk, (remaining + 1) / 2);
+        fillRaw(w, 2 * pairs);
+        kernels::gaussianPairs(w, z, pairs);
+        const std::size_t take = std::min(remaining, 2 * pairs);
+        for (std::size_t j = 0; j < take; ++j)
+            out[i + j] = mean + stddev * z[j];
+        i += take;
+        if (take < 2 * pairs) {
+            spare_ = z[take];
+            have_spare_ = true;
+        }
+    }
 }
 
 Rng
@@ -83,10 +134,10 @@ ZipfianGenerator::sample(Rng &rng) const
 }
 
 void
-ZipfianGenerator::sampleInto(Rng &rng, std::uint64_t *out,
-                             std::size_t count) const
+ZipfianGenerator::sampleBatch(Rng &rng, std::uint64_t *out,
+                              std::size_t count) const
 {
-    table_->sampleInto(rng, out, count);
+    table_->sampleBatch(rng, out, count);
 }
 
 double

@@ -35,14 +35,39 @@ class Rng
     std::uint64_t next()
     {
         const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
-        const std::uint64_t t = s_[1] << 17;
-        s_[2] ^= s_[0];
-        s_[3] ^= s_[1];
-        s_[1] ^= s_[2];
-        s_[0] ^= s_[3];
-        s_[2] ^= t;
-        s_[3] = rotl(s_[3], 45);
+        advance();
         return result;
+    }
+
+    /**
+     * Fill @p out[0..n) with the next @p n raw values — the same words,
+     * in the same order, as @p n successive next() calls (and the
+     * generator lands in the same state).  The serial part of xoshiro
+     * is only the state transition; fillRaw records the per-step s[1]
+     * words and applies the output map through the SIMD kernel layer
+     * (sim/kernels.h), so wide batches beat the call-per-word loop
+     * while remaining stream-identical to it.
+     */
+    void fillRaw(std::uint64_t *out, std::size_t n);
+
+    /**
+     * Integer acceptance bound for a probability-@p p coin flipped on
+     * raw words: chance(p) == (next() >> 11) < coinThreshold(p) for
+     * every word.  Proof: uniform() = double(r >> 11) * 2^-53 < p
+     * <=> (r >> 11) < p * 2^53 as reals (both sides scale exactly:
+     * r >> 11 has at most 53 significant bits and multiplying a double
+     * by a power of two only moves its exponent), and for integer x,
+     * x < t <=> x < ceil(t).  Lets batch consumers turn coin flips
+     * into pure integer compares on fillRaw() output.
+     */
+    static std::uint64_t coinThreshold(double p)
+    {
+        if (p >= 1.0)
+            return 1ULL << 53; // above every (r >> 11): always true
+        if (p <= 0.0)
+            return 0; // never true, like uniform() < 0
+        return static_cast<std::uint64_t>(
+            __builtin_ceil(p * 9007199254740992.0 /* 2^53 */));
     }
 
     /** Uniform double in [0, 1). */
@@ -78,8 +103,21 @@ class Rng
     /** Exponential variate with the given mean (inter-arrival times). */
     double exponential(double mean);
 
-    /** Standard normal via Box-Muller. */
+    /**
+     * Normal variate via the kernel-layer Box-Muller
+     * (kernels::gaussianPairs): each pair of raw words yields two
+     * normals; the second is cached and returned by the next call.
+     */
     double gaussian(double mean = 0.0, double stddev = 1.0);
+
+    /**
+     * Fill @p out[0..n) with normals — the same values, from the same
+     * words, as @p n successive gaussian() calls (spare carry
+     * included), but drawn through fillRaw() + the vectorized pair
+     * kernel in chunks.
+     */
+    void gaussianBatch(double mean, double stddev, double *out,
+                       std::size_t n);
 
     /**
      * Fork an independent stream: deterministic function of this
@@ -92,6 +130,18 @@ class Rng
     static std::uint64_t rotl(std::uint64_t x, int k)
     {
         return (x << k) | (x >> (64 - k));
+    }
+
+    /** State transition without the output map (fillRaw's inner step). */
+    void advance()
+    {
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
     }
 
     std::uint64_t s_[4];
@@ -130,9 +180,19 @@ class ZipfianGenerator
     /** Sample an item index in [0, n). */
     std::uint64_t sample(Rng &rng) const;
 
-    /** Fill @p out[0..count) with samples in one pass. */
+    /**
+     * Fill @p out[0..count) with samples in one pass — bit-identical
+     * to @p count serial sample() calls (see AliasTable::sampleBatch).
+     */
+    void sampleBatch(Rng &rng, std::uint64_t *out,
+                     std::size_t count) const;
+
+    /** Alias kept from the pre-kernel batch API; see sampleBatch(). */
     void sampleInto(Rng &rng, std::uint64_t *out,
-                    std::size_t count) const;
+                    std::size_t count) const
+    {
+        sampleBatch(rng, out, count);
+    }
 
     std::uint64_t population() const { return n_; }
 

@@ -70,6 +70,9 @@ class DfsioGenerator
     sim::Rng rng_;
     sim::Tick last_du_ = -1;
     std::uint64_t generated_ = 0;
+
+    /** Per-tick raw-word batch buffer (amortized like `out`). */
+    std::vector<std::uint64_t> scratch_;
 };
 
 } // namespace smartconf::workload

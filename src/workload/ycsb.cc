@@ -32,15 +32,39 @@ YcsbGenerator::tickInto(std::vector<Op> &out)
     // elements, growth value-initializes only the new tail.  Every
     // field is overwritten below, so stale contents are harmless.
     out.resize(n);
-    // Draw order per op (type, key, size) matches the historical
-    // per-op loop, so the shared Rng stream stays aligned with it.
-    for (Op &op : out) {
-        op.type = rng_.chance(params_.write_fraction) ? Op::Type::Write
-                                                      : Op::Type::Read;
-        op.key = zipf_.sample(rng_);
-        const double jitter = rng_.gaussian(1.0, params_.size_jitter);
-        op.size_mb = params_.request_size_mb * std::max(0.05, jitter);
-    }
+    scratch_.resize(n);
+
+    // Draw order is struct-of-arrays per tick — all type coins, then
+    // all keys, then all sizes — so every column comes from a
+    // kernel-layer batch instead of per-op calls.  Each op still
+    // consumes the historical word count (coin 1, key 1, size jitter
+    // via the stateful Box-Muller pair), but at different stream
+    // positions than the interleaved per-op loop; the engine version
+    // moved with this change.
+
+    // Type coins: one raw word each, accepted by the exact integer
+    // equivalent of uniform() < write_fraction (Rng::coinThreshold).
+    rng_.fillRaw(scratch_.data(), n);
+    const std::uint64_t write_bound =
+        sim::Rng::coinThreshold(params_.write_fraction);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i].type = (scratch_[i] >> 11) < write_bound
+                          ? Op::Type::Write
+                          : Op::Type::Read;
+
+    // Keys: batched alias-table resolution (gathers under AVX2).
+    zipf_.sampleBatch(rng_, scratch_.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i].key = scratch_[i];
+
+    // Sizes: batched Box-Muller (kernels::gaussianPairs); the spare
+    // carried across ticks makes this word-for-word what n serial
+    // gaussian() calls would draw.
+    jitter_.resize(n);
+    rng_.gaussianBatch(1.0, params_.size_jitter, jitter_.data(), n);
+    for (std::size_t i = 0; i < n; ++i)
+        out[i].size_mb =
+            params_.request_size_mb * std::max(0.05, jitter_[i]);
     generated_ += n;
 }
 

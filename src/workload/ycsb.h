@@ -61,11 +61,12 @@ class YcsbGenerator
      * Fill @p out (cleared first) with the operations arriving during
      * one tick.  Re-feeding the same buffer every tick amortizes its
      * allocation to the run's burst high-water mark — the steady-state
-     * arrival path stops touching the heap.  The batch is generated in
-     * a single resize-and-fill pass: the op count is drawn once, the
-     * buffer is sized, and each op is written in place through the
-     * O(1) alias-table Zipfian sampler (no pow(), no push_back growth
-     * checks, no virtual dispatch).
+     * arrival path stops touching the heap.  Generation is
+     * struct-of-arrays: the op count is drawn once, then the tick's
+     * type coins, Zipfian keys and Box-Muller size jitter are each
+     * produced as kernel-layer batches (Rng::fillRaw +
+     * AliasTable::sampleBatch + Rng::gaussianBatch — SIMD lanes, one
+     * PRNG word per coin/key, two per jitter pair).
      */
     void tickInto(std::vector<Op> &out);
 
@@ -95,6 +96,12 @@ class YcsbGenerator
     sim::Rng rng_;
     sim::ZipfianGenerator zipf_;
     std::uint64_t generated_ = 0;
+
+    /** Per-tick raw-word / key batch buffer (amortized like `out`). */
+    std::vector<std::uint64_t> scratch_;
+
+    /** Per-tick size-jitter batch buffer (amortized like `out`). */
+    std::vector<double> jitter_;
 };
 
 } // namespace smartconf::workload

@@ -1,0 +1,585 @@
+/**
+ * @file
+ * Differential tests for the SIMD kernel layer (sim/kernels.h).
+ *
+ * The scalar backend is the canonical definition of every kernel's
+ * output, so the core of this suite is one shape: compute a result at
+ * each dispatch level the host supports and require it to be
+ * *bit-identical* to the scalar reference — integer kernels because
+ * they are pure integer math, floating-point reductions because all
+ * backends implement the same pinned lane-then-combine order.
+ *
+ * Inputs deliberately include the awkward cases: n = 0 and 1, lengths
+ * around every lane-count multiple, NaN/Inf payloads, heavy-tailed
+ * alias tables, and raw words at the integer extremes.
+ */
+
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sim/alias_sampler.h"
+#include "sim/kernels.h"
+#include "sim/rng.h"
+#include "sim/simd.h"
+
+namespace kernels = smartconf::sim::kernels;
+namespace simd = smartconf::sim::simd;
+using smartconf::sim::AliasTable;
+using smartconf::sim::Rng;
+using smartconf::sim::ZipfianGenerator;
+
+namespace {
+
+constexpr simd::Isa kAllLevels[] = {simd::Isa::Scalar, simd::Isa::Sse2,
+                                    simd::Isa::Avx2};
+
+/**
+ * Run @p fn once per ISA level this host can execute (requesting an
+ * unsupported level clamps, which we detect and skip), restoring the
+ * default dispatch level afterwards even on assertion failure.
+ */
+template <typename Fn>
+void
+forEachSupportedIsa(Fn &&fn)
+{
+    int levels_run = 0;
+    for (simd::Isa isa : kAllLevels) {
+        if (kernels::setIsa(isa) != isa)
+            continue; // host or build can't execute this level
+        SCOPED_TRACE(std::string("isa=") + simd::name(isa));
+        fn(isa);
+        ++levels_run;
+    }
+    kernels::setIsa(simd::detected());
+    // The scalar reference always exists; running zero levels would
+    // mean the whole suite silently tested nothing.
+    ASSERT_GE(levels_run, 1);
+}
+
+/** Lengths that straddle every lane-multiple boundary up to 4 lanes. */
+const std::size_t kAwkwardLengths[] = {0,  1,  2,  3,  4,  5,  7,  8,
+                                       9,  12, 15, 16, 17, 31, 32, 33,
+                                       63, 64, 100, 255, 1024, 1027};
+
+std::vector<std::uint64_t>
+randomWords(std::size_t n, std::uint64_t seed)
+{
+    Rng rng(seed);
+    std::vector<std::uint64_t> w(n);
+    for (auto &x : w)
+        x = rng.next();
+    // Salt in the integer extremes so compares/rotates see them.
+    if (n > 0)
+        w[0] = 0;
+    if (n > 1)
+        w[1] = ~0ULL;
+    if (n > 2)
+        w[2] = 0x8000000000000000ULL;
+    if (n > 3)
+        w[3] = 0x00000000ffffffffULL;
+    return w;
+}
+
+/** Bitwise equality for doubles (distinguishes NaN payloads, -0.0). */
+bool
+sameBits(double a, double b)
+{
+    std::uint64_t ua = 0, ub = 0;
+    std::memcpy(&ua, &a, 8);
+    std::memcpy(&ub, &b, 8);
+    return ua == ub;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------------------
+// Dispatch plumbing
+
+TEST(Simd, ParseAcceptsExactlyTheLevelNames)
+{
+    simd::Isa isa = simd::Isa::Avx2;
+    EXPECT_TRUE(simd::parse("scalar", isa));
+    EXPECT_EQ(isa, simd::Isa::Scalar);
+    EXPECT_TRUE(simd::parse("sse2", isa));
+    EXPECT_EQ(isa, simd::Isa::Sse2);
+    EXPECT_TRUE(simd::parse("avx2", isa));
+    EXPECT_EQ(isa, simd::Isa::Avx2);
+
+    isa = simd::Isa::Sse2;
+    EXPECT_FALSE(simd::parse("", isa));
+    EXPECT_FALSE(simd::parse("AVX2", isa)); // names are lower-case
+    EXPECT_FALSE(simd::parse("avx512", isa));
+    EXPECT_EQ(isa, simd::Isa::Sse2); // out untouched on failure
+}
+
+TEST(Simd, NamesRoundTripThroughParse)
+{
+    for (simd::Isa isa : kAllLevels) {
+        simd::Isa back = simd::Isa::Scalar;
+        ASSERT_TRUE(simd::parse(simd::name(isa), back));
+        EXPECT_EQ(back, isa);
+    }
+}
+
+TEST(Simd, DetectedIsSupportedAndScalarAlwaysIs)
+{
+    EXPECT_TRUE(simd::supported(simd::detected()));
+    EXPECT_TRUE(simd::supported(simd::Isa::Scalar));
+    if (!simd::compiledIn())
+        EXPECT_EQ(simd::detected(), simd::Isa::Scalar);
+}
+
+TEST(Kernels, SetIsaClampsToDetectedAndReportsActive)
+{
+    const simd::Isa ceiling = simd::detected();
+    for (simd::Isa isa : kAllLevels) {
+        const simd::Isa got = kernels::setIsa(isa);
+        EXPECT_LE(static_cast<int>(got), static_cast<int>(ceiling));
+        if (simd::supported(isa))
+            EXPECT_EQ(got, isa);
+        EXPECT_EQ(kernels::activeIsa(), got);
+    }
+    kernels::setIsa(simd::detected());
+}
+
+// ---------------------------------------------------------------------------
+// rngOutputMap / fillRaw
+
+TEST(Kernels, RngOutputMapMatchesScalarAtEveryLevel)
+{
+    for (std::size_t n : kAwkwardLengths) {
+        const auto input = randomWords(n, 0x1234 + n);
+        auto reference = input;
+        kernels::setIsa(simd::Isa::Scalar);
+        kernels::rngOutputMap(reference.data(), reference.size());
+
+        forEachSupportedIsa([&](simd::Isa) {
+            auto words = input;
+            kernels::rngOutputMap(words.data(), words.size());
+            EXPECT_EQ(words, reference) << "n=" << n;
+        });
+    }
+}
+
+TEST(Kernels, FillRawReproducesTheSerialStreamWordForWord)
+{
+    forEachSupportedIsa([&](simd::Isa) {
+        for (std::size_t n : kAwkwardLengths) {
+            Rng serial(0xfeed + n);
+            Rng batched(0xfeed + n);
+            std::vector<std::uint64_t> expect(n), got(n);
+            for (auto &w : expect)
+                w = serial.next();
+            batched.fillRaw(got.data(), n);
+            EXPECT_EQ(got, expect) << "n=" << n;
+            // The generators must also land in the same state.
+            EXPECT_EQ(batched.next(), serial.next()) << "n=" << n;
+        }
+    });
+}
+
+// ---------------------------------------------------------------------------
+// aliasResolve / sampleBatch
+
+TEST(Kernels, AliasResolveMatchesScalarOnHeavyTailedTables)
+{
+    // Zipf(theta=0.99) concentrates ~10% of mass on rank 0: slots are
+    // wildly unequal, so accept/alias both fire constantly.
+    const std::uint64_t kPopulations[] = {1, 2, 3, 100, 4096, 100000};
+    for (std::uint64_t pop : kPopulations) {
+        const auto table = AliasTable::zipfian(pop, 0.99);
+        for (std::size_t n : kAwkwardLengths) {
+            const auto input = randomWords(n, pop * 31 + n);
+            auto reference = input;
+            kernels::setIsa(simd::Isa::Scalar);
+            Rng ref_rng(pop + n);
+            table->sampleBatch(ref_rng, reference.data(), n);
+
+            forEachSupportedIsa([&](simd::Isa) {
+                auto out = input;
+                Rng rng(pop + n);
+                table->sampleBatch(rng, out.data(), n);
+                EXPECT_EQ(out, reference)
+                    << "pop=" << pop << " n=" << n;
+            });
+        }
+    }
+}
+
+TEST(Kernels, SampleBatchEqualsSerialSampleCalls)
+{
+    const auto table = AliasTable::zipfian(100000, 0.99);
+    forEachSupportedIsa([&](simd::Isa) {
+        Rng serial(42), batched(42);
+        std::vector<std::uint64_t> got(257);
+        table->sampleBatch(batched, got.data(), got.size());
+        for (std::size_t i = 0; i < got.size(); ++i)
+            EXPECT_EQ(got[i], table->sample(serial)) << "i=" << i;
+        EXPECT_EQ(batched.next(), serial.next());
+    });
+}
+
+TEST(Kernels, ZipfianGeneratorBatchMatchesSerialAcrossLevels)
+{
+    ZipfianGenerator zipf(5000, 0.8);
+    forEachSupportedIsa([&](simd::Isa) {
+        Rng serial(7), batched(7);
+        std::uint64_t got[97];
+        zipf.sampleBatch(batched, got, 97);
+        for (std::size_t i = 0; i < 97; ++i)
+            EXPECT_EQ(got[i], zipf.sample(serial)) << "i=" << i;
+    });
+}
+
+// ---------------------------------------------------------------------------
+// reduceSum / reduceMinMax
+
+namespace {
+
+std::vector<double>
+randomDoubles(std::size_t n, std::uint64_t seed, bool adversarial)
+{
+    Rng rng(seed);
+    std::vector<double> x(n);
+    for (auto &v : x)
+        v = rng.uniform(-1e6, 1e6);
+    if (adversarial && n > 0) {
+        // NaN / ±Inf / ±0 / denormal sprinkled at fixed positions.
+        x[0] = std::numeric_limits<double>::quiet_NaN();
+        if (n > 1)
+            x[1] = std::numeric_limits<double>::infinity();
+        if (n > 2)
+            x[2] = -std::numeric_limits<double>::infinity();
+        if (n > 3)
+            x[3] = -0.0;
+        if (n > 4)
+            x[4] = std::numeric_limits<double>::denorm_min();
+        if (n > 7)
+            x[7] = std::numeric_limits<double>::quiet_NaN();
+    }
+    return x;
+}
+
+} // namespace
+
+TEST(Kernels, ReduceSumBitIdenticalAcrossLevels)
+{
+    for (bool adversarial : {false, true}) {
+        for (std::size_t n : kAwkwardLengths) {
+            const auto x = randomDoubles(n, 0xabc + n, adversarial);
+            kernels::setIsa(simd::Isa::Scalar);
+            const double reference = kernels::reduceSum(x.data(), n);
+
+            forEachSupportedIsa([&](simd::Isa) {
+                const double got = kernels::reduceSum(x.data(), n);
+                EXPECT_TRUE(sameBits(got, reference))
+                    << "n=" << n << " adversarial=" << adversarial
+                    << " got=" << got << " want=" << reference;
+            });
+        }
+    }
+}
+
+TEST(Kernels, ReduceSumEmptyIsZeroAndSingleIsIdentity)
+{
+    forEachSupportedIsa([&](simd::Isa) {
+        EXPECT_EQ(kernels::reduceSum(nullptr, 0), 0.0);
+        const double v = 3.25;
+        EXPECT_EQ(kernels::reduceSum(&v, 1), 3.25);
+    });
+}
+
+TEST(Kernels, ReduceMinMaxBitIdenticalAcrossLevels)
+{
+    for (bool adversarial : {false, true}) {
+        for (std::size_t n : kAwkwardLengths) {
+            const auto x = randomDoubles(n, 0xdef + n, adversarial);
+            kernels::setIsa(simd::Isa::Scalar);
+            const kernels::MinMax reference =
+                kernels::reduceMinMax(x.data(), n);
+
+            forEachSupportedIsa([&](simd::Isa) {
+                const kernels::MinMax got =
+                    kernels::reduceMinMax(x.data(), n);
+                EXPECT_TRUE(sameBits(got.min, reference.min))
+                    << "n=" << n << " adversarial=" << adversarial;
+                EXPECT_TRUE(sameBits(got.max, reference.max))
+                    << "n=" << n << " adversarial=" << adversarial;
+            });
+        }
+    }
+}
+
+TEST(Kernels, ReduceMinMaxIdentitiesAndNanRule)
+{
+    forEachSupportedIsa([&](simd::Isa) {
+        const kernels::MinMax empty = kernels::reduceMinMax(nullptr, 0);
+        EXPECT_EQ(empty.min, std::numeric_limits<double>::infinity());
+        EXPECT_EQ(empty.max, -std::numeric_limits<double>::infinity());
+
+        // minpd/maxpd semantics: a NaN *observation* keeps the
+        // accumulator, so an all-NaN input returns the identities...
+        std::vector<double> nans(13,
+            std::numeric_limits<double>::quiet_NaN());
+        const kernels::MinMax all_nan =
+            kernels::reduceMinMax(nans.data(), nans.size());
+        EXPECT_EQ(all_nan.min, std::numeric_limits<double>::infinity());
+        EXPECT_EQ(all_nan.max,
+                  -std::numeric_limits<double>::infinity());
+
+        // ...and NaNs mixed into real data are transparent.
+        std::vector<double> mixed = {std::nan(""), 2.0, std::nan(""),
+                                     -5.0, std::nan(""), 9.0,
+                                     std::nan("")};
+        const kernels::MinMax m =
+            kernels::reduceMinMax(mixed.data(), mixed.size());
+        EXPECT_EQ(m.min, -5.0);
+        EXPECT_EQ(m.max, 9.0);
+    });
+}
+
+TEST(Kernels, ReduceSumUsesThePinnedLaneOrder)
+{
+    // Pin the documented order itself, not just cross-backend
+    // agreement: lanes accumulate x[i] into lane i%4, combined as
+    // (L0 + L2) + (L1 + L3), tail folded serially after the combine.
+    const std::vector<double> x = {0.1, 1e16, -1e16, 0.25,
+                                   0.5, 3.0,  7.0,   11.0,
+                                   13.0}; // 9 = 2 blocks + 1 tail
+    double lane[4] = {0, 0, 0, 0};
+    for (std::size_t i = 0; i + 4 <= x.size(); i += 4)
+        for (std::size_t j = 0; j < 4; ++j)
+            lane[j] += x[i + j];
+    double expect = (lane[0] + lane[2]) + (lane[1] + lane[3]);
+    for (std::size_t i = (x.size() / 4) * 4; i < x.size(); ++i)
+        expect += x[i];
+
+    forEachSupportedIsa([&](simd::Isa) {
+        EXPECT_TRUE(sameBits(kernels::reduceSum(x.data(), x.size()),
+                             expect));
+    });
+}
+
+// ---------------------------------------------------------------------------
+// checksum / copyBytes
+
+TEST(Kernels, ChecksumBitIdenticalAcrossLevels)
+{
+    for (std::size_t n : kAwkwardLengths) {
+        std::vector<unsigned char> data(n);
+        Rng rng(0x5eed + n);
+        for (auto &b : data)
+            b = static_cast<unsigned char>(rng.next());
+
+        kernels::setIsa(simd::Isa::Scalar);
+        const std::uint64_t reference =
+            kernels::checksum(data.data(), n);
+
+        forEachSupportedIsa([&](simd::Isa) {
+            EXPECT_EQ(kernels::checksum(data.data(), n), reference)
+                << "n=" << n;
+        });
+    }
+}
+
+TEST(Kernels, ChecksumMatchesTheDocumentedDefinition)
+{
+    // Independent re-derivation of the spec in kernels.h, so the
+    // on-disk format can't silently drift with the implementation.
+    const auto spec = [](const unsigned char *p, std::size_t len) {
+        constexpr std::uint64_t P = 0x100000001b3ULL;
+        constexpr std::uint64_t B = 0xcbf29ce484222325ULL;
+        std::uint64_t lane[4];
+        for (std::uint64_t j = 0; j < 4; ++j)
+            lane[j] = B ^ (j * 0x9e3779b97f4a7c15ULL);
+        std::size_t i = 0;
+        for (; i + 32 <= len; i += 32)
+            for (std::size_t j = 0; j < 4; ++j) {
+                std::uint64_t w = 0;
+                std::memcpy(&w, p + i + 8 * j, 8);
+                lane[j] = (lane[j] ^ w) * P;
+            }
+        std::uint64_t h = B;
+        for (std::size_t j = 0; j < 4; ++j)
+            h = (h ^ lane[j]) * P;
+        for (; i + 8 <= len; i += 8) {
+            std::uint64_t w = 0;
+            std::memcpy(&w, p + i, 8);
+            h = (h ^ w) * P;
+        }
+        for (; i < len; ++i)
+            h = (h ^ p[i]) * P;
+        return h;
+    };
+
+    for (std::size_t n : kAwkwardLengths) {
+        std::vector<unsigned char> data(n);
+        Rng rng(0xc0de + n);
+        for (auto &b : data)
+            b = static_cast<unsigned char>(rng.next());
+        forEachSupportedIsa([&](simd::Isa) {
+            EXPECT_EQ(kernels::checksum(data.data(), n),
+                      spec(data.data(), n))
+                << "n=" << n;
+        });
+    }
+}
+
+TEST(Kernels, ChecksumDetectsSingleBitFlips)
+{
+    std::vector<unsigned char> data(257);
+    Rng rng(99);
+    for (auto &b : data)
+        b = static_cast<unsigned char>(rng.next());
+    const std::uint64_t clean =
+        kernels::checksum(data.data(), data.size());
+    for (std::size_t pos : {std::size_t{0}, std::size_t{31},
+                            std::size_t{32}, std::size_t{255},
+                            std::size_t{256}}) {
+        data[pos] ^= 0x10;
+        EXPECT_NE(kernels::checksum(data.data(), data.size()), clean)
+            << "flip at " << pos;
+        data[pos] ^= 0x10;
+    }
+}
+
+TEST(Kernels, CopyBytesCopiesExactlyAtEveryLevel)
+{
+    for (std::size_t n : kAwkwardLengths) {
+        std::vector<unsigned char> src(n);
+        Rng rng(0xcafe + n);
+        for (auto &b : src)
+            b = static_cast<unsigned char>(rng.next());
+
+        forEachSupportedIsa([&](simd::Isa) {
+            // Guard bytes on both sides catch overwrites.
+            std::vector<unsigned char> dst(n + 64, 0xAA);
+            kernels::copyBytes(dst.data() + 32, src.data(), n);
+            EXPECT_EQ(std::memcmp(dst.data() + 32, src.data(), n), 0)
+                << "n=" << n;
+            for (std::size_t i = 0; i < 32; ++i) {
+                ASSERT_EQ(dst[i], 0xAA) << "front guard, n=" << n;
+                ASSERT_EQ(dst[n + 32 + i], 0xAA)
+                    << "back guard, n=" << n;
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------------
+// coinThreshold (the batch coin-flip contract)
+
+TEST(Kernels, CoinThresholdMatchesUniformCompareExactly)
+{
+    // chance(p) must equal (word >> 11) < coinThreshold(p) for the
+    // same word, for any p — including p exactly representable at the
+    // 2^-53 grid (where ceil() ties matter) and the clamped edges.
+    Rng prng(0xb0b);
+    std::vector<double> ps = {0.0,   1.0,  0.5,    0.25, 1e-17,
+                              1.0 - 1e-16, 0.1,    0.99, 0x1.0p-53,
+                              3 * 0x1.0p-53, 0.7 - 0x1.0p-54};
+    for (int i = 0; i < 100; ++i)
+        ps.push_back(prng.uniform());
+
+    Rng words(0x3333);
+    for (double p : ps) {
+        const std::uint64_t bound = Rng::coinThreshold(p);
+        for (int i = 0; i < 64; ++i) {
+            const std::uint64_t w = words.next();
+            const bool via_double =
+                static_cast<double>(w >> 11) * 0x1.0p-53 < p;
+            EXPECT_EQ((w >> 11) < bound, via_double)
+                << "p=" << p << " w=" << w;
+        }
+        // Boundary words: exactly at and adjacent to the threshold.
+        if (bound > 0 && bound < (1ULL << 53)) {
+            for (std::uint64_t hi : {bound - 1, bound, bound + 1}) {
+                const std::uint64_t w = hi << 11;
+                const bool via_double =
+                    static_cast<double>(w >> 11) * 0x1.0p-53 < p;
+                EXPECT_EQ((w >> 11) < bound, via_double)
+                    << "p=" << p << " hi=" << hi;
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// gaussianPairs (the polynomial Box-Muller kernel)
+
+TEST(Kernels, GaussianPairsBitIdenticalAcrossLevels)
+{
+    // FP polynomial kernel: identity across backends is the entire
+    // design contract (-ffp-contract=off + one shared op sequence).
+    for (std::size_t pairs : kAwkwardLengths) {
+        const auto words = randomWords(2 * pairs, 0x6a0 + pairs);
+        std::vector<double> ref(2 * pairs, 0.0);
+        kernels::setIsa(simd::Isa::Scalar);
+        kernels::gaussianPairs(words.data(), ref.data(), pairs);
+        kernels::setIsa(simd::detected());
+
+        forEachSupportedIsa([&](simd::Isa) {
+            std::vector<double> z(2 * pairs, -1.0);
+            kernels::gaussianPairs(words.data(), z.data(), pairs);
+            for (std::size_t i = 0; i < 2 * pairs; ++i)
+                ASSERT_TRUE(sameBits(z[i], ref[i]))
+                    << "pairs=" << pairs << " i=" << i << " got "
+                    << z[i] << " want " << ref[i];
+        });
+    }
+}
+
+TEST(Kernels, GaussianPairsTracksTheLibmReference)
+{
+    // The kernel's polynomials replace libm, so it can't be *equal* to
+    // std::log/sin/cos — but it must sit within ~1e-12 of the same
+    // Box-Muller math evaluated through them, across random words and
+    // the salted extremes (w0=0 drives u1 to its floor, mag to its
+    // ceiling ~8.5; w0=~0 drives mag toward 0; w1 extremes push the
+    // angle reduction through every quadrant boundary).
+    const auto words = randomWords(2 * 4096, 0x11b3);
+    std::vector<double> z(words.size());
+    kernels::gaussianPairs(words.data(), z.data(), words.size() / 2);
+    for (std::size_t i = 0; i + 2 <= words.size(); i += 2) {
+        const double u1 =
+            (static_cast<double>(words[i] >> 12) + 0.5) * 0x1.0p-52;
+        const double u2 =
+            static_cast<double>(words[i + 1] >> 12) * 0x1.0p-52;
+        const double mag = std::sqrt(-2.0 * std::log(u1));
+        const double ang = 2.0 * 3.14159265358979323846 * u2;
+        EXPECT_NEAR(z[i], mag * std::cos(ang), 1e-12) << "i=" << i;
+        EXPECT_NEAR(z[i + 1], mag * std::sin(ang), 1e-12) << "i=" << i;
+    }
+}
+
+TEST(Kernels, GaussianBatchEqualsSerialGaussianCalls)
+{
+    // gaussianBatch must be stream- and value-identical to n serial
+    // gaussian() calls, including the spare normal carried across the
+    // batch boundary (odd n leaves one cached).
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{2},
+                          std::size_t{3}, std::size_t{17},
+                          std::size_t{256}, std::size_t{257},
+                          std::size_t{300}}) {
+        Rng serial(0xabba), batch(0xabba);
+        // Desynchronize the spare state deliberately: an initial odd
+        // draw leaves both generators holding a cached normal.
+        ASSERT_TRUE(sameBits(serial.gaussian(), batch.gaussian()));
+
+        std::vector<double> got(n, -1.0);
+        batch.gaussianBatch(2.0, 3.0, got.data(), n);
+        for (std::size_t i = 0; i < n; ++i)
+            ASSERT_TRUE(sameBits(got[i], serial.gaussian(2.0, 3.0)))
+                << "n=" << n << " i=" << i;
+        // Generators must land in the same state (words and spare).
+        EXPECT_EQ(serial.next(), batch.next()) << "n=" << n;
+        EXPECT_TRUE(sameBits(serial.gaussian(), batch.gaussian()))
+            << "n=" << n;
+    }
+}

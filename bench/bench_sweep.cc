@@ -20,6 +20,7 @@
  * two happened auditable.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <string>
 #include <thread>
@@ -28,6 +29,7 @@
 #include "exec/sweep.h"
 #include "scenarios/scenario.h"
 #include "sim/kernels.h"
+#include "sim/shard.h"
 #include "sim/simd.h"
 
 int
@@ -39,6 +41,7 @@ main(int argc, char **argv)
     const smartconf::exec::SweepArgs args =
         smartconf::exec::parseSweepArgs(argc, argv,
                                         ".smartconf-cache");
+    smartconf::sim::setShardWorkers(args.shard_workers);
     smartconf::exec::SweepRunner runner(args.sweep);
 
     const std::vector<std::uint64_t> seeds = {1, 2, 3, 4};
@@ -81,6 +84,28 @@ main(int argc, char **argv)
             ? static_cast<double>(ops_simulated) / (cold_ms / 1000.0)
             : 0.0;
 
+    // Per-shard data-plane totals, summed over every cold run's
+    // pinned-order counters.  Pure function of the logical layout —
+    // identical at any --jobs / --shard-workers combination — so both
+    // the counters and the imbalance stat participate in the payload
+    // sha.  Imbalance is max/mean over the lanes (1.0 = perfectly
+    // even fan-out).
+    std::uint64_t shard_totals[smartconf::sim::kShards] = {};
+    for (const auto &r : cold)
+        for (std::size_t s = 0; s < r.shard_ops.size() &&
+                                s < smartconf::sim::kShards; ++s)
+            shard_totals[s] += r.shard_ops[s];
+    std::uint64_t shard_sum = 0, shard_max = 0;
+    for (const std::uint64_t v : shard_totals) {
+        shard_sum += v;
+        shard_max = std::max(shard_max, v);
+    }
+    const double shard_imbalance =
+        shard_sum > 0 ? static_cast<double>(shard_max) *
+                            static_cast<double>(smartconf::sim::kShards) /
+                            static_cast<double>(shard_sum)
+                      : 0.0;
+
     // Per-scenario aggregates (sanity values for trend tracking).
     struct Row
     {
@@ -121,12 +146,22 @@ main(int argc, char **argv)
                         smartconf::sim::kernels::activeIsa()),
                     __VERSION__);
         std::printf("  \"jobs\": %zu,\n", runner.jobs());
+        std::printf("  \"shard_workers\": %zu,\n", args.shard_workers);
         std::printf("  \"runs\": %zu,\n", jobs.size());
         std::printf("  \"cold_wall_ms\": %.3f,\n", cold_ms);
         std::printf("  \"warm_wall_ms\": %.3f,\n", warm_ms);
         std::printf("  \"ops_simulated\": %llu,\n",
                     static_cast<unsigned long long>(ops_simulated));
         std::printf("  \"ops_per_sec\": %.0f,\n", ops_per_sec);
+        // Logical-layout invariants: identical at any --jobs and any
+        // --shard-workers, so they participate in the payload sha.
+        std::printf("  \"shard_ops\": [");
+        for (std::size_t s = 0; s < smartconf::sim::kShards; ++s)
+            std::printf("%s%llu", s == 0 ? "" : ", ",
+                        static_cast<unsigned long long>(
+                            shard_totals[s]));
+        std::printf("],\n");
+        std::printf("  \"shard_imbalance\": %.6f,\n", shard_imbalance);
         std::printf("  \"cache_hits\": %llu,\n",
                     static_cast<unsigned long long>(warm_stats.hits));
         std::printf("  \"cache_misses\": %llu,\n",
@@ -151,6 +186,12 @@ main(int argc, char **argv)
 
     std::printf("Experiment-runner sweep benchmark\n\n");
     std::printf("workers (--jobs): %zu\n", runner.jobs());
+    std::printf("intra-run shard workers (--shard-workers): %zu "
+                "(%zu logical shards)\n",
+                args.shard_workers,
+                static_cast<std::size_t>(smartconf::sim::kShards));
+    std::printf("shard imbalance (max/mean over lanes): %.4f\n",
+                shard_imbalance);
     std::printf("disk cache: %s\n",
                 args.sweep.disk_cache_dir.empty()
                     ? "(off)"

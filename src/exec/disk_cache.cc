@@ -223,10 +223,19 @@ DiskRunCache::load(const std::string &key,
         r.f64(res.worst_goal_metric) && r.f64(res.goal_value) &&
         r.f64(res.tradeoff) && r.f64(res.raw_tradeoff) &&
         r.f64(res.mean_conf) && r.u64(res.ops_simulated) &&
-        r.u64(res.faults_injected) && r.series(res.perf_series) &&
-        r.series(res.conf_series) && r.series(res.tradeoff_series) &&
-        r.atEnd();
-    if (!ok)
+        r.u64(res.faults_injected);
+    // Per-shard ops counters: u64 count then count u64 values.  The
+    // count is bounded by the payload remainder before allocating.
+    std::uint64_t shard_count = 0;
+    bool shards_ok = ok && r.u64(shard_count) &&
+                     shard_count <= r.restSize() / 8;
+    if (shards_ok) {
+        res.shard_ops.resize(static_cast<std::size_t>(shard_count));
+        shards_ok = r.raw(res.shard_ops.data(), shard_count * 8);
+    }
+    if (!shards_ok || !r.series(res.perf_series) ||
+        !r.series(res.conf_series) ||
+        !r.series(res.tradeoff_series) || !r.atEnd())
         return false;
     res.violated = violated != 0;
     out = std::move(res);
@@ -256,6 +265,8 @@ DiskRunCache::store(const std::string &key,
     payload.f64(result.mean_conf);
     payload.u64(result.ops_simulated);
     payload.u64(result.faults_injected);
+    payload.u64(result.shard_ops.size());
+    payload.raw(result.shard_ops.data(), result.shard_ops.size() * 8);
     payload.series(result.perf_series);
     payload.series(result.conf_series);
     payload.series(result.tradeoff_series);

@@ -53,9 +53,11 @@ class DiskRunCache
      *
      * History: 1 = PR1 layout, 2 = payload checksum in the header +
      * faults_injected field, 3 = word-at-a-time payload checksum,
-     * 4 = four-lane interleaved kernel checksum (sim/kernels.h).
+     * 4 = four-lane interleaved kernel checksum (sim/kernels.h),
+     * 5 = per-shard ops counters (shard_ops vector after
+     *     faults_injected).
      */
-    static constexpr std::uint32_t kFormatVersion = 4;
+    static constexpr std::uint32_t kFormatVersion = 5;
 
     /**
      * Bump when simulation outputs change (new scenario mechanics,
@@ -64,9 +66,11 @@ class DiskRunCache
      * History: 1 = PR1 runner, 2 = event-engine rewrite,
      * 3 = alias-table sampler + ops_simulated tracking,
      * 4 = YCSB struct-of-arrays draw order (coins/keys/sizes batched
-     *     per tick instead of interleaved per op).
+     *     per tick instead of interleaved per op),
+     * 5 = sharded data plane (jump-derived shard-local RNG streams in
+     *     the workload generators and MapReduce workers).
      */
-    static constexpr std::uint32_t kEngineVersion = 4;
+    static constexpr std::uint32_t kEngineVersion = 5;
 
     /**
      * Open (creating if needed) the store rooted at @p root.  The

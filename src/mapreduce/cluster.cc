@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "sim/kernels.h"
+
 namespace smartconf::mapreduce {
 
 MrCluster::MrCluster(const ClusterParams &params,
@@ -12,8 +14,17 @@ MrCluster::MrCluster(const ClusterParams &params,
       minspace_effective_(static_cast<double>(minspacestart_mb)),
       rng_(rng), workers_(params.workers)
 {
-    for (auto &w : workers_)
+    // Each worker owns a jump-derived substream (2^128 apart) for its
+    // other-data walk; the master keeps the base stream for job-level
+    // draws.  Worker streams never interleave, so the per-worker loops
+    // are independent of iteration order.
+    sim::Rng walker = rng_;
+    for (auto &w : workers_) {
+        walker.jump();
+        w.rng = walker;
         w.other_mb = params_.other_base_mb;
+    }
+    disk_scratch_.resize(workers_.size());
 }
 
 void
@@ -53,23 +64,31 @@ MrCluster::diskUsed(const Worker &w) const
 double
 MrCluster::maxDiskUsedMb() const
 {
-    double worst = 0.0;
-    for (const auto &w : workers_)
-        worst = std::max(worst, diskUsed(w));
-    return worst;
+    // Sensor reduction over the per-worker shard states, merged in
+    // pinned order by the kernel layer (order-insensitive for max, but
+    // keeps every sensor on the same reduction path).
+    for (std::size_t i = 0; i < workers_.size(); ++i)
+        disk_scratch_[i] = diskUsed(workers_[i]);
+    const auto mm =
+        sim::kernels::reduceMinMax(disk_scratch_.data(),
+                                   disk_scratch_.size());
+    return std::max(0.0, mm.max);
 }
 
 double
 MrCluster::projectedDiskUsedMb() const
 {
-    double worst = 0.0;
-    for (const auto &w : workers_) {
+    for (std::size_t i = 0; i < workers_.size(); ++i) {
+        const Worker &w = workers_[i];
         double projected = diskUsed(w);
         for (const auto &t : w.running)
             projected += t.spill_total_mb - t.spilled_mb;
-        worst = std::max(worst, projected);
+        disk_scratch_[i] = projected;
     }
-    return worst;
+    const auto mm =
+        sim::kernels::reduceMinMax(disk_scratch_.data(),
+                                   disk_scratch_.size());
+    return std::max(0.0, mm.max);
 }
 
 double
@@ -111,10 +130,12 @@ MrCluster::step(sim::Tick now)
     // effective before this tick's admission decisions.
     minspace_effective_ = minspace_pending_;
 
-    for (auto &w : workers_) {
-        // Other-data random walk (DFS blocks, logs, shuffle of other jobs).
-        w.other_mb += rng_.uniform(-params_.other_walk_mb,
-                                   params_.other_walk_mb);
+    for (std::size_t wi = 0; wi < workers_.size(); ++wi) {
+        Worker &w = workers_[wi];
+        // Other-data random walk (DFS blocks, logs, shuffle of other
+        // jobs), drawn from the worker's own shard stream.
+        w.other_mb += w.rng.uniform(-params_.other_walk_mb,
+                                    params_.other_walk_mb);
         w.other_mb = std::clamp(w.other_mb, params_.other_base_mb * 0.6,
                                 params_.other_max_mb);
 
@@ -133,6 +154,7 @@ MrCluster::step(sim::Tick now)
                 w.retained.push_back(
                     {it->spill_total_mb, now + params_.fetch_delay});
                 ++completed_tasks_;
+                ++shard_ops_[wi % sim::kShards];
                 it = w.running.erase(it);
             } else {
                 ++it;

@@ -24,6 +24,7 @@
  * with a one-tick delay (the "Others" code-change row in Table 7).
  */
 
+#include <array>
 #include <cstdint>
 #include <deque>
 #include <vector>
@@ -31,6 +32,7 @@
 #include "sim/clock.h"
 #include "sim/metrics.h"
 #include "sim/rng.h"
+#include "sim/shard.h"
 #include "workload/wordcount.h"
 
 namespace smartconf::mapreduce {
@@ -99,6 +101,16 @@ class MrCluster
     std::size_t runningTasks() const;
     std::uint64_t completedTasks() const { return completed_tasks_; }
 
+    /**
+     * Tasks completed per logical shard (worker w maps to lane
+     * w % sim::kShards) — MR2820's slice of the sharded data plane's
+     * per-shard result surface.
+     */
+    const std::array<std::uint64_t, sim::kShards> &shardOps() const
+    {
+        return shard_ops_;
+    }
+
     const ClusterParams &params() const { return params_; }
 
   private:
@@ -117,6 +129,11 @@ class MrCluster
 
     struct Worker
     {
+        /** Shard-local stream for this worker's other-data walk,
+         *  jump-derived from the master stream so workers never
+         *  contend on one generator (per-shard state struct of the
+         *  sharded data plane). */
+        sim::Rng rng;
         double other_mb = 0.0;
         std::vector<RunningTask> running;
         std::vector<Retained> retained;
@@ -127,8 +144,12 @@ class MrCluster
     ClusterParams params_;
     double minspace_pending_;   ///< master's latest value
     double minspace_effective_; ///< what workers currently enforce
-    sim::Rng rng_;
+    sim::Rng rng_;              ///< master stream (spill jitter)
     std::vector<Worker> workers_;
+    std::array<std::uint64_t, sim::kShards> shard_ops_{};
+    /** Per-worker disk-usage staging for the pinned-order reductions
+     *  (kernels::reduceMinMax) the sensors consume. */
+    mutable std::vector<double> disk_scratch_;
     std::deque<double> pending_; ///< spill size per pending task
     std::uint64_t parallelism_ = 1;
     sim::Tick job_submitted_ = -1;

@@ -9,7 +9,7 @@
 #include "scenarios/control.h"
 #include "sim/event_queue.h"
 #include "workload/phases.h"
-#include "workload/ycsb.h"
+#include "workload/sharded.h"
 
 namespace smartconf::scenarios {
 
@@ -114,7 +114,7 @@ Ca6059Scenario::profile(std::uint64_t seed) const
         kvstore::Memtable memtable(setting, memtableParams());
         rt->setCurrentValue(kConfName, setting);
         // Profiling uses the standard YCSB-A 50/50 mix (Sec. 6.1).
-        workload::YcsbGenerator gen(ycsbParams(opts_, 0.5), rng.fork(2));
+        workload::ShardedYcsbGenerator gen(ycsbParams(opts_, 0.5), rng.fork(2));
 
         double other = opts_.other_base_mb;
         const sim::Tick warmup = 50;
@@ -182,7 +182,7 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
     sim::Rng walk_rng = rng.fork(1);
     kvstore::JvmHeap heap(opts_.heap_mb);
     kvstore::Memtable memtable(initial_cap, memtableParams());
-    workload::YcsbGenerator gen(
+    workload::ShardedYcsbGenerator gen(
         ycsbParams(opts_, opts_.phase1_write_fraction), rng.fork(2));
 
     workload::PhasedSchedule<double> write_frac(
@@ -298,6 +298,8 @@ Ca6059Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated = gen.generated();
     result.faults_injected = chaos.stats().injected();
+    result.shard_ops.assign(gen.shardOps().begin(),
+                            gen.shardOps().end());
     return result;
 }
 

@@ -7,7 +7,7 @@
 #include "kvstore/memstore.h"
 #include "scenarios/control.h"
 #include "sim/event_queue.h"
-#include "workload/ycsb.h"
+#include "workload/sharded.h"
 
 namespace smartconf::scenarios {
 
@@ -99,7 +99,7 @@ Hb2149Scenario::profile(std::uint64_t seed) const
     for (const double setting : info_.profiling_settings) {
         sim::Rng rng(seed ^ static_cast<std::uint64_t>(setting) * 541);
         kvstore::Memstore memstore(setting, memstoreParams(opts_));
-        workload::YcsbGenerator gen(ycsbParams(opts_), rng.fork(2));
+        workload::ShardedYcsbGenerator gen(ycsbParams(opts_), rng.fork(2));
 
         // Profiling records one sample per completed blocking flush;
         // SmartConf's profiler needs the (config, perf) pair, so the
@@ -157,7 +157,7 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
 
     sim::Rng rng(seed);
     kvstore::Memstore memstore(initial_amount, memstoreParams(opts_));
-    workload::YcsbGenerator gen(ycsbParams(opts_), rng.fork(2));
+    workload::ShardedYcsbGenerator gen(ycsbParams(opts_), rng.fork(2));
 
     const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
     chaos.seedActuation(initial_amount);
@@ -261,6 +261,8 @@ Hb2149Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated = gen.generated();
     result.faults_injected = chaos.stats().injected();
+    result.shard_ops.assign(gen.shardOps().begin(),
+                            gen.shardOps().end());
     return result;
 }
 

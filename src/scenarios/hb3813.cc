@@ -8,7 +8,7 @@
 #include "scenarios/control.h"
 #include "sim/event_queue.h"
 #include "workload/phases.h"
-#include "workload/ycsb.h"
+#include "workload/sharded.h"
 
 namespace smartconf::scenarios {
 
@@ -125,7 +125,7 @@ Hb3813Scenario::profile(std::uint64_t seed) const
         serverParams(opts_, static_cast<std::size_t>(
                                 info_.profiling_settings.front())),
         rng.fork(1));
-    workload::YcsbGenerator gen(
+    workload::ShardedYcsbGenerator gen(
         ycsbParams(opts_, opts_.phase1_req_mb, opts_.arrival_base),
         rng.fork(2));
 
@@ -191,7 +191,7 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
     sim::Rng rng(seed);
     kvstore::KvServer server(serverParams(opts_, initial_queue),
                              rng.fork(1));
-    workload::YcsbGenerator gen(
+    workload::ShardedYcsbGenerator gen(
         ycsbParams(opts_, opts_.phase1_req_mb, opts_.arrival_base),
         rng.fork(2));
 
@@ -225,7 +225,7 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
         gen.setOpsPerTick(arrivalRate(opts_, t));
 
         gen.tickInto(ops);
-        server.accept(ops, t);
+        server.accept(ops, t, gen.lastSeq());
         server.step(t);
         if (opts_.spike_mb > 0.0 && t >= opts_.spike_at) {
             const double progress =
@@ -292,6 +292,8 @@ Hb3813Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated = gen.generated();
     result.faults_injected = chaos.stats().injected();
+    result.shard_ops.assign(gen.shardOps().begin(),
+                            gen.shardOps().end());
     return result;
 }
 

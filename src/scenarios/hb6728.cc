@@ -9,7 +9,7 @@
 #include "scenarios/control.h"
 #include "sim/event_queue.h"
 #include "workload/phases.h"
-#include "workload/ycsb.h"
+#include "workload/sharded.h"
 
 namespace smartconf::scenarios {
 
@@ -122,7 +122,7 @@ Hb6728Scenario::profile(std::uint64_t seed) const
         kvstore::KvServer server(serverParams(opts_, setting),
                                  rng.fork(1));
         rt->setCurrentValue(kConfName, setting);
-        workload::YcsbGenerator gen(
+        workload::ShardedYcsbGenerator gen(
             ycsbParams(opts_, opts_.phase1_write_fraction,
                        opts_.arrival_base),
             rng.fork(2));
@@ -188,7 +188,7 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
     sim::Rng rng(seed);
     kvstore::KvServer server(serverParams(opts_, initial_resp),
                              rng.fork(1));
-    workload::YcsbGenerator gen(
+    workload::ShardedYcsbGenerator gen(
         ycsbParams(opts_, opts_.phase1_write_fraction,
                    opts_.arrival_base),
         rng.fork(2));
@@ -233,7 +233,7 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
         }
         memstore.step(t);
         server.heap().set(memstore_slot, memstore.occupancyMb());
-        server.accept(ops, t);
+        server.accept(ops, t, gen.lastSeq());
         server.step(t);
         mem = server.heap().usedMb();
     }));
@@ -286,6 +286,8 @@ Hb6728Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated = gen.generated();
     result.faults_injected = chaos.stats().injected();
+    result.shard_ops.assign(gen.shardOps().begin(),
+                            gen.shardOps().end());
     return result;
 }
 

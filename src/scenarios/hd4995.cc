@@ -7,7 +7,7 @@
 #include "dfs/namenode.h"
 #include "scenarios/control.h"
 #include "sim/event_queue.h"
-#include "workload/dfsio.h"
+#include "workload/sharded.h"
 
 namespace smartconf::scenarios {
 
@@ -121,7 +121,7 @@ Hd4995Scenario::profile(std::uint64_t seed) const
         rt->setCurrentValue(kConfName, setting);
         // Profiling runs the same TestDFSIO client mix the evaluation
         // uses, so the fitted gain reflects the full queue-drain effect.
-        workload::DfsioGenerator gen(dfsioParams(opts_, true),
+        workload::ShardedDfsioGenerator gen(dfsioParams(opts_, true),
                                      rng.fork(2));
 
         // A chunk's worst write wait is only fully known once the write
@@ -186,7 +186,7 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
     sim::Rng rng(seed);
     dfs::Namenode nn(namenodeParams(opts_, opts_.writes_per_tick),
                      static_cast<std::uint64_t>(initial_limit));
-    workload::DfsioGenerator gen(dfsioParams(opts_, true), rng.fork(2));
+    workload::ShardedDfsioGenerator gen(dfsioParams(opts_, true), rng.fork(2));
 
     const fault::ChaosHooks chaos = chaosHooksFor(policy, seed);
     chaos.seedActuation(initial_limit);
@@ -300,6 +300,8 @@ Hd4995Scenario::run(const Policy &policy, std::uint64_t seed) const
                          : 0.0;
     result.ops_simulated = gen.generated();
     result.faults_injected = chaos.stats().injected();
+    result.shard_ops.assign(gen.shardOps().begin(),
+                            gen.shardOps().end());
     return result;
 }
 

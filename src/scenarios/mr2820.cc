@@ -68,9 +68,25 @@ controlSpec(const Mr2820Options &opts)
     spec.conf_name = kConfName;
     spec.metric_name = kMetricName;
     spec.initial = 400.0; // conservative start; controller relaxes it
-    spec.conf_min = 0.0;
+    // Admissions are irrevocable and spills materialize over a whole
+    // task duration, so a worker can fill all of its slots on
+    // consecutive heartbeats before any of that spill is visible on
+    // disk.  The gate must therefore always reserve at least one
+    // admittable burst — conf values below this floor cannot be safe
+    // no matter how empty the sensed disk looks (the inter-wave
+    // trough is exactly where a naive controller relaxes to zero and
+    // then eats a full burst of the next job's larger spills).
+    const auto burst_mb = [](const workload::WordCountJob &j) {
+        return static_cast<double>(j.parallelism) * j.spillPerTaskMb();
+    };
+    spec.conf_min = 1.3 * std::max(burst_mb(opts.phase1_job),
+                                   burst_mb(opts.phase2_job));
     spec.conf_max = 1200.0;
-    spec.goal_value = opts.disk_capacity_mb;
+    // The admission gate actuates in whole-task-spill quanta and the
+    // disk walk keeps moving between control invocations, so the
+    // setpoint sits a guard band below the hard capacity: aiming
+    // exactly at the cliff converts sub-quantum jitter into OOD.
+    spec.goal_value = opts.disk_capacity_mb - 15.0;
     spec.hard = true;
     return spec;
 }
@@ -284,6 +300,10 @@ Mr2820Scenario::run(const Policy &policy, std::uint64_t seed) const
     result.ops_simulated =
         tasks_done_before + cluster.completedTasks();
     result.faults_injected = chaos.stats().injected();
+    // Cluster shard counters span both job phases (they never reset on
+    // submitJob), so they sum to ops_simulated.
+    result.shard_ops.assign(cluster.shardOps().begin(),
+                            cluster.shardOps().end());
     return result;
 }
 

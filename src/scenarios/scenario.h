@@ -128,6 +128,15 @@ struct ScenarioResult
      */
     std::uint64_t faults_injected = 0;
 
+    /**
+     * Data-plane ops served per logical shard (sim::kShards entries,
+     * pinned lane order; empty for scenarios without a sharded
+     * producer).  Independent of the physical worker count — part of
+     * the byte-identical result surface — and the source of
+     * bench_sweep's shard-imbalance stat.
+     */
+    std::vector<std::uint64_t> shard_ops;
+
     /** Goal metric over time (Fig. 6b / 7 / 8 top). */
     sim::TimeSeries perf_series;
 

@@ -113,6 +113,101 @@ Rng::fork(std::uint64_t stream_id) const
     return Rng(seed_ ^ (0xa0761d6478bd642fULL * (stream_id + 1)));
 }
 
+namespace {
+
+/**
+ * Blackman & Vigna's jump polynomial for xoshiro256**, applied to a
+ * raw state: the accumulated XOR of the states reached at the set bits
+ * of the constants equals the state 2^128 steps ahead.  Kept as the
+ * reference implementation; the public jump() goes through the
+ * precomputed GF(2) matrix below, which this routine seeds.
+ */
+void
+polyJump(std::uint64_t s[4])
+{
+    static constexpr std::uint64_t kJump[4] = {
+        0x180ec6d33cfd0abaULL, 0xd5a13266802b9a6aULL,
+        0xa9582618e03fc9aaULL, 0x39abdc4529b1661cULL};
+    std::uint64_t acc[4] = {0, 0, 0, 0};
+    for (const std::uint64_t word : kJump) {
+        for (int b = 0; b < 64; ++b) {
+            if (word & (1ULL << b))
+                for (int j = 0; j < 4; ++j)
+                    acc[j] ^= s[j];
+            // xoshiro256** state transition (Rng::advance on a raw
+            // state array).
+            const std::uint64_t t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = (s[3] << 45) | (s[3] >> 19);
+        }
+    }
+    for (int j = 0; j < 4; ++j)
+        s[j] = acc[j];
+}
+
+/**
+ * The 2^128-step jump as a 256x256 GF(2) matrix: row (w*64 + b) is the
+ * state the polynomial walk reaches from the basis state with only bit
+ * b of word w set.  The jump is linear over GF(2), so jumping any
+ * state is the XOR of the rows selected by its set bits — one table
+ * row per set bit (~128 on average) instead of 1024 full state
+ * transitions, and bit-identical to the polynomial walk.  Built once
+ * per process (256 basis walks); every ShardPlane construction after
+ * that pays ~128 row XORs per lane.
+ */
+struct JumpMatrix
+{
+    std::uint64_t row[256][4];
+};
+
+const JumpMatrix &
+jumpMatrix()
+{
+    static const JumpMatrix matrix = [] {
+        JumpMatrix m;
+        for (int r = 0; r < 256; ++r) {
+            std::uint64_t s[4] = {0, 0, 0, 0};
+            s[r >> 6] = 1ULL << (r & 63);
+            polyJump(s);
+            for (int j = 0; j < 4; ++j)
+                m.row[r][j] = s[j];
+        }
+        return m;
+    }();
+    return matrix;
+}
+
+} // namespace
+
+void
+Rng::jump()
+{
+    const JumpMatrix &m = jumpMatrix();
+    std::uint64_t acc[4] = {0, 0, 0, 0};
+    for (int w = 0; w < 4; ++w) {
+        std::uint64_t bits = s_[w];
+        while (bits != 0) {
+            const int b = __builtin_ctzll(bits);
+            bits &= bits - 1;
+            const std::uint64_t *row = m.row[w * 64 + b];
+            acc[0] ^= row[0];
+            acc[1] ^= row[1];
+            acc[2] ^= row[2];
+            acc[3] ^= row[3];
+        }
+    }
+    for (int j = 0; j < 4; ++j)
+        s_[j] = acc[j];
+    // Remix the logical seed too: fork() is keyed off seed_, so jumped
+    // streams must not share their fork family with the base stream.
+    std::uint64_t sm = seed_ ^ 0x6a09e667f3bcc909ULL;
+    seed_ = splitmix64(sm);
+}
+
 ZipfianGenerator::ZipfianGenerator(std::uint64_t n, double theta)
     : n_(n), theta_(theta), table_(AliasTable::zipfian(n, theta))
 {

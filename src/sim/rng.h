@@ -126,6 +126,16 @@ class Rng
      */
     Rng fork(std::uint64_t stream_id) const;
 
+    /**
+     * Advance this generator by 2^128 steps (the canonical xoshiro256**
+     * jump polynomial): repeated jumps carve one seed into
+     * non-overlapping substreams, which is how the sharded data plane
+     * derives its per-shard lane streams (sim/shard.h).  The logical
+     * seed is remixed alongside the state so fork() on a jumped stream
+     * yields streams distinct from forks of the unjumped one.
+     */
+    void jump();
+
   private:
     static std::uint64_t rotl(std::uint64_t x, int k)
     {

@@ -1,11 +1,40 @@
 #include "workload/trace.h"
 
 #include <cassert>
+#include <cmath>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#include "workload/sharded.h"
+
 namespace smartconf::workload {
+
+double
+DiurnalCurve::at(sim::Tick t) const
+{
+    const double p = static_cast<double>(period <= 0 ? 1 : period);
+    // Raised cosine: trough at phase 0, peak at phase 0.5.
+    const double phase =
+        2.0 * 3.14159265358979323846 * static_cast<double>(t) / p;
+    const double swing = 0.5 * (1.0 - std::cos(phase));
+    return trough + (1.0 - trough) * swing;
+}
+
+Trace
+recordDiurnal(const YcsbParams &params, const DiurnalCurve &curve,
+              sim::Rng rng, sim::Tick ticks)
+{
+    Trace out;
+    ShardedYcsbGenerator gen(params, rng);
+    std::vector<Op> ops;
+    for (sim::Tick t = 0; t < ticks; ++t) {
+        gen.setOpsPerTick(params.ops_per_tick * curve.at(t));
+        gen.tickInto(ops);
+        out.record(t, ops);
+    }
+    return out;
+}
 
 void
 Trace::record(sim::Tick tick, const std::vector<Op> &ops)

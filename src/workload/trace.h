@@ -62,6 +62,31 @@ class Trace
 };
 
 /**
+ * Minimal diurnal (day/night) load shape: a smooth multiplier that
+ * bottoms out at `trough` and peaks at 1.0 once per `period` ticks.
+ * Production traffic is rarely stationary, and the paper's controllers
+ * must survive load swings — this is the canonical swing to record.
+ */
+struct DiurnalCurve
+{
+    double trough = 0.25;   ///< night-time fraction of peak load
+    sim::Tick period = 240; ///< ticks per simulated day
+
+    /** Multiplier in [trough, 1]; trough at t = 0, peak mid-period. */
+    double at(sim::Tick t) const;
+};
+
+/**
+ * Record @p ticks of a diurnal YCSB workload: a ShardedYcsbGenerator
+ * seeded from @p rng produces each tick's batch (through the sharded
+ * data plane, so the recorded trace is identical at any shard-worker
+ * count) with ops/tick scaled by @p curve.  @p params supplies the
+ * peak rate and mix.
+ */
+Trace recordDiurnal(const YcsbParams &params, const DiurnalCurve &curve,
+                    sim::Rng rng, sim::Tick ticks);
+
+/**
  * Replays a Trace tick by tick through the generator-shaped interface
  * the scenario drivers consume.
  */

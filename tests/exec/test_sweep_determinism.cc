@@ -8,7 +8,9 @@
 
 #include <gtest/gtest.h>
 
+#include "fault/spec.h"
 #include "scenarios/scenario.h"
+#include "sim/shard.h"
 
 namespace {
 
@@ -42,6 +44,11 @@ expectResultIdentical(const ScenarioResult &a, const ScenarioResult &b)
     EXPECT_EQ(a.tradeoff, b.tradeoff);
     EXPECT_EQ(a.raw_tradeoff, b.raw_tradeoff);
     EXPECT_EQ(a.mean_conf, b.mean_conf);
+    EXPECT_EQ(a.ops_simulated, b.ops_simulated);
+    EXPECT_EQ(a.faults_injected, b.faults_injected);
+    ASSERT_EQ(a.shard_ops.size(), b.shard_ops.size());
+    for (std::size_t i = 0; i < a.shard_ops.size(); ++i)
+        EXPECT_EQ(a.shard_ops[i], b.shard_ops[i]);
     expectSeriesIdentical(a.perf_series, b.perf_series);
     expectSeriesIdentical(a.conf_series, b.conf_series);
     expectSeriesIdentical(a.tradeoff_series, b.tradeoff_series);
@@ -86,6 +93,67 @@ TEST(SweepDeterminism, Jobs1AndJobs8BitIdenticalForAllSixScenarios)
     EXPECT_EQ(serial.cache().stats().hits, 0u);
     EXPECT_EQ(parallel.cache().stats().misses, jobs.size());
     EXPECT_EQ(parallel.cache().stats().hits, 0u);
+}
+
+TEST(SweepDeterminism, JobsAndShardWorkersMatrixBitIdentical)
+{
+    // The sharded data plane's core guarantee: outputs are a pure
+    // function of the logical 16-shard layout, so every
+    // {--jobs} x {--shard-workers} combination — including one chaos
+    // campaign exercising the fault plane — is byte-identical.
+    std::vector<SweepJob> jobs = allScenarioJobs();
+    jobs.push_back(SweepJob::forScenario(
+        "HB3813",
+        Policy::smart().withChaos(
+            smartconf::fault::ChaosSpec::kitchenSink(7)),
+        1));
+
+    smartconf::sim::setShardWorkers(1);
+    SweepRunner base(SweepOptions{1, true});
+    const std::vector<ScenarioResult> ref = base.run(jobs);
+    ASSERT_EQ(ref.size(), jobs.size());
+
+    for (const std::size_t njobs : {std::size_t{1}, std::size_t{2},
+                                    std::size_t{8}}) {
+        for (const std::size_t sw : {std::size_t{1}, std::size_t{4}}) {
+            if (njobs == 1 && sw == 1)
+                continue; // that's the reference
+            smartconf::sim::setShardWorkers(sw);
+            SweepRunner runner(SweepOptions{njobs, true});
+            const std::vector<ScenarioResult> got = runner.run(jobs);
+            ASSERT_EQ(got.size(), ref.size());
+            for (std::size_t i = 0; i < ref.size(); ++i) {
+                SCOPED_TRACE("jobs=" + std::to_string(njobs) +
+                             " shard_workers=" + std::to_string(sw) +
+                             " job #" + std::to_string(i) + " (" +
+                             ref[i].scenario_id + ", " +
+                             ref[i].policy_label + ")");
+                expectResultIdentical(ref[i], got[i]);
+            }
+        }
+    }
+    smartconf::sim::setShardWorkers(1);
+}
+
+TEST(SweepDeterminism, ShardOpsSumMatchesOpsSimulated)
+{
+    // The per-shard counters partition the generated workload: lanes
+    // sum to the run's ops_simulated for every generator-driven
+    // scenario (MR2820 counts completed tasks on both sides too).
+    smartconf::sim::setShardWorkers(1);
+    SweepRunner runner(SweepOptions{1, true});
+    for (const char *id : {"HB3813", "HB6728", "HB2149", "CA6059",
+                           "HD4995", "MR2820"}) {
+        const ScenarioResult r = runner.runOne(SweepJob::forScenario(
+            id, Policy::smart(), 3));
+        SCOPED_TRACE(id);
+        ASSERT_EQ(r.shard_ops.size(),
+                  static_cast<std::size_t>(smartconf::sim::kShards));
+        std::uint64_t sum = 0;
+        for (const std::uint64_t v : r.shard_ops)
+            sum += v;
+        EXPECT_EQ(sum, r.ops_simulated);
+    }
 }
 
 TEST(SweepDeterminism, ReplayOnWarmCacheIsAllHitsAndIdentical)

@@ -1,0 +1,165 @@
+/** @file Unit tests for the shard-split workload generators. */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/sharded.h"
+
+namespace smartconf::workload {
+namespace {
+
+YcsbParams
+ycsbParams(double write_frac, double rate = 400.0)
+{
+    YcsbParams p;
+    p.write_fraction = write_frac;
+    p.request_size_mb = 1.0;
+    p.ops_per_tick = rate;
+    p.burstiness = 0.2;
+    return p;
+}
+
+DfsioParams
+dfsioParams(std::uint64_t clients = 6)
+{
+    DfsioParams p;
+    p.clients = clients;
+    p.writes_per_tick = 300.0;
+    p.burstiness = 0.25;
+    p.du_period = 10;
+    p.du_file_count = 1000;
+    return p;
+}
+
+bool
+opsEqual(const std::vector<Op> &a, const std::vector<Op> &b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        if (a[i].type != b[i].type || a[i].key != b[i].key ||
+            a[i].size_mb != b[i].size_mb)
+            return false;
+    return true;
+}
+
+TEST(ShardedYcsb, ByteIdenticalAcrossShardWorkerCounts)
+{
+    // The tentpole contract: the generated stream is a pure function
+    // of the logical 16-shard layout, so running the blocks serially
+    // or forked across 4 workers produces the same bytes.
+    std::vector<std::vector<Op>> streams[2];
+    const std::size_t workers[2] = {1, 4};
+    for (int w = 0; w < 2; ++w) {
+        sim::setShardWorkers(workers[w]);
+        ShardedYcsbGenerator gen(ycsbParams(0.5), sim::Rng(11));
+        for (int t = 0; t < 50; ++t) {
+            std::vector<Op> ops;
+            gen.tickInto(ops);
+            streams[w].push_back(std::move(ops));
+        }
+    }
+    sim::setShardWorkers(1);
+    ASSERT_EQ(streams[0].size(), streams[1].size());
+    for (std::size_t t = 0; t < streams[0].size(); ++t) {
+        SCOPED_TRACE("tick " + std::to_string(t));
+        EXPECT_TRUE(opsEqual(streams[0][t], streams[1][t]));
+    }
+}
+
+TEST(ShardedYcsb, ShardCountersSumToGenerated)
+{
+    ShardedYcsbGenerator gen(ycsbParams(0.5), sim::Rng(12));
+    std::vector<Op> ops;
+    for (int t = 0; t < 100; ++t)
+        gen.tickInto(ops);
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : gen.shardOps())
+        sum += v;
+    EXPECT_EQ(sum, gen.generated());
+    EXPECT_GT(gen.generated(), 0u);
+    // A 400-op tick splits into 13 rotating blocks; over 100 ticks
+    // every lane must have produced something.
+    for (const std::uint64_t v : gen.shardOps())
+        EXPECT_GT(v, 0u);
+}
+
+TEST(ShardedYcsb, HonoursWriteFractionAndMutators)
+{
+    ShardedYcsbGenerator gen(ycsbParams(1.0), sim::Rng(13));
+    std::vector<Op> ops;
+    gen.tickInto(ops);
+    ASSERT_FALSE(ops.empty());
+    for (const Op &op : ops)
+        EXPECT_EQ(op.type, Op::Type::Write);
+
+    gen.setWriteFraction(0.0);
+    gen.tickInto(ops);
+    ASSERT_FALSE(ops.empty());
+    for (const Op &op : ops)
+        EXPECT_EQ(op.type, Op::Type::Read);
+}
+
+TEST(ShardedYcsb, LastSeqAdvancesPerTick)
+{
+    ShardedYcsbGenerator gen(ycsbParams(0.5), sim::Rng(14));
+    std::vector<Op> ops;
+    gen.tickInto(ops);
+    EXPECT_EQ(gen.lastSeq(), 0u);
+    gen.tickInto(ops);
+    EXPECT_EQ(gen.lastSeq(), 1u);
+}
+
+TEST(ShardedDfsio, ByteIdenticalAcrossShardWorkerCounts)
+{
+    std::vector<std::vector<DfsRequest>> streams[2];
+    const std::size_t workers[2] = {1, 4};
+    for (int w = 0; w < 2; ++w) {
+        sim::setShardWorkers(workers[w]);
+        ShardedDfsioGenerator gen(dfsioParams(), sim::Rng(21));
+        for (sim::Tick t = 0; t < 50; ++t) {
+            std::vector<DfsRequest> reqs;
+            gen.tickInto(t, reqs);
+            streams[w].push_back(std::move(reqs));
+        }
+    }
+    sim::setShardWorkers(1);
+    ASSERT_EQ(streams[0].size(), streams[1].size());
+    for (std::size_t t = 0; t < streams[0].size(); ++t) {
+        SCOPED_TRACE("tick " + std::to_string(t));
+        const auto &a = streams[0][t];
+        const auto &b = streams[1][t];
+        ASSERT_EQ(a.size(), b.size());
+        for (std::size_t i = 0; i < a.size(); ++i) {
+            EXPECT_EQ(a[i].type, b[i].type);
+            EXPECT_EQ(a[i].client, b[i].client);
+            EXPECT_EQ(a[i].file_count, b[i].file_count);
+        }
+    }
+}
+
+TEST(ShardedDfsio, EmitsPeriodicDuAndCountsIt)
+{
+    ShardedDfsioGenerator gen(dfsioParams(5), sim::Rng(22));
+    std::vector<DfsRequest> reqs;
+    std::uint64_t du_count = 0;
+    for (sim::Tick t = 0; t < 100; ++t) {
+        gen.tickInto(t, reqs);
+        for (const DfsRequest &r : reqs) {
+            if (r.type == DfsRequest::Type::ContentSummary)
+                ++du_count;
+            else
+                EXPECT_LT(r.client, 5u);
+        }
+    }
+    EXPECT_EQ(du_count, 10u); // du_period 10 over 100 ticks
+    std::uint64_t sum = 0;
+    for (const std::uint64_t v : gen.shardOps())
+        sum += v;
+    EXPECT_EQ(sum, gen.generated());
+}
+
+} // namespace
+} // namespace smartconf::workload

@@ -4,6 +4,8 @@
 
 #include <stdexcept>
 
+#include "kvstore/memtable.h"
+#include "sim/shard.h"
 #include "workload/trace.h"
 
 namespace smartconf::workload {
@@ -117,6 +119,95 @@ TEST(Trace, ReplaySkipsMissedTicksWithoutDuplicating)
     // past) rather than delivering them late.
     EXPECT_TRUE(replay.tick(3).empty());
     EXPECT_TRUE(replay.exhausted());
+}
+
+TEST(Diurnal, CurveSpansTroughToPeak)
+{
+    DiurnalCurve curve;
+    curve.trough = 0.25;
+    curve.period = 240;
+    EXPECT_NEAR(curve.at(0), 0.25, 1e-12);
+    EXPECT_NEAR(curve.at(120), 1.0, 1e-12);  // mid-period peak
+    EXPECT_NEAR(curve.at(240), 0.25, 1e-12); // next day's trough
+    for (sim::Tick t = 0; t <= 240; ++t) {
+        EXPECT_GE(curve.at(t), 0.25 - 1e-12);
+        EXPECT_LE(curve.at(t), 1.0 + 1e-12);
+    }
+}
+
+TEST(Diurnal, RecordedTraceFollowsTheCurve)
+{
+    YcsbParams p;
+    p.write_fraction = 0.5;
+    p.ops_per_tick = 200.0;
+    p.burstiness = 0.05; // low noise so the shape is visible
+    DiurnalCurve curve;
+    curve.trough = 0.2;
+    curve.period = 100;
+
+    const Trace trace = recordDiurnal(p, curve, sim::Rng(31), 100);
+    ASSERT_GT(trace.size(), 0u);
+    // Count ops near the trough (t in [0,10)) vs the peak (t in
+    // [45,55)): the peak decade must carry several times the load.
+    std::size_t trough_ops = 0, peak_ops = 0;
+    for (const auto &r : trace.records()) {
+        if (r.tick < 10)
+            ++trough_ops;
+        else if (r.tick >= 45 && r.tick < 55)
+            ++peak_ops;
+    }
+    EXPECT_GT(peak_ops, trough_ops * 2);
+}
+
+TEST(Diurnal, RecordingIsDeterministicAcrossShardWorkerCounts)
+{
+    YcsbParams p;
+    p.write_fraction = 0.5;
+    p.ops_per_tick = 300.0;
+    p.burstiness = 0.2;
+    const DiurnalCurve curve;
+
+    sim::setShardWorkers(1);
+    const Trace serial = recordDiurnal(p, curve, sim::Rng(32), 60);
+    sim::setShardWorkers(4);
+    const Trace forked = recordDiurnal(p, curve, sim::Rng(32), 60);
+    sim::setShardWorkers(1);
+    EXPECT_EQ(serial.serialize(), forked.serialize());
+}
+
+TEST(Diurnal, ReplayDrivesAMemtableScenarioSmoke)
+{
+    // Scenario smoke: a recorded diurnal day replayed through the
+    // CA6059-style plant loop (memtable writes + step).  The replay
+    // must feed the plant the exact recorded stream, twice over.
+    YcsbParams p;
+    p.write_fraction = 0.6;
+    p.ops_per_tick = 50.0;
+    p.burstiness = 0.2;
+    const Trace trace =
+        recordDiurnal(p, DiurnalCurve{0.3, 120}, sim::Rng(33), 120);
+
+    auto run_plant = [&trace] {
+        kvstore::MemtableParams mp;
+        mp.flush_rate_mb_per_tick = 25.0;
+        kvstore::Memtable memtable(100.0, mp);
+        TraceReplayer replay(trace);
+        double latency_sum = 0.0;
+        std::uint64_t writes_fed = 0;
+        for (sim::Tick t = 0; t < 120; ++t) {
+            for (const Op &op : replay.tick(t)) {
+                if (op.type != Op::Type::Write)
+                    continue;
+                latency_sum += memtable.write(op.size_mb, t);
+                ++writes_fed;
+            }
+            memtable.step(t);
+        }
+        EXPECT_TRUE(replay.exhausted());
+        EXPECT_GT(writes_fed, 0u);
+        return latency_sum;
+    };
+    EXPECT_EQ(run_plant(), run_plant()); // pure replay, pure plant
 }
 
 } // namespace

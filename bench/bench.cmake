@@ -35,3 +35,5 @@ smartconf_add_bench(bench_limitations bench_limitations.cc)
 smartconf_add_bench(bench_sweep bench_sweep.cc)
 smartconf_add_bench(bench_chaos bench_chaos.cc)
 target_link_libraries(bench_chaos PRIVATE smartconf_fault)
+smartconf_add_bench(bench_fleet bench_fleet.cc)
+target_link_libraries(bench_fleet PRIVATE smartconf_fleet)

@@ -1,0 +1,272 @@
+/**
+ * @file
+ * Fleet-scale multi-tenant benchmark
+ * (`bench_fleet --json > BENCH_fleet.json`).
+ *
+ * Sweeps the tenant count (default 1k and 10k; `--tenants` takes a
+ * comma list up to 100k+) through runFleet(): every tenant runs its
+ * own SmartConf loop, capacity-class tenants coordinate under
+ * cluster-wide super-hard goals, and traffic is Zipf-skewed across
+ * tenants with archetype-staggered diurnal phases.  Each size is also
+ * run with controllers disabled (confs pinned at the scenario patch
+ * defaults) so the violation-rate delta the controllers buy is part
+ * of the tracked payload.
+ *
+ * Reported per size: per-tenant goal-violation rates (mean / p99 /
+ * fraction of tenants ever violating), convergence time (p50 / p99
+ * ticks to settle into the goal band), coordinator cost (attach
+ * re-assertions, fan-outs, serial wall time per epoch) and an
+ * end-state checksum.  Every non-wall field is a pure function of
+ * (params, seed) — byte-identical at any `--jobs x --shard-workers`
+ * combination — so the payload participates in check_regression's
+ * determinism sha exactly like the sweep bench.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "exec/sweep.h"
+#include "exec/thread_pool.h"
+#include "fleet/fleet.h"
+#include "sim/kernels.h"
+#include "sim/shard.h"
+#include "sim/simd.h"
+
+namespace {
+
+std::vector<std::uint32_t>
+parseTenantList(const char *arg)
+{
+    std::vector<std::uint32_t> out;
+    const char *p = arg;
+    while (*p) {
+        char *end = nullptr;
+        const unsigned long v = std::strtoul(p, &end, 10);
+        if (end == p || v == 0) {
+            std::fprintf(stderr,
+                         "bench_fleet: bad --tenants list '%s'\n", arg);
+            std::exit(2);
+        }
+        out.push_back(static_cast<std::uint32_t>(v));
+        p = *end == ',' ? end + 1 : end;
+    }
+    if (out.empty()) {
+        std::fprintf(stderr, "bench_fleet: empty --tenants list\n");
+        std::exit(2);
+    }
+    return out;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace smartconf;
+
+    const exec::SweepArgs args = exec::parseSweepArgs(argc, argv);
+    sim::setShardWorkers(args.shard_workers);
+
+    std::vector<std::uint32_t> tenant_counts = {1000, 10000};
+    fleet::FleetParams base;
+    for (int i = 1; i < argc; ++i) {
+        const auto intArg = [&](const char *flag,
+                                const char *name) -> long {
+            const char *v = argv[i] + std::strlen(flag);
+            if (*v == '=') {
+                ++v;
+            } else if (i + 1 < argc) {
+                v = argv[++i];
+            } else {
+                std::fprintf(stderr, "bench_fleet: %s needs a value\n",
+                             name);
+                std::exit(2);
+            }
+            return std::atol(v);
+        };
+        if (std::strncmp(argv[i], "--tenants", 9) == 0 &&
+            (argv[i][9] == '\0' || argv[i][9] == '=')) {
+            const char *v = argv[i] + 9;
+            if (*v == '=') {
+                ++v;
+            } else if (i + 1 < argc) {
+                v = argv[++i];
+            } else {
+                std::fprintf(stderr,
+                             "bench_fleet: --tenants needs a value\n");
+                return 2;
+            }
+            tenant_counts = parseTenantList(v);
+        } else if (std::strncmp(argv[i], "--ticks", 7) == 0 &&
+                   (argv[i][7] == '\0' || argv[i][7] == '=')) {
+            base.ticks =
+                static_cast<sim::Tick>(intArg("--ticks", "--ticks"));
+        } else if (std::strncmp(argv[i], "--seed", 6) == 0 &&
+                   (argv[i][6] == '\0' || argv[i][6] == '=')) {
+            base.seed =
+                static_cast<std::uint64_t>(intArg("--seed", "--seed"));
+        }
+    }
+
+    // Resolve the executor exactly like SweepRunner: 0 = hardware
+    // concurrency, 1 = inline (the shard pool may still fan out when
+    // --shard-workers > 1), N > 1 = dedicated pool.
+    std::size_t jobs = args.sweep.jobs;
+    if (jobs == 0) {
+        jobs = std::thread::hardware_concurrency();
+        if (jobs == 0)
+            jobs = 1;
+    }
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 1)
+        pool = std::make_unique<exec::ThreadPool>(jobs);
+
+    struct Sweep
+    {
+        fleet::FleetResult smart;
+        fleet::FleetResult pinned;
+    };
+    std::vector<Sweep> sweeps;
+    for (const std::uint32_t n : tenant_counts) {
+        fleet::FleetParams p = base;
+        p.tenants = n;
+        p.pool = pool.get();
+        Sweep s;
+        p.smart = true;
+        s.smart = fleet::runFleet(p);
+        p.smart = false;
+        s.pinned = fleet::runFleet(p);
+        sweeps.push_back(std::move(s));
+    }
+
+    if (args.json) {
+        std::printf("{\n");
+        std::printf("  \"bench\": \"bench_fleet\",\n");
+        std::printf("  \"host\": {\"cpus\": %u, \"isa_detected\": "
+                    "\"%s\", \"isa_active\": \"%s\", \"compiler\": "
+                    "\"%s\"},\n",
+                    std::thread::hardware_concurrency(),
+                    sim::simd::name(sim::simd::detected()),
+                    sim::simd::name(sim::kernels::activeIsa()),
+                    __VERSION__);
+        std::printf("  \"jobs\": %zu,\n", jobs);
+        std::printf("  \"shard_workers\": %zu,\n", args.shard_workers);
+        std::printf("  \"seed\": %llu,\n",
+                    static_cast<unsigned long long>(base.seed));
+        std::printf("  \"ticks\": %lld,\n",
+                    static_cast<long long>(base.ticks));
+        std::printf("  \"sweeps\": [\n");
+        for (std::size_t i = 0; i < sweeps.size(); ++i) {
+            const fleet::FleetResult &r = sweeps[i].smart;
+            const fleet::FleetResult &st = sweeps[i].pinned;
+            std::printf("    {\n");
+            std::printf("      \"tenants\": %llu,\n",
+                        static_cast<unsigned long long>(r.tenants));
+            std::printf("      \"epochs\": %llu,\n",
+                        static_cast<unsigned long long>(r.epochs));
+            std::printf("      \"clusters\": %llu,\n",
+                        static_cast<unsigned long long>(r.clusters));
+            std::printf(
+                "      \"clustered_tenants\": %llu,\n",
+                static_cast<unsigned long long>(r.clustered_tenants));
+            std::printf("      \"max_interaction\": %.1f,\n",
+                        r.max_interaction);
+            std::printf("      \"violation_rate_mean\": %.9f,\n",
+                        r.violation_rate_mean);
+            std::printf("      \"violation_rate_p99\": %.9f,\n",
+                        r.violation_rate_p99);
+            std::printf("      \"tenants_violated_frac\": %.9f,\n",
+                        r.tenants_violated_frac);
+            std::printf("      \"convergence_p50_ticks\": %.1f,\n",
+                        r.convergence_p50_ticks);
+            std::printf("      \"convergence_p99_ticks\": %.1f,\n",
+                        r.convergence_p99_ticks);
+            std::printf("      \"mean_conf_rel\": %.9f,\n",
+                        r.mean_conf_rel);
+            std::printf("      \"static_violation_rate_mean\": %.9f,\n",
+                        st.violation_rate_mean);
+            std::printf("      \"static_violation_rate_p99\": %.9f,\n",
+                        st.violation_rate_p99);
+            std::printf(
+                "      \"coord_attach_calls\": %llu,\n",
+                static_cast<unsigned long long>(r.coord.attach_calls));
+            std::printf(
+                "      \"coord_fanouts\": %llu,\n",
+                static_cast<unsigned long long>(r.coord.fanouts));
+            std::printf("      \"coord_aggregate_violations\": %llu,\n",
+                        static_cast<unsigned long long>(
+                            r.coord.aggregate_violations));
+            std::printf("      \"coord_epoch_wall_ms\": %.6f,\n",
+                        r.coord.epochs
+                            ? r.coord.wall_ms /
+                                  static_cast<double>(r.coord.epochs)
+                            : 0.0);
+            std::printf("      \"wall_ms\": %.3f,\n", r.wall_ms);
+            std::printf("      \"checksum\": \"0x%016llx\",\n",
+                        static_cast<unsigned long long>(r.checksum));
+            std::printf("      \"per_archetype\": [\n");
+            for (std::size_t a = 0; a < r.per_archetype.size(); ++a) {
+                const fleet::ArchetypeRow &row = r.per_archetype[a];
+                std::printf(
+                    "        {\"id\": \"%s\", \"tenants\": %llu, "
+                    "\"violation_rate\": %.9f, \"mean_conf_rel\": "
+                    "%.9f}%s\n",
+                    row.scenario_id.c_str(),
+                    static_cast<unsigned long long>(row.tenants),
+                    row.violation_rate, row.mean_conf_rel,
+                    a + 1 < r.per_archetype.size() ? "," : "");
+            }
+            std::printf("      ]\n");
+            std::printf("    }%s\n",
+                        i + 1 < sweeps.size() ? "," : "");
+        }
+        std::printf("  ]\n}\n");
+        return 0;
+    }
+
+    std::printf("Fleet-scale multi-tenant benchmark\n\n");
+    std::printf("workers (--jobs): %zu, shard workers: %zu, seed: "
+                "%llu, ticks: %lld\n\n",
+                jobs, args.shard_workers,
+                static_cast<unsigned long long>(base.seed),
+                static_cast<long long>(base.ticks));
+    std::printf("%-8s %9s %9s %12s %10s %10s %12s %11s\n", "tenants",
+                "viol.mean", "viol.p99", "static.mean", "conv.p50",
+                "conv.p99", "coord ms/ep", "max N");
+    std::printf("%s\n", std::string(88, '-').c_str());
+    for (const Sweep &s : sweeps) {
+        const fleet::FleetResult &r = s.smart;
+        std::printf("%-8llu %9.4f %9.4f %12.4f %10.0f %10.0f %12.4f "
+                    "%11.0f\n",
+                    static_cast<unsigned long long>(r.tenants),
+                    r.violation_rate_mean, r.violation_rate_p99,
+                    s.pinned.violation_rate_mean,
+                    r.convergence_p50_ticks, r.convergence_p99_ticks,
+                    r.coord.epochs
+                        ? r.coord.wall_ms /
+                              static_cast<double>(r.coord.epochs)
+                        : 0.0,
+                    r.max_interaction);
+    }
+    std::printf("\nper-archetype (largest sweep):\n");
+    const fleet::FleetResult &last = sweeps.back().smart;
+    for (const fleet::ArchetypeRow &row : last.per_archetype)
+        std::printf("  %-8s tenants %6llu  viol %7.4f  conf/default "
+                    "%6.3f\n",
+                    row.scenario_id.c_str(),
+                    static_cast<unsigned long long>(row.tenants),
+                    row.violation_rate, row.mean_conf_rel);
+    std::printf("\nwall: ");
+    for (std::size_t i = 0; i < sweeps.size(); ++i)
+        std::printf("%s%llu tenants %.1f ms", i ? ", " : "",
+                    static_cast<unsigned long long>(
+                        sweeps[i].smart.tenants),
+                    sweeps[i].smart.wall_ms);
+    std::printf("\n");
+    return 0;
+}

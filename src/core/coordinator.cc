@@ -10,7 +10,17 @@ namespace smartconf {
 void
 GoalCoordinator::declareGoal(const Goal &goal)
 {
+    const auto it = goals_.find(goal.metric);
+    const bool super_changed =
+        it == goals_.end() ? goal.superHard
+                           : it->second.superHard != goal.superHard;
     goals_[goal.metric] = goal;
+    // A re-declared goal can flip superHard while controllers are
+    // already attached (fleet epochs, setGoal-style reconfiguration).
+    // Without this refresh they would keep the stale interaction
+    // factor until the next attach/detach happened to run.
+    if (super_changed)
+        refreshInteractionFactors(goal.metric);
 }
 
 const Goal &
@@ -32,7 +42,14 @@ GoalCoordinator::hasGoal(const std::string &metric) const
 void
 GoalCoordinator::attach(const std::string &metric, Controller *controller)
 {
-    attached_[metric].push_back(controller);
+    auto &vec = attached_[metric];
+    // Idempotent: registering the same controller twice must not
+    // double-count it in interactionCount() — N feeds straight into
+    // the (1-p)/(N*alpha) error split, so a duplicate would halve
+    // every sibling's gain for good.
+    if (std::find(vec.begin(), vec.end(), controller) != vec.end())
+        return;
+    vec.push_back(controller);
     refreshInteractionFactors(metric);
 }
 
@@ -76,15 +93,20 @@ GoalCoordinator::updateGoalValue(const std::string &metric, double value)
 void
 GoalCoordinator::refreshInteractionFactors(const std::string &metric)
 {
-    const auto g = goals_.find(metric);
-    if (g == goals_.end() || !g->second.superHard)
-        return;
     const auto att = attached_.find(metric);
     if (att == attached_.end())
         return;
-    const double n = static_cast<double>(att->second.size());
+    // Non-super-hard (or undeclared) goals do not split the error:
+    // every attached controller runs at N = 1.  Writing 1 explicitly
+    // matters when a goal is re-declared with superHard flipped off —
+    // the factors set while it was super-hard must not linger.
+    const auto g = goals_.find(metric);
+    const bool super = g != goals_.end() && g->second.superHard;
+    const double n =
+        super ? std::max(1.0, static_cast<double>(att->second.size()))
+              : 1.0;
     for (Controller *c : att->second)
-        c->setInteractionFactor(std::max(1.0, n));
+        c->setInteractionFactor(n);
 }
 
 } // namespace smartconf

@@ -30,7 +30,15 @@ class Controller;
 class GoalCoordinator
 {
   public:
-    /** Install (or replace) the goal for @p goal.metric. */
+    /**
+     * Install (or replace) the goal for @p goal.metric.
+     *
+     * Re-declaring a goal with a different superHard flag refreshes the
+     * interaction factor of every already-attached controller: flipping
+     * super-hard on rebalances them to N, flipping it off resets them
+     * to 1.  (Values are *not* pushed to controllers here; use
+     * updateGoalValue for run-time value changes.)
+     */
     void declareGoal(const Goal &goal);
 
     /** Goal lookup. @throws std::out_of_range when undeclared. */
@@ -46,6 +54,11 @@ class GoalCoordinator
      * sibling (including the newcomer) is updated to the new count, so
      * late registration — configurations added as software evolves — is
      * handled transparently.
+     *
+     * Idempotent: attaching a controller that is already registered is
+     * a no-op (it is never double-counted in interactionCount()), so
+     * periodic re-registration — the fleet layer re-asserts membership
+     * every epoch — is safe by construction.
      */
     void attach(const std::string &metric, Controller *controller);
 

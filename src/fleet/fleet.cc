@@ -1,0 +1,226 @@
+#include "fleet/fleet.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <stdexcept>
+
+#include "exec/thread_pool.h"
+#include "sim/shard.h"
+
+namespace smartconf::fleet {
+namespace {
+
+double
+percentile(std::vector<double> sorted, double q)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::sort(sorted.begin(), sorted.end());
+    const std::size_t idx = static_cast<std::size_t>(
+        q * static_cast<double>(sorted.size() - 1));
+    return sorted[idx];
+}
+
+} // namespace
+
+FleetResult
+runFleet(const FleetParams &params)
+{
+    if (params.tenants == 0 || params.ticks <= 0 ||
+        params.epoch_ticks <= 0 || params.control_period <= 0)
+        throw std::invalid_argument(
+            "runFleet: tenants/ticks/epoch_ticks/control_period must "
+            "be positive");
+
+    const auto wall0 = std::chrono::steady_clock::now();
+    const std::size_t n_tenants = params.tenants;
+    const auto &archs = archetypes();
+
+    sim::Rng base(params.seed);
+    // Traffic draws come off a private stream whose id cannot collide
+    // with any tenant's fork (tenant ids are 32-bit).
+    sim::Rng traffic = base.fork(0xF1EE7000000001ULL);
+
+    std::vector<TenantNode> nodes;
+    nodes.reserve(n_tenants);
+    for (std::uint32_t i = 0; i < n_tenants; ++i)
+        nodes.emplace_back(i, archs[i % archs.size()], base,
+                           params.smart);
+
+    // Capacity-class tenants join fixed-size clusters per metric, in
+    // tenant-id order (the pinned aggregation order).  The cluster
+    // goal is headroom * sum of member goals: members cannot all sit
+    // at their local goals at once, so the super-hard split binds.
+    FleetCoordinator coord;
+    std::uint64_t clustered_tenants = 0;
+    if (params.smart) {
+        std::map<std::string, std::vector<TenantNode *>> pending;
+        const auto closeCluster =
+            [&](const std::string &metric,
+                std::vector<TenantNode *> &members) {
+                double goal_sum = 0.0;
+                for (const TenantNode *n : members)
+                    goal_sum += n->archetype().goal_value;
+                Goal g;
+                g.metric = "fleet/" + metric + "/" +
+                           std::to_string(coord.clusterCount());
+                g.value = params.cluster_headroom * goal_sum;
+                g.hard = true;
+                g.superHard = true;
+                const std::size_t id = coord.addCluster(g);
+                for (TenantNode *n : members)
+                    coord.join(id, n);
+                clustered_tenants += members.size();
+                members.clear();
+            };
+        for (TenantNode &n : nodes) {
+            if (!n.archetype().capacity_class)
+                continue;
+            auto &bucket = pending[n.archetype().metric];
+            bucket.push_back(&n);
+            if (bucket.size() >= params.cluster_size)
+                closeCluster(n.archetype().metric, bucket);
+        }
+        // Trailing partial clusters still coordinate (N = size); a
+        // single leftover tenant keeps its local goal instead.
+        for (auto &[metric, bucket] : pending)
+            if (bucket.size() >= 2)
+                closeCluster(metric, bucket);
+    }
+
+    // Stagger the six archetypes' diurnal peaks across the day so the
+    // fleet-wide load (and the clusters' aggregate pressure) moves.
+    std::array<workload::DiurnalCurve, 6> curves;
+    for (std::size_t a = 0; a < curves.size(); ++a) {
+        curves[a] = params.diurnal;
+        curves[a].phase += static_cast<sim::Tick>(
+            static_cast<std::size_t>(params.diurnal.period) * a /
+            curves.size());
+    }
+
+    sim::ZipfianGenerator zipf(n_tenants, params.zipf_theta);
+    const std::size_t draws = static_cast<std::size_t>(std::llround(
+        params.draws_per_tenant * static_cast<double>(n_tenants)));
+    std::vector<std::uint64_t> draw_buf(draws);
+    std::vector<std::uint32_t> counts(n_tenants);
+
+    const std::size_t groups =
+        std::min<std::size_t>(kFleetGroups, n_tenants);
+    std::uint64_t epochs = 0;
+
+    for (sim::Tick e0 = 0; e0 < params.ticks;
+         e0 += params.epoch_ticks) {
+        const sim::Tick e1 =
+            std::min<sim::Tick>(e0 + params.epoch_ticks, params.ticks);
+        // Serial coordination boundary: cluster aggregation + frozen
+        // fan-out, then this epoch's Zipf traffic split.
+        if (params.smart)
+            coord.runEpoch();
+        zipf.sampleBatch(traffic, draw_buf.data(), draws);
+        std::fill(counts.begin(), counts.end(), 0u);
+        for (const std::uint64_t d : draw_buf)
+            ++counts[d];
+        const double epoch_len = static_cast<double>(e1 - e0);
+
+        // Parallel epoch body: group g owns tenants [lo, hi) and no
+        // other state, so any executor schedule produces identical
+        // results.
+        const auto body = [&](std::size_t g) {
+            const std::size_t lo = g * n_tenants / groups;
+            const std::size_t hi = (g + 1) * n_tenants / groups;
+            for (std::size_t i = lo; i < hi; ++i) {
+                TenantNode &node = nodes[i];
+                const double base_load =
+                    static_cast<double>(counts[i]) / epoch_len;
+                const workload::DiurnalCurve &curve =
+                    curves[i % curves.size()];
+                for (sim::Tick t = e0; t < e1; ++t) {
+                    node.tick(t, base_load * curve.at(t));
+                    if (node.smart() &&
+                        (t + 1) % params.control_period == 0)
+                        node.controlTick();
+                }
+            }
+        };
+        if (params.pool)
+            params.pool->parallelFor(groups, body);
+        else
+            sim::shardFanOut(groups, body);
+        ++epochs;
+    }
+
+    // Serial reduction in tenant-id order.
+    FleetResult r;
+    r.tenants = n_tenants;
+    r.ticks = static_cast<std::uint64_t>(params.ticks);
+    r.epochs = epochs;
+
+    std::vector<double> rates;
+    std::vector<double> settle;
+    rates.reserve(n_tenants);
+    settle.reserve(n_tenants);
+    std::uint64_t violated_tenants = 0;
+    double conf_rel_sum = 0.0;
+    std::uint64_t checksum = 1469598103934665603ULL; // FNV offset
+    std::array<ArchetypeRow, 6> rows;
+    for (std::size_t a = 0; a < rows.size(); ++a)
+        rows[a].scenario_id = archs[a].scenario_id;
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const TenantNode &node = nodes[i];
+        const TenantStats &s = node.stats();
+        const double ticks_d =
+            s.ticks ? static_cast<double>(s.ticks) : 1.0;
+        const double rate =
+            static_cast<double>(s.violations) / ticks_d;
+        const double conf_rel = (s.conf_sum / ticks_d) /
+                                node.archetype().conf_default;
+        rates.push_back(rate);
+        settle.push_back(
+            static_cast<double>(s.last_unsettled) + 1.0);
+        if (s.violations > 0)
+            ++violated_tenants;
+        conf_rel_sum += conf_rel;
+        checksum = node.foldChecksum(checksum);
+
+        ArchetypeRow &row = rows[i % rows.size()];
+        ++row.tenants;
+        row.violation_rate += rate;
+        row.mean_conf_rel += conf_rel;
+    }
+
+    double rate_sum = 0.0;
+    for (const double v : rates)
+        rate_sum += v;
+    r.violation_rate_mean =
+        rate_sum / static_cast<double>(n_tenants);
+    r.violation_rate_p99 = percentile(rates, 0.99);
+    r.tenants_violated_frac = static_cast<double>(violated_tenants) /
+                              static_cast<double>(n_tenants);
+    r.convergence_p50_ticks = percentile(settle, 0.50);
+    r.convergence_p99_ticks = percentile(settle, 0.99);
+    r.mean_conf_rel = conf_rel_sum / static_cast<double>(n_tenants);
+
+    r.clusters = coord.clusterCount();
+    r.clustered_tenants = clustered_tenants;
+    r.max_interaction = coord.maxInteractionFactor();
+    r.coord = coord.stats();
+    r.checksum = checksum;
+
+    for (ArchetypeRow &row : rows) {
+        if (row.tenants) {
+            row.violation_rate /= static_cast<double>(row.tenants);
+            row.mean_conf_rel /= static_cast<double>(row.tenants);
+        }
+        r.per_archetype.push_back(row);
+    }
+
+    r.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - wall0)
+                    .count();
+    return r;
+}
+
+} // namespace smartconf::fleet

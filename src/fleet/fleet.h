@@ -1,0 +1,122 @@
+#ifndef SMARTCONF_FLEET_FLEET_H_
+#define SMARTCONF_FLEET_FLEET_H_
+
+/**
+ * @file
+ * Fleet-scale multi-tenant simulation.
+ *
+ * runFleet() instantiates `tenants` TenantNodes (cycling the six
+ * scenario archetypes), groups the capacity-class tenants into
+ * fixed-size clusters under super-hard cluster goals, and advances
+ * everything in epochs:
+ *
+ *   serial epoch boundary          parallel epoch body
+ *   ---------------------          -------------------
+ *   FleetCoordinator.runEpoch()    fixed logical tenant groups fan
+ *   Zipf draw -> per-tenant        out over the executor; each group
+ *   traffic counts                 ticks its tenants' plants and
+ *                                  controllers for the whole epoch
+ *
+ * Determinism: the tenant->group map is a pure function of the tenant
+ * count (kFleetGroups contiguous ranges), every tenant owns a private
+ * Rng stream forked by tenant id, and groups share no mutable state —
+ * so the result is byte-identical at any `--jobs x --shard-workers`
+ * combination, exactly like the intra-run shard plane (sim/shard.h).
+ *
+ * Traffic: one ZipfianGenerator over the tenant population (YCSB skew,
+ * the alias-table sampler) draws each epoch's ops; per-tenant load is
+ * the tenant's draw count shaped by a diurnal curve whose phase is
+ * staggered per archetype, so the six tenant families peak at
+ * different times of the simulated day.
+ */
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fleet/coordinator.h"
+#include "fleet/tenant.h"
+#include "sim/clock.h"
+#include "workload/trace.h"
+
+namespace smartconf::exec {
+class ThreadPool;
+}
+
+namespace smartconf::fleet {
+
+/** Logical epoch-body groups; fixed so grouping never depends on the
+ *  worker count (the same trick as sim::kShards). */
+inline constexpr std::size_t kFleetGroups = 64;
+
+struct FleetParams
+{
+    std::uint32_t tenants = 1000;
+    sim::Tick ticks = 240;        ///< one simulated day by default
+    sim::Tick epoch_ticks = 20;   ///< coordination epoch length
+    sim::Tick control_period = 4; ///< controller invocation period
+    std::uint64_t seed = 1;
+
+    double zipf_theta = 0.99;      ///< YCSB tenant-popularity skew
+    double draws_per_tenant = 8.0; ///< mean traffic draws per epoch
+
+    std::uint32_t cluster_size = 32; ///< tenants per capacity cluster
+    /**
+     * Cluster goal = headroom * sum of member local goals.  Below 1.0
+     * the members cannot all sit at their local goals simultaneously,
+     * so the super-hard split has real work to do.
+     */
+    double cluster_headroom = 0.9;
+
+    bool smart = true; ///< false = static baseline (confs pinned)
+
+    workload::DiurnalCurve diurnal{0.25, 240, 0};
+
+    /**
+     * Executor for the epoch-body fan-out.  Null falls back to
+     * sim::shardFanOut (inline when shard workers <= 1), so the same
+     * entry point serves `--jobs N` and `--shard-workers M` runs.
+     */
+    exec::ThreadPool *pool = nullptr;
+};
+
+/** Violation/occupancy aggregate for one archetype's tenants. */
+struct ArchetypeRow
+{
+    std::string scenario_id;
+    std::uint64_t tenants = 0;
+    double violation_rate = 0.0; ///< mean per-tenant violation rate
+    double mean_conf_rel = 0.0;  ///< mean conf / archetype default
+};
+
+struct FleetResult
+{
+    std::uint64_t tenants = 0;
+    std::uint64_t ticks = 0;
+    std::uint64_t epochs = 0;
+
+    double violation_rate_mean = 0.0; ///< mean of per-tenant rates
+    double violation_rate_p99 = 0.0;  ///< 99th pct per-tenant rate
+    double tenants_violated_frac = 0.0; ///< tenants with >= 1 violation
+    double convergence_p50_ticks = 0.0; ///< median settle time
+    double convergence_p99_ticks = 0.0; ///< tail settle time
+    double mean_conf_rel = 0.0;
+
+    std::uint64_t clusters = 0;
+    std::uint64_t clustered_tenants = 0;
+    double max_interaction = 0.0; ///< largest installed N
+
+    FleetCoordinator::Stats coord; ///< epoch-batched coordination cost
+
+    double wall_ms = 0.0;       ///< whole-run wall time
+    std::uint64_t checksum = 0; ///< FNV over end state, pinned order
+
+    std::vector<ArchetypeRow> per_archetype;
+};
+
+/** Run one fleet simulation; deterministic for fixed params + seed. */
+FleetResult runFleet(const FleetParams &params);
+
+} // namespace smartconf::fleet
+
+#endif // SMARTCONF_FLEET_FLEET_H_

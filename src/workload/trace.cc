@@ -15,9 +15,9 @@ DiurnalCurve::at(sim::Tick t) const
 {
     const double p = static_cast<double>(period <= 0 ? 1 : period);
     // Raised cosine: trough at phase 0, peak at phase 0.5.
-    const double phase =
-        2.0 * 3.14159265358979323846 * static_cast<double>(t) / p;
-    const double swing = 0.5 * (1.0 - std::cos(phase));
+    const double angle = 2.0 * 3.14159265358979323846 *
+                         static_cast<double>(t + phase) / p;
+    const double swing = 0.5 * (1.0 - std::cos(angle));
     return trough + (1.0 - trough) * swing;
 }
 

@@ -71,8 +71,11 @@ struct DiurnalCurve
 {
     double trough = 0.25;   ///< night-time fraction of peak load
     sim::Tick period = 240; ///< ticks per simulated day
+    sim::Tick phase = 0;    ///< tick offset (staggers tenant mixes)
 
-    /** Multiplier in [trough, 1]; trough at t = 0, peak mid-period. */
+    /** Multiplier in [trough, 1]; trough at t + phase = 0, peak
+     *  mid-period.  The phase offset lets a fleet of tenants share one
+     *  curve shape while peaking at different times of day. */
     double at(sim::Tick t) const;
 };
 

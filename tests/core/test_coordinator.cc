@@ -114,6 +114,122 @@ TEST(Coordinator, LateRegistrationRebalances)
     EXPECT_DOUBLE_EQ(c.params().interactionFactor, 3.0);
 }
 
+TEST(Coordinator, DuplicateAttachIsIdempotent)
+{
+    // Regression: attach() used to push_back unconditionally, so a
+    // controller registered twice counted twice in interactionCount()
+    // and inflated N in the (1-p)/(N*alpha) error split.
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+
+    coord.attach("mem", &a);
+    coord.attach("mem", &a); // re-registration must be a no-op
+    EXPECT_EQ(coord.interactionCount("mem"), 1u);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+
+    coord.attach("mem", &b);
+    coord.attach("mem", &a); // still a no-op after a sibling joined
+    EXPECT_EQ(coord.interactionCount("mem"), 2u);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 2.0);
+
+    // One detach fully removes the controller (it was stored once).
+    coord.detach("mem", &a);
+    EXPECT_EQ(coord.interactionCount("mem"), 1u);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 1.0);
+}
+
+TEST(Coordinator, RedeclareSuperHardOnRefreshesAttached)
+{
+    // Regression: declareGoal() used to just overwrite the stored
+    // goal, so controllers attached while the goal was ordinary kept
+    // interaction factor 1 after it was re-declared super-hard.
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", false));
+    Controller a(params(), goal("mem", false));
+    Controller b(params(), goal("mem", false));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+
+    coord.declareGoal(goal("mem", true)); // flip super-hard ON
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 2.0);
+}
+
+TEST(Coordinator, RedeclareSuperHardOffResetsFactors)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+
+    coord.declareGoal(goal("mem", false)); // flip super-hard OFF
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 1.0);
+}
+
+TEST(Coordinator, AttachBeforeDeclareGoal)
+{
+    // Attachment order must not matter: controllers registered before
+    // the goal exists are rebalanced once it is declared super-hard.
+    GoalCoordinator coord;
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    EXPECT_EQ(coord.interactionCount("mem"), 2u);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+
+    coord.declareGoal(goal("mem", true));
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 2.0);
+}
+
+TEST(Coordinator, DetachNeverAttachedIsNoOp)
+{
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller stranger(params(), goal("mem", true));
+    coord.attach("mem", &a);
+
+    coord.detach("mem", &stranger);   // never attached: no-op
+    coord.detach("disk", &stranger);  // metric never seen: no-op
+    EXPECT_EQ(coord.interactionCount("mem"), 1u);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 1.0);
+}
+
+TEST(Coordinator, SuperHardFlipMidRunKeepsSplitConsistent)
+{
+    // A full mid-run episode: controllers run under N = 3, the goal is
+    // re-declared ordinary (everyone back to N = 1), then super-hard
+    // again (back to N = 3) — with membership changing in between.
+    GoalCoordinator coord;
+    coord.declareGoal(goal("mem", true));
+    Controller a(params(), goal("mem", true));
+    Controller b(params(), goal("mem", true));
+    Controller c(params(), goal("mem", true));
+    coord.attach("mem", &a);
+    coord.attach("mem", &b);
+    coord.attach("mem", &c);
+    EXPECT_DOUBLE_EQ(b.params().interactionFactor, 3.0);
+
+    coord.declareGoal(goal("mem", false));
+    EXPECT_DOUBLE_EQ(c.params().interactionFactor, 1.0);
+
+    coord.detach("mem", &b); // churn while the goal is ordinary
+    coord.declareGoal(goal("mem", true));
+    EXPECT_EQ(coord.interactionCount("mem"), 2u);
+    EXPECT_DOUBLE_EQ(a.params().interactionFactor, 2.0);
+    EXPECT_DOUBLE_EQ(c.params().interactionFactor, 2.0);
+}
+
 TEST(Coordinator, IndependentMetricsDoNotInteract)
 {
     GoalCoordinator coord;

@@ -1,0 +1,134 @@
+/** @file Tenant archetypes and single-node tenant dynamics. */
+
+#include <gtest/gtest.h>
+
+#include "fleet/tenant.h"
+#include "sim/rng.h"
+
+namespace smartconf::fleet {
+namespace {
+
+TEST(FleetTenant, ArchetypesDeriveFromScenarioCatalog)
+{
+    const auto &archs = archetypes();
+    ASSERT_EQ(archs.size(), 6u);
+    EXPECT_EQ(archs[0].scenario_id, "CA6059");
+    EXPECT_EQ(archs[5].scenario_id, "MR2820");
+    for (const auto &a : archs) {
+        EXPECT_FALSE(a.conf_name.empty());
+        EXPECT_FALSE(a.metric.empty());
+        // Fleet SLOs are contractual: every goal runs hard.
+        EXPECT_TRUE(a.hard);
+        EXPECT_DOUBLE_EQ(a.goal_value, 100.0);
+        EXPECT_GT(a.conf_default, 0.0);
+        EXPECT_DOUBLE_EQ(a.conf_max, 4.0 * a.conf_default);
+        // The patched default contributes the same normalized metric
+        // share for every archetype.
+        EXPECT_NEAR(a.alpha * a.conf_default, 55.0, 1e-9);
+        EXPECT_GT(a.pole, 0.0);
+        EXPECT_LT(a.pole, 1.0);
+    }
+    // Capacity classes (metrics that sum across tenants) cluster;
+    // latency classes stay local.
+    EXPECT_TRUE(archs[0].capacity_class);  // CA6059 memory
+    EXPECT_FALSE(archs[1].capacity_class); // HB2149 latency
+    EXPECT_TRUE(archs[2].capacity_class);  // HB3813 memory
+    EXPECT_TRUE(archs[3].capacity_class);  // HB6728 memory
+    EXPECT_FALSE(archs[4].capacity_class); // HD4995 latency
+    EXPECT_TRUE(archs[5].capacity_class);  // MR2820 disk
+}
+
+TEST(FleetTenant, SameSeedSameTrajectory)
+{
+    const sim::Rng base(42);
+    TenantNode a(3, archetypes()[1], base, true);
+    TenantNode b(3, archetypes()[1], base, true);
+    for (sim::Tick t = 0; t < 50; ++t) {
+        a.tick(t, 0.5);
+        b.tick(t, 0.5);
+        if ((t + 1) % 4 == 0) {
+            a.controlTick();
+            b.controlTick();
+        }
+        ASSERT_DOUBLE_EQ(a.localMetric(), b.localMetric());
+        ASSERT_DOUBLE_EQ(a.conf(), b.conf());
+    }
+    EXPECT_EQ(a.foldChecksum(1), b.foldChecksum(1));
+}
+
+TEST(FleetTenant, DistinctIdsGetDistinctStreams)
+{
+    const sim::Rng base(42);
+    TenantNode a(1, archetypes()[1], base, true);
+    TenantNode b(2, archetypes()[1], base, true);
+    a.tick(0, 0.5);
+    b.tick(0, 0.5);
+    EXPECT_NE(a.localMetric(), b.localMetric());
+}
+
+TEST(FleetTenant, StaticNodeKeepsDefaultConf)
+{
+    const sim::Rng base(9);
+    TenantNode n(0, archetypes()[0], base, false);
+    EXPECT_FALSE(n.smart());
+    EXPECT_EQ(n.controller(), nullptr);
+    for (sim::Tick t = 0; t < 30; ++t) {
+        n.tick(t, 1.0);
+        n.controlTick(); // no-op without a controller
+    }
+    EXPECT_DOUBLE_EQ(n.conf(), archetypes()[0].conf_default);
+    EXPECT_EQ(n.stats().control_updates, 0u);
+}
+
+TEST(FleetTenant, ControllerTracksVirtualGoalUnderLoad)
+{
+    // A smart tenant under sustained heavy load must pull its conf
+    // down (the plant warm-starts at the zero-load equilibrium, so
+    // added load pushes the metric above the set-point) and end the
+    // run with the metric near the virtual goal rather than above the
+    // goal.
+    const sim::Rng base(5);
+    const TenantArchetype &arch = archetypes()[0];
+    TenantNode n(0, arch, base, true);
+    for (sim::Tick t = 0; t < 400; ++t) {
+        n.tick(t, 500.0); // Zipf-head traffic, deep in the load bend
+        if ((t + 1) % 4 == 0)
+            n.controlTick();
+    }
+    EXPECT_LT(n.conf(), arch.conf_default);
+    EXPECT_LT(n.localMetric(), arch.goal_value + 3.0 * arch.noise);
+    EXPECT_GT(n.localMetric(), 0.5 * arch.goal_value);
+    // Steady-state violations stay rare relative to the run length.
+    EXPECT_LT(static_cast<double>(n.stats().violations) / 400.0, 0.2);
+}
+
+TEST(FleetTenant, ClusterBindingRetargetsViewAndGoal)
+{
+    const sim::Rng base(5);
+    TenantNode n(0, archetypes()[0], base, true);
+    Goal g;
+    g.metric = "fleet/mem/0";
+    g.value = 900.0;
+    g.hard = true;
+    g.superHard = true;
+    n.bindCluster(g);
+    EXPECT_TRUE(n.clustered());
+    EXPECT_EQ(n.controller()->goal().metric, "fleet/mem/0");
+    n.setClusterView(800.0);
+    EXPECT_DOUBLE_EQ(n.metricView(), 800.0 + n.localMetric());
+}
+
+TEST(FleetTenant, StaticNodeIgnoresClusterBinding)
+{
+    const sim::Rng base(5);
+    TenantNode n(0, archetypes()[0], base, false);
+    Goal g;
+    g.metric = "fleet/mem/0";
+    g.value = 900.0;
+    n.bindCluster(g);
+    EXPECT_FALSE(n.clustered());
+    EXPECT_DOUBLE_EQ(n.metricView(), n.localMetric());
+}
+
+} // namespace
+} // namespace smartconf::fleet

@@ -33,6 +33,7 @@ smartconf_add_bench(bench_ablation_profiling bench_ablation_profiling.cc)
 smartconf_add_bench(bench_ablation_period bench_ablation_period.cc)
 smartconf_add_bench(bench_limitations bench_limitations.cc)
 smartconf_add_bench(bench_sweep bench_sweep.cc)
+smartconf_add_bench(bench_store bench_store.cc)
 smartconf_add_bench(bench_chaos bench_chaos.cc)
 target_link_libraries(bench_chaos PRIVATE smartconf_fault)
 smartconf_add_bench(bench_fleet bench_fleet.cc)

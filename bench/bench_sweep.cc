@@ -26,6 +26,7 @@
 #include <thread>
 #include <vector>
 
+#include "exec/disk_cache.h"
 #include "exec/sweep.h"
 #include "scenarios/scenario.h"
 #include "sim/kernels.h"
@@ -172,6 +173,28 @@ main(int argc, char **argv)
         std::printf("  \"disk_stores\": %llu,\n",
                     static_cast<unsigned long long>(
                         warm_stats.disk_stores));
+        // Segment-store IO counters (zeros when the disk cache is
+        // off).  The warm-process regression gate checks that disk
+        // hits were served by batched segment reads — store_reads
+        // tracks payload preads, store_segments_opened how many
+        // segment files were opened to serve them.  A per-entry-open
+        // regression shows up as opened ~== reads.
+        {
+            const smartconf::exec::DiskRunCache *disk =
+                runner.cache().diskCache();
+            const smartconf::store::StoreStats io =
+                disk ? disk->ioStats() : smartconf::store::StoreStats{};
+            std::printf("  \"store_reads\": %llu,\n",
+                        static_cast<unsigned long long>(io.reads));
+            std::printf("  \"store_read_bytes\": %llu,\n",
+                        static_cast<unsigned long long>(io.read_bytes));
+            std::printf("  \"store_segments_opened\": %llu,\n",
+                        static_cast<unsigned long long>(
+                            io.segments_opened));
+            std::printf("  \"store_segments_published\": %llu,\n",
+                        static_cast<unsigned long long>(
+                            io.segments_published));
+        }
         std::printf("  \"scenarios\": [\n");
         for (std::size_t i = 0; i < rows.size(); ++i) {
             std::printf("    {\"id\": \"%s\", \"smart_tradeoff\": "

@@ -15,8 +15,29 @@
  *     smartconfctl demo
  *         write a small valid deployment into ./smartconf-demo/ and
  *         lint it — a template to start from.
+ *
+ * Run-cache store commands (all take `--dir ROOT`, default
+ * `.smartconf-cache` — the sweep harness's default cache root; the
+ * versioned store directory underneath is resolved automatically):
+ *
+ *     smartconfctl query [--scenario P] [--policy S] [--chaos C|*|-]
+ *                        [--seed-min N] [--seed-max N] [--count]
+ *         range-scan the segment index: every cached run matching the
+ *         filter, straight from the index — zero simulation, zero
+ *         payload IO.
+ *
+ *     smartconfctl stats
+ *         segment/shard/entry counts for the store.
+ *
+ *     smartconfctl compact
+ *         merge small sealed segments and dedup superseded entries.
+ *
+ *     smartconfctl verify
+ *         full-scan integrity check (headers, indexes, payload
+ *         checksums, manifest); exit 1 on any finding.
  */
 
+#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
@@ -25,6 +46,9 @@
 #include "core/lint.h"
 #include "core/profiler.h"
 #include "core/sysfile.h"
+#include "exec/disk_cache.h"
+#include "store/query.h"
+#include "store/segment_store.h"
 
 namespace {
 
@@ -37,7 +61,15 @@ usage()
                  "usage: smartconfctl lint <SmartConf.sys> <user.conf>\n"
                  "       smartconfctl check <store> <SmartConf.sys>\n"
                  "       smartconfctl synth <store>\n"
-                 "       smartconfctl demo\n");
+                 "       smartconfctl demo\n"
+                 "       smartconfctl query   [--dir ROOT] [--scenario P]"
+                 " [--policy S]\n"
+                 "                            [--chaos C|*|-] [--seed-min"
+                 " N] [--seed-max N]\n"
+                 "                            [--count]\n"
+                 "       smartconfctl stats   [--dir ROOT]\n"
+                 "       smartconfctl compact [--dir ROOT]\n"
+                 "       smartconfctl verify  [--dir ROOT]\n");
     return 2;
 }
 
@@ -124,6 +156,173 @@ cmdDemo()
     return report(lintDeployment(sys, user));
 }
 
+/**
+ * Store-command argument bundle.  @p root is the cache root the sweep
+ * harness was pointed at; the versioned store directory underneath is
+ * resolved here so users never need to know the layout version.
+ */
+struct StoreArgs
+{
+    std::string root = ".smartconf-cache";
+    store::QueryFilter filter;
+    bool count_only = false;
+    bool ok = true;
+};
+
+StoreArgs
+parseStoreArgs(int argc, char **argv, int first)
+{
+    StoreArgs a;
+    for (int i = first; i < argc; ++i) {
+        const auto want = [&](const char *flag) -> const char * {
+            if (std::strcmp(argv[i], flag) != 0)
+                return nullptr;
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "error: %s needs a value\n", flag);
+                a.ok = false;
+                return nullptr;
+            }
+            return argv[++i];
+        };
+        if (const char *v = want("--dir"))
+            a.root = v;
+        else if (const char *v = want("--scenario"))
+            a.filter.scenario_prefix = v;
+        else if (const char *v = want("--policy"))
+            a.filter.policy_substr = v;
+        else if (const char *v = want("--chaos"))
+            a.filter.chaos_substr = v;
+        else if (const char *v = want("--seed-min"))
+            a.filter.seed_min = std::strtoull(v, nullptr, 10);
+        else if (const char *v = want("--seed-max"))
+            a.filter.seed_max = std::strtoull(v, nullptr, 10);
+        else if (std::strcmp(argv[i], "--count") == 0)
+            a.count_only = true;
+        else if (a.ok) {
+            std::fprintf(stderr, "error: unknown store option '%s'\n",
+                         argv[i]);
+            a.ok = false;
+        }
+    }
+    return a;
+}
+
+/** The versioned store dir for @p root; "" when nothing is there. */
+std::string
+resolveStoreDir(const std::string &root)
+{
+    namespace fs = std::filesystem;
+    const std::string versioned = exec::DiskRunCache::versionDir(root);
+    if (fs::exists(versioned))
+        return versioned;
+    // Accept being pointed straight at a versioned directory.
+    if (fs::exists(fs::path(root) / store::SegmentStore::kManifestName))
+        return root;
+    std::error_code ec;
+    for (const auto &e : fs::directory_iterator(root, ec))
+        if (e.path().extension() == ".seg")
+            return root;
+    std::fprintf(stderr,
+                 "error: no segment store under '%s' (looked for %s)\n",
+                 root.c_str(), versioned.c_str());
+    return "";
+}
+
+store::SegmentStore::Options
+ctlOptions()
+{
+    store::SegmentStore::Options o;
+    o.auto_compact = false; // one-shot CLI: compaction is explicit
+    return o;
+}
+
+int
+cmdQuery(const StoreArgs &a)
+{
+    const std::string dir = resolveStoreDir(a.root);
+    if (dir.empty())
+        return 1;
+    store::SegmentStore s(dir, ctlOptions());
+    const std::vector<store::QueryRow> rows =
+        store::queryStore(s, a.filter);
+    if (a.count_only) {
+        std::printf("%zu\n", rows.size());
+        return 0;
+    }
+    for (const store::QueryRow &r : rows) {
+        if (r.seed_valid)
+            std::printf("%-28s seed=%-8" PRIu64 " %6u B  %s | %s\n",
+                        r.scenario.c_str(), r.seed, r.payload_len,
+                        r.segment.empty() ? "(pending)"
+                                          : r.segment.c_str(),
+                        r.policy.c_str());
+        else
+            std::printf("%-28s %6u B  %s\n", r.key.c_str(),
+                        r.payload_len,
+                        r.segment.empty() ? "(pending)"
+                                          : r.segment.c_str());
+    }
+    std::printf("%zu row(s)\n", rows.size());
+    return 0;
+}
+
+int
+cmdStats(const StoreArgs &a)
+{
+    const std::string dir = resolveStoreDir(a.root);
+    if (dir.empty())
+        return 1;
+    store::SegmentStore s(dir, ctlOptions());
+    std::size_t entries = 0;
+    std::uint64_t payload_bytes = 0;
+    s.forEachEntry([&](const store::IndexedEntry &e) {
+        ++entries;
+        payload_bytes += e.payload_len;
+    });
+    std::printf("store:            %s\n", dir.c_str());
+    std::printf("shards:           %zu\n", s.shardCount());
+    std::printf("segments:         %zu\n", s.segmentCount());
+    std::printf("live entries:     %zu\n", entries);
+    std::printf("payload bytes:    %" PRIu64 "\n", payload_bytes);
+    return 0;
+}
+
+int
+cmdCompact(const StoreArgs &a)
+{
+    const std::string dir = resolveStoreDir(a.root);
+    if (dir.empty())
+        return 1;
+    store::SegmentStore s(dir, ctlOptions());
+    const store::CompactionResult r = s.compact();
+    std::printf("compacted %zu shard(s): %zu -> %zu segment(s), "
+                "%" PRIu64 " -> %" PRIu64 " entr%s, %" PRIu64
+                " B written\n",
+                r.shards_compacted, r.segments_in, r.segments_out,
+                r.entries_in, r.entries_out,
+                r.entries_out == 1 ? "y" : "ies", r.bytes_written);
+    return 0;
+}
+
+int
+cmdVerify(const StoreArgs &a)
+{
+    const std::string dir = resolveStoreDir(a.root);
+    if (dir.empty())
+        return 1;
+    store::SegmentStore s(dir, ctlOptions());
+    const store::VerifyResult r = s.verify();
+    for (const store::VerifyIssue &i : r.issues)
+        std::printf("FINDING %s: %s\n", i.segment.c_str(),
+                    i.what.c_str());
+    std::printf("%zu segment(s) ok, %zu corrupt; %" PRIu64
+                " entr%s ok, %" PRIu64 " corrupt; manifest %s\n",
+                r.segments_ok, r.segments_corrupt, r.entries_ok,
+                r.entries_ok == 1 ? "y" : "ies", r.entries_corrupt,
+                r.manifest_ok ? "ok" : "TORN/STALE");
+    return r.clean() ? 0 : 1;
+}
+
 } // namespace
 
 int
@@ -140,6 +339,21 @@ main(int argc, char **argv)
             return cmdSynth(argv[2]);
         if (std::strcmp(argv[1], "demo") == 0)
             return cmdDemo();
+        if (std::strcmp(argv[1], "query") == 0 ||
+            std::strcmp(argv[1], "stats") == 0 ||
+            std::strcmp(argv[1], "compact") == 0 ||
+            std::strcmp(argv[1], "verify") == 0) {
+            const StoreArgs a = parseStoreArgs(argc, argv, 2);
+            if (!a.ok)
+                return usage();
+            if (std::strcmp(argv[1], "query") == 0)
+                return cmdQuery(a);
+            if (std::strcmp(argv[1], "stats") == 0)
+                return cmdStats(a);
+            if (std::strcmp(argv[1], "compact") == 0)
+                return cmdCompact(a);
+            return cmdVerify(a);
+        }
     } catch (const std::exception &e) {
         std::fprintf(stderr, "error: %s\n", e.what());
         return 1;

@@ -1,11 +1,8 @@
 #include "exec/disk_cache.h"
 
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
-#include <vector>
 
 #include "sim/kernels.h"
 #include "sim/metrics.h"
@@ -14,7 +11,7 @@ namespace smartconf::exec {
 
 namespace {
 
-constexpr char kMagic[4] = {'S', 'C', 'R', 'C'};
+constexpr char kLegacyMagic[4] = {'S', 'C', 'R', 'C'};
 
 /** Append-only little buffer writer (native endianness: the cache is a
  *  single-machine artifact, never shipped between hosts). */
@@ -28,7 +25,6 @@ class Writer
     }
     void u32(std::uint32_t v) { raw(&v, sizeof v); }
     void u64(std::uint64_t v) { raw(&v, sizeof v); }
-    void i64(std::int64_t v) { raw(&v, sizeof v); }
     void f64(double v) { raw(&v, sizeof v); }
     void u8(std::uint8_t v) { raw(&v, sizeof v); }
     void str(const std::string &s)
@@ -54,14 +50,15 @@ class Writer
         sim::kernels::copyBytes(buf_.data() + off, ts.points().data(),
                                 bytes);
     }
+    std::vector<char> take() { return std::move(buf_); }
     const std::vector<char> &bytes() const { return buf_; }
 
   private:
     std::vector<char> buf_;
 };
 
-/** Bounds-checked reader over a loaded file; any overrun fails the
- *  whole load (torn or foreign file -> miss). */
+/** Bounds-checked reader over a loaded buffer; any overrun fails the
+ *  whole parse (torn or foreign bytes -> miss). */
 class Reader
 {
   public:
@@ -79,7 +76,6 @@ class Reader
     }
     bool u32(std::uint32_t &v) { return raw(&v, sizeof v); }
     bool u64(std::uint64_t &v) { return raw(&v, sizeof v); }
-    bool i64(std::int64_t &v) { return raw(&v, sizeof v); }
     bool f64(double &v) { return raw(&v, sizeof v); }
     bool u8(std::uint8_t &v) { return raw(&v, sizeof v); }
     bool str(std::string &s)
@@ -124,10 +120,34 @@ class Reader
 } // namespace
 
 DiskRunCache::DiskRunCache(std::string root)
+    : DiskRunCache(std::move(root), store::SegmentStore::Options{})
+{}
+
+DiskRunCache::DiskRunCache(std::string root,
+                           store::SegmentStore::Options opts)
 {
-    dir_ = std::move(root);
-    dir_ += "/v" + std::to_string(kFormatVersion) + "-e" +
-            std::to_string(kEngineVersion);
+    const std::string r = std::move(root);
+    dir_ = versionDir(r);
+    opts.format = kFormatVersion;
+    opts.engine = kEngineVersion;
+    store_ = std::make_unique<store::SegmentStore>(dir_, opts);
+    migrateLegacy(r);
+}
+
+DiskRunCache::~DiskRunCache() = default; // ~SegmentStore flushes
+
+std::string
+DiskRunCache::versionDir(const std::string &root)
+{
+    return root + "/v" + std::to_string(kFormatVersion) + "-e" +
+           std::to_string(kEngineVersion);
+}
+
+std::string
+DiskRunCache::legacyDir(const std::string &root)
+{
+    return root + "/v" + std::to_string(kLegacyFormatVersion) + "-e" +
+           std::to_string(kEngineVersion);
 }
 
 std::uint64_t
@@ -154,67 +174,34 @@ DiskRunCache::checksum64(const void *data, std::size_t len)
     return sim::kernels::checksum(data, len);
 }
 
-std::string
-DiskRunCache::entryPath(const std::string &key) const
+std::vector<char>
+DiskRunCache::serializeResult(const scenarios::ScenarioResult &result)
 {
-    char hex[17];
-    std::snprintf(hex, sizeof hex, "%016llx",
-                  static_cast<unsigned long long>(fnv1a(key)));
-    return dir_ + "/" + hex + ".bin";
+    Writer payload;
+    payload.str(result.scenario_id);
+    payload.str(result.policy_label);
+    payload.u8(result.violated ? 1 : 0);
+    payload.f64(result.violation_time_s);
+    payload.f64(result.worst_goal_metric);
+    payload.f64(result.goal_value);
+    payload.f64(result.tradeoff);
+    payload.f64(result.raw_tradeoff);
+    payload.f64(result.mean_conf);
+    payload.u64(result.ops_simulated);
+    payload.u64(result.faults_injected);
+    payload.u64(result.shard_ops.size());
+    payload.raw(result.shard_ops.data(), result.shard_ops.size() * 8);
+    payload.series(result.perf_series);
+    payload.series(result.conf_series);
+    payload.series(result.tradeoff_series);
+    return payload.take();
 }
 
 bool
-DiskRunCache::load(const std::string &key,
-                   scenarios::ScenarioResult &out) const
+DiskRunCache::parseResult(const char *data, std::size_t len,
+                          scenarios::ScenarioResult &out)
 {
-    const std::string path = entryPath(key);
-    // fopen("rb") on a *directory* succeeds on Linux and then reports a
-    // nonsense size at SEEK_END — a sized read would try to allocate
-    // it.  A blocked entry slot is layout corruption: degrade to miss.
-    std::error_code ec;
-    if (!std::filesystem::is_regular_file(path, ec))
-        return false;
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        return false;
-    // One sized read: entries run to megabytes of series points, and
-    // chunked append would copy every byte at least twice.
-    std::vector<char> data;
-    if (std::fseek(f, 0, SEEK_END) == 0) {
-        const long end = std::ftell(f);
-        if (end > 0 && std::fseek(f, 0, SEEK_SET) == 0) {
-            data.resize(static_cast<std::size_t>(end));
-            if (std::fread(data.data(), 1, data.size(), f) !=
-                data.size())
-                data.clear();
-        }
-    }
-    std::fclose(f);
-    if (data.empty())
-        return false;
-
-    Reader r(data.data(), data.size());
-    char magic[4];
-    std::uint32_t format = 0, engine = 0;
-    std::string stored_key;
-    if (!r.raw(magic, 4) || std::memcmp(magic, kMagic, 4) != 0)
-        return false;
-    if (!r.u32(format) || format != kFormatVersion)
-        return false;
-    if (!r.u32(engine) || engine != kEngineVersion)
-        return false;
-    if (!r.str(stored_key) || stored_key != key)
-        return false; // fnv collision: treat as a miss
-
-    // Verify the payload checksum before parsing a single field: a bit
-    // flip inside series data is indistinguishable from a real value
-    // once parsed, so the only safe place to catch it is here, where
-    // it degrades to a miss instead of a wrong curve.
-    std::uint64_t stored_sum = 0;
-    if (!r.u64(stored_sum) ||
-        stored_sum != checksum64(r.rest(), r.restSize()))
-        return false;
-
+    Reader r(data, len);
     scenarios::ScenarioResult res;
     std::uint8_t violated = 0;
     const bool ok =
@@ -243,69 +230,125 @@ DiskRunCache::load(const std::string &key,
 }
 
 bool
+DiskRunCache::load(const std::string &key,
+                   scenarios::ScenarioResult &out)
+{
+    // The store validates the full key and the payload checksum before
+    // returning bytes; a parse failure here means a serializer skew
+    // inside one format version — still just a miss.
+    std::vector<char> payload;
+    if (!store_->get(key, payload))
+        return false;
+    return parseResult(payload.data(), payload.size(), out);
+}
+
+bool
 DiskRunCache::store(const std::string &key,
-                    const scenarios::ScenarioResult &result) const
+                    const scenarios::ScenarioResult &result)
+{
+    if (!usable())
+        return false;
+    const std::vector<char> payload = serializeResult(result);
+    return store_->put(key, payload.data(), payload.size(),
+                       checksum64(payload.data(), payload.size()));
+}
+
+bool
+DiskRunCache::flush()
+{
+    if (checked_ && cache_off_)
+        return false;
+    return store_->flush();
+}
+
+bool
+DiskRunCache::usable()
+{
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!checked_) {
+        // One sticky probe: if the versioned directory cannot exist
+        // (e.g. the root is a regular file), every store() degrades to
+        // cache-off instead of buffering bytes that can never land.
+        std::error_code ec;
+        std::filesystem::create_directories(dir_, ec);
+        cache_off_ = static_cast<bool>(ec);
+        checked_ = true;
+    }
+    return !cache_off_;
+}
+
+void
+DiskRunCache::migrateLegacy(const std::string &root)
 {
     namespace fs = std::filesystem;
+    const std::string legacy = legacyDir(root);
     std::error_code ec;
-    fs::create_directories(dir_, ec);
-    if (ec)
-        return false;
+    if (!fs::is_directory(legacy, ec))
+        return;
 
-    // Payload first, so its checksum can go into the header.
-    Writer payload;
-    payload.str(result.scenario_id);
-    payload.str(result.policy_label);
-    payload.u8(result.violated ? 1 : 0);
-    payload.f64(result.violation_time_s);
-    payload.f64(result.worst_goal_metric);
-    payload.f64(result.goal_value);
-    payload.f64(result.tradeoff);
-    payload.f64(result.raw_tradeoff);
-    payload.f64(result.mean_conf);
-    payload.u64(result.ops_simulated);
-    payload.u64(result.faults_injected);
-    payload.u64(result.shard_ops.size());
-    payload.raw(result.shard_ops.data(), result.shard_ops.size() * 8);
-    payload.series(result.perf_series);
-    payload.series(result.conf_series);
-    payload.series(result.tradeoff_series);
+    // One-shot wholesale migration: every v5 entry for the *current*
+    // engine whose checksum still verifies is re-stored verbatim (the
+    // payload byte layout is unchanged between formats 5 and 6).
+    // Anything torn, foreign, or bit-flipped is orphaned and counted.
+    for (fs::directory_iterator it(legacy, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec) ||
+            it->path().extension() != ".bin")
+            continue;
+        std::FILE *f = std::fopen(it->path().c_str(), "rb");
+        if (!f) {
+            ++orphaned_;
+            continue;
+        }
+        std::vector<char> data;
+        if (std::fseek(f, 0, SEEK_END) == 0) {
+            const long endpos = std::ftell(f);
+            if (endpos > 0 && std::fseek(f, 0, SEEK_SET) == 0) {
+                data.resize(static_cast<std::size_t>(endpos));
+                if (std::fread(data.data(), 1, data.size(), f) !=
+                    data.size())
+                    data.clear();
+            }
+        }
+        std::fclose(f);
 
-    // Header in its own small buffer; the payload is written straight
-    // from its buffer rather than copied in behind the header.
-    Writer w;
-    w.raw(kMagic, 4);
-    w.u32(kFormatVersion);
-    w.u32(kEngineVersion);
-    w.str(key);
-    w.u64(checksum64(payload.bytes().data(), payload.bytes().size()));
-
-    // Atomic publish: write a private temp file, then rename into
-    // place.  Readers either see the old entry or the complete new
-    // one, never a prefix.
-    const std::string path = entryPath(key);
-    const std::string tmp =
-        path + ".tmp." +
-        std::to_string(static_cast<unsigned long>(::getpid()));
-    std::FILE *f = std::fopen(tmp.c_str(), "wb");
-    if (!f)
-        return false;
-    const bool wrote =
-        std::fwrite(w.bytes().data(), 1, w.bytes().size(), f) ==
-            w.bytes().size() &&
-        std::fwrite(payload.bytes().data(), 1, payload.bytes().size(),
-                    f) == payload.bytes().size();
-    const bool closed = std::fclose(f) == 0;
-    if (!wrote || !closed) {
-        fs::remove(tmp, ec);
-        return false;
+        Reader r(data.data(), data.size());
+        char magic[4];
+        std::uint32_t format = 0, engine = 0;
+        std::string key;
+        std::uint64_t sum = 0;
+        const bool header_ok =
+            !data.empty() && r.raw(magic, 4) &&
+            std::memcmp(magic, kLegacyMagic, 4) == 0 && r.u32(format) &&
+            format == kLegacyFormatVersion && r.u32(engine) &&
+            engine == kEngineVersion && r.str(key) && r.u64(sum) &&
+            sum == checksum64(r.rest(), r.restSize());
+        if (!header_ok ||
+            !store_->put(key, r.rest(), r.restSize(), sum)) {
+            ++orphaned_;
+            continue;
+        }
+        ++migrated_;
     }
-    fs::rename(tmp, path, ec);
-    if (ec) {
-        fs::remove(tmp, ec);
-        return false;
-    }
-    return true;
+
+    if (migrated_ > 0 && usable())
+        store_->flush();
+
+    // Retire the old layout so the next construction skips this pass.
+    // A failed rename leaves it in place; re-migration is idempotent
+    // (duplicate keys dedup on compaction, newest wins).
+    const std::string retired = legacy + ".migrated";
+    fs::remove_all(retired, ec);
+    fs::rename(legacy, retired, ec);
+
+    if (migrated_ > 0 || orphaned_ > 0)
+        std::fprintf(stderr,
+                     "[disk-cache] migrated %llu v5 entr%s to the "
+                     "segment store, orphaned %llu, from %s\n",
+                     static_cast<unsigned long long>(migrated_),
+                     migrated_ == 1 ? "y" : "ies",
+                     static_cast<unsigned long long>(orphaned_),
+                     legacy.c_str());
 }
 
 } // namespace smartconf::exec

@@ -7,44 +7,56 @@
  *
  * The in-memory RunCache dies with the process, so every fresh bench
  * or CI invocation re-simulates the full sweep even though simulations
- * are pure functions of (scenario, policy, seed).  DiskRunCache spills
- * each computed result to one binary file and loads it back in any
- * later process, turning the second invocation of `bench_sweep` into a
- * file-read replay.
+ * are pure functions of (scenario, policy, seed).  DiskRunCache
+ * persists computed results and loads them back in any later process,
+ * turning the second invocation of `bench_sweep` into a replay.
  *
- * Layout: `<root>/v<format>-e<engine>/<fnv1a64(key)>.bin`.  The
- * directory name carries both version knobs, so bumping either one
- * orphans old entries wholesale instead of mixing incompatible files:
+ * Since format v6 this class is a thin adapter over the sharded
+ * segment store (src/store/): results are serialized to the same
+ * payload byte layout as v5, then handed to store::SegmentStore, which
+ * batches them into per-shard append-only segment files with a sorted
+ * index block — a 50k-entry cache is dozens of files, a lookup is one
+ * in-memory binary search plus one pread, and `smartconfctl` can
+ * answer range queries over the index without simulating anything.
  *
- *  - kFormatVersion changes when the serialized byte layout changes;
+ * Versioning discipline is unchanged: entries live under
+ * `<root>/v<format>-e<engine>`, so bumping either knob orphans old
+ * entries wholesale instead of mixing incompatible bytes:
+ *
+ *  - kFormatVersion changes when the on-disk layout changes;
  *  - kEngineVersion changes when the *simulation* changes — any edit
  *    that alters scenario outputs must bump it, or stale results would
  *    replay as fresh ones.
  *
- * Each file additionally stores the full (uncompressed) cache key and
- * is validated against it on load, so an fnv collision degrades to a
- * miss, never to a wrong result.  The header also carries an FNV-1a
- * checksum of the payload bytes, verified before any field is parsed:
- * a bit flip anywhere in the payload — including inside series data,
- * where every double is a "valid" value — degrades to a miss instead
- * of replaying a silently wrong curve.
+ * A v5 one-file-per-entry layout for the *same* engine version found
+ * next to the store is migrated on construction: every entry whose
+ * header and payload checksum still verify is re-stored verbatim
+ * (payload bytes and checksum are byte-compatible); damaged or
+ * mismatched files are orphaned and counted.  v5 layouts for other
+ * engine versions are left untouched — their results are stale by
+ * definition.
  *
- * Writes are atomic (temp file + rename) and best-effort: an unwritable
- * cache directory silently degrades to "no disk cache" rather than
- * failing the run.  Concurrent processes may race on the same entry;
- * both compute the same pure result and the rename is atomic, so the
- * last writer wins with identical bytes.
+ * Safety properties carried over from v5, now enforced by the store:
+ * the full uncompressed key is stored and compared on load (hash
+ * collision -> miss), every payload carries a checksum verified before
+ * parsing (bit flip -> miss, never a wrong curve), and all publishes
+ * are atomic renames.  An unwritable cache directory degrades to
+ * "no disk cache" rather than failing the run.
  */
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <vector>
 
 #include "scenarios/scenario.h"
+#include "store/segment_store.h"
 
 namespace smartconf::exec {
 
-/** One-file-per-entry persistent result store. */
+/** Persistent result store backed by store::SegmentStore. */
 class DiskRunCache
 {
   public:
@@ -55,9 +67,14 @@ class DiskRunCache
      * faults_injected field, 3 = word-at-a-time payload checksum,
      * 4 = four-lane interleaved kernel checksum (sim/kernels.h),
      * 5 = per-shard ops counters (shard_ops vector after
-     *     faults_injected).
+     *     faults_injected),
+     * 6 = sharded segment store (append-only segments + index blocks
+     *     replace one file per entry; payload bytes unchanged from 5).
      */
-    static constexpr std::uint32_t kFormatVersion = 5;
+    static constexpr std::uint32_t kFormatVersion = 6;
+
+    /** The last one-file-per-entry format (migration source). */
+    static constexpr std::uint32_t kLegacyFormatVersion = 5;
 
     /**
      * Bump when simulation outputs change (new scenario mechanics,
@@ -73,31 +90,73 @@ class DiskRunCache
     static constexpr std::uint32_t kEngineVersion = 5;
 
     /**
-     * Open (creating if needed) the store rooted at @p root.  The
-     * versioned subdirectory is created lazily on first store().
+     * Open (creating if needed) the store rooted at @p root.  Nothing
+     * is written until the first store()/flush().  A v5 layout for the
+     * current engine found under @p root is migrated immediately.
      */
     explicit DiskRunCache(std::string root);
 
-    /**
-     * Load the entry for @p key into @p out.
-     * @return true on a hit; false on miss, version skew, torn file or
-     *         key collision (all indistinguishable by design).
-     */
-    bool load(const std::string &key,
-              scenarios::ScenarioResult &out) const;
+    /** Same, with explicit store tuning (tests, bench harnesses). */
+    DiskRunCache(std::string root, store::SegmentStore::Options opts);
+
+    ~DiskRunCache(); ///< flushes buffered entries
+
+    DiskRunCache(const DiskRunCache &) = delete;
+    DiskRunCache &operator=(const DiskRunCache &) = delete;
 
     /**
-     * Persist @p result under @p key (atomic rename; best-effort —
-     * IO failure leaves the store unchanged and is not reported).
-     * @return true when the entry was written.
+     * Load the entry for @p key into @p out.
+     * @return true on a hit; false on miss, version skew, torn or
+     *         bit-flipped data, or key collision (all
+     *         indistinguishable by design).
+     */
+    bool load(const std::string &key, scenarios::ScenarioResult &out);
+
+    /**
+     * Persist @p result under @p key (buffered; published in batches
+     * as append-only segments, each by one atomic rename).
+     * Best-effort: an unwritable root degrades to cache-off.
+     * @return true when the entry was accepted.
      */
     bool store(const std::string &key,
-               const scenarios::ScenarioResult &result) const;
+               const scenarios::ScenarioResult &result);
+
+    /** Publish all buffered entries as sealed segments now. */
+    bool flush();
 
     /** Versioned directory entries live in (for tests/diagnostics). */
     const std::string &dir() const { return dir_; }
 
-    /** FNV-1a 64-bit hash (entry naming; exposed for tests). */
+    /** The versioned directory for a root (current format/engine). */
+    static std::string versionDir(const std::string &root);
+
+    /** The v5 one-file-per-entry directory for a root. */
+    static std::string legacyDir(const std::string &root);
+
+    /** The backing segment store (queries, verify, compaction). */
+    store::SegmentStore &segmentStore() { return *store_; }
+
+    /** Store IO counters (reads, read bytes, segments opened, ...). */
+    store::StoreStats ioStats() const { return store_->stats(); }
+
+    /** v5 entries re-stored by the constructor's migration pass. */
+    std::uint64_t migratedEntries() const { return migrated_; }
+
+    /** v5 files skipped as damaged/mismatched during migration. */
+    std::uint64_t orphanedEntries() const { return orphaned_; }
+
+    /**
+     * Serialize @p result to the payload byte layout (format 5/6 —
+     * identical).  Exposed for tests and synthetic store fillers.
+     */
+    static std::vector<char>
+    serializeResult(const scenarios::ScenarioResult &result);
+
+    /** Parse a payload produced by serializeResult. @return validity. */
+    static bool parseResult(const char *data, std::size_t len,
+                            scenarios::ScenarioResult &out);
+
+    /** FNV-1a 64-bit hash (key hashing; exposed for tests). */
     static std::uint64_t fnv1a(const std::string &s);
 
     /** FNV-1a over raw bytes. */
@@ -106,18 +165,24 @@ class DiskRunCache
     /**
      * Payload checksum: the kernel layer's four-lane interleaved
      * FNV-1a-style hash (sim/kernels::checksum) — bit-identical across
-     * SIMD dispatch levels, vectorized where the host allows.  Detects
-     * any bit flip like the byte-wise hash; the interleaving breaks
-     * the word-serial multiply chain that bounded both store and load
-     * verification.  Checksum values differ from format v3, hence the
-     * format bump.
+     * SIMD dispatch levels, vectorized where the host allows.  The
+     * same function checks segment headers and index blocks.
      */
     static std::uint64_t checksum64(const void *data, std::size_t len);
 
   private:
-    std::string entryPath(const std::string &key) const;
+    bool usable(); ///< lazily create dir_; sticky cache-off on failure
+    void migrateLegacy(const std::string &root);
 
     std::string dir_; ///< <root>/v<format>-e<engine>
+    std::unique_ptr<store::SegmentStore> store_;
+
+    std::mutex mu_; ///< guards the lazy usability probe
+    bool checked_ = false;
+    bool cache_off_ = false;
+
+    std::uint64_t migrated_ = 0;
+    std::uint64_t orphaned_ = 0;
 };
 
 } // namespace smartconf::exec

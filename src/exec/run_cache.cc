@@ -59,6 +59,18 @@ RunCache::attachDiskCache(const std::string &dir)
                         : std::make_shared<DiskRunCache>(dir);
 }
 
+void
+RunCache::flushDisk()
+{
+    std::shared_ptr<DiskRunCache> disk;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        disk = disk_;
+    }
+    if (disk)
+        disk->flush();
+}
+
 bool
 RunCache::contains(const std::string &key) const
 {

@@ -74,6 +74,14 @@ class RunCache
 
     /** The attached disk store, or nullptr. */
     const DiskRunCache *diskCache() const { return disk_.get(); }
+    DiskRunCache *diskCache() { return disk_.get(); }
+
+    /**
+     * Publish the disk store's buffered entries now (the segment store
+     * batches writes).  Harnesses call this at end-of-sweep so a
+     * following process starts warm; detached = no-op.
+     */
+    void flushDisk();
 
     Stats stats() const;
     std::size_t size() const;

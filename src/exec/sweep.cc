@@ -109,6 +109,11 @@ SweepRunner::run(const std::vector<SweepJob> &jobs)
         pool_->reclaim();
     }
 
+    // Publish buffered disk-cache entries before the clock stops: the
+    // next process's warm start depends on the segments being sealed,
+    // so the seal cost belongs to this sweep's wall time.
+    cache_.flushDisk();
+
     last_wall_ms_ =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)

@@ -5,6 +5,9 @@
 #include <filesystem>
 #include <system_error>
 
+#include "store/segment.h"
+#include "store/segment_store.h"
+
 namespace smartconf::fault {
 
 namespace fs = std::filesystem;
@@ -60,6 +63,61 @@ flipBit(const std::string &path, std::uint64_t offset, unsigned bit)
     }
     ok = (std::fclose(f) == 0) && ok;
     return ok;
+}
+
+std::vector<std::string>
+listSegmentFiles(const std::string &dir)
+{
+    std::vector<std::string> out;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string name = it->path().filename().string();
+        if (name.rfind("seg-", 0) == 0 &&
+            it->path().extension() == ".seg")
+            out.push_back(it->path().string());
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+}
+
+bool
+truncateSegmentTail(const std::string &path, std::uint64_t cut_bytes)
+{
+    const std::int64_t size = fileSize(path);
+    if (size <= 0 || cut_bytes == 0 ||
+        cut_bytes > static_cast<std::uint64_t>(size))
+        return false;
+    return truncateFile(path,
+                        static_cast<std::uint64_t>(size) - cut_bytes);
+}
+
+bool
+flipIndexBit(const std::string &path, std::uint64_t byte_in_index,
+             unsigned bit)
+{
+    store::SegmentHeader h;
+    // Version filters off: corrupting foreign segments is fine here.
+    if (!store::readSegmentHeader(path, h))
+        return false;
+    if (byte_in_index >= h.index_len)
+        return false;
+    return flipBit(path, h.index_off + byte_in_index, bit);
+}
+
+bool
+tearManifest(const std::string &dir)
+{
+    const std::string path =
+        dir + "/" + store::SegmentStore::kManifestName;
+    const std::int64_t size = fileSize(path);
+    if (size <= 2)
+        return false;
+    // Chop half the trailer line: the embedded checksum can no longer
+    // verify, which is exactly what a torn write looks like.
+    return truncateFile(path, static_cast<std::uint64_t>(size) - 2);
 }
 
 bool

@@ -46,6 +46,41 @@ bool flipBit(const std::string &path, std::uint64_t offset, unsigned bit);
  */
 bool blockPathWithFile(const std::string &path);
 
+// --- Segment-store corruption (format v6) ------------------------------
+//
+// The segment store makes the same promises per *segment*: a damaged
+// header or index block rejects the whole segment (every entry a
+// miss), a damaged payload rejects that entry, and a torn MANIFEST is
+// ignored because the directory listing is the source of truth.
+
+/** `seg-*.seg` files directly inside @p dir, sorted by path. */
+std::vector<std::string> listSegmentFiles(const std::string &dir);
+
+/**
+ * Truncate the segment at @p path so its index block is torn: keeps
+ * the header and records but cuts @p cut_bytes (>=1) off the tail.
+ * Models a crash mid-publish that an atomic rename normally prevents
+ * (e.g. a partially synced file after power loss). @return success.
+ */
+bool truncateSegmentTail(const std::string &path,
+                         std::uint64_t cut_bytes);
+
+/**
+ * Flip one bit inside the segment's *index block* (offset taken from
+ * the header's index_off).  The block checksum must then reject the
+ * whole segment.  @return false when @p path has no readable header.
+ */
+bool flipIndexBit(const std::string &path, std::uint64_t byte_in_index,
+                  unsigned bit);
+
+/**
+ * Tear the MANIFEST in @p dir: chop the trailer line so the embedded
+ * checksum no longer verifies.  Models a torn non-atomic write (the
+ * store itself always renames, so this is belt-and-braces coverage).
+ * @return success; false when no manifest exists.
+ */
+bool tearManifest(const std::string &dir);
+
 } // namespace smartconf::fault
 
 #endif // SMARTCONF_FAULT_CACHE_FAULTS_H_

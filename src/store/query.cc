@@ -1,0 +1,110 @@
+#include "store/query.h"
+
+#include <algorithm>
+
+#include "store/segment_store.h"
+
+namespace smartconf::store {
+
+bool
+parseRunKey(std::string_view key, ParsedRunKey &out)
+{
+    const std::size_t first = key.find('|');
+    if (first == std::string_view::npos)
+        return false;
+    const std::size_t last = key.rfind("|s=");
+    if (last == std::string_view::npos || last <= first)
+        return false;
+
+    ParsedRunKey k;
+    k.scenario = key.substr(0, first);
+    k.policy = key.substr(first + 1, last - first - 1);
+
+    const std::size_t fam = k.scenario.find_first_of("/:");
+    k.family = fam == std::string_view::npos ? k.scenario
+                                             : k.scenario.substr(0, fam);
+
+    // Chaos specs ride inside the policy key as ":chaos:s=...".
+    const std::size_t ch = k.policy.find(":chaos:");
+    if (ch != std::string_view::npos) {
+        std::string_view rest = k.policy.substr(ch + 1);
+        // The chaos suffix runs to the ":label=" trailer when present.
+        const std::size_t lbl = rest.find(":label=");
+        k.chaos = lbl == std::string_view::npos ? rest
+                                                : rest.substr(0, lbl);
+    }
+
+    std::string_view seed_text = key.substr(last + 3);
+    if (seed_text.empty())
+        return false;
+    std::uint64_t v = 0;
+    for (const char c : seed_text) {
+        if (c < '0' || c > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    k.seed = v;
+    k.seed_valid = true;
+    out = k;
+    return true;
+}
+
+bool
+QueryFilter::matches(const ParsedRunKey &k) const
+{
+    if (!scenario_prefix.empty() &&
+        k.scenario.substr(0, scenario_prefix.size()) != scenario_prefix)
+        return false;
+    if (!policy_substr.empty() &&
+        k.policy.find(policy_substr) == std::string_view::npos)
+        return false;
+    if (chaos_substr == "*") {
+        if (k.chaos.empty())
+            return false;
+    } else if (chaos_substr == "-") {
+        if (!k.chaos.empty())
+            return false;
+    } else if (!chaos_substr.empty() &&
+               k.chaos.find(chaos_substr) == std::string_view::npos) {
+        return false;
+    }
+    if (k.seed < seed_min || k.seed > seed_max)
+        return false;
+    return true;
+}
+
+std::vector<QueryRow>
+queryStore(SegmentStore &store, const QueryFilter &f)
+{
+    std::vector<QueryRow> rows;
+    store.forEachEntry([&](const IndexedEntry &e) {
+        ParsedRunKey k;
+        if (!parseRunKey(e.key, k)) {
+            // Malformed keys only surface under the match-all filter.
+            ParsedRunKey raw;
+            raw.scenario = e.key;
+            if (!f.matches(raw))
+                return;
+            k = raw;
+        } else if (!f.matches(k)) {
+            return;
+        }
+        QueryRow row;
+        row.key = std::string(e.key);
+        row.scenario = std::string(k.scenario);
+        row.policy = std::string(k.policy);
+        row.seed = k.seed;
+        row.seed_valid = k.seed_valid;
+        row.payload_len = e.payload_len;
+        row.shard = e.shard;
+        row.segment = std::string(e.segment);
+        rows.push_back(std::move(row));
+    });
+    std::sort(rows.begin(), rows.end(),
+              [](const QueryRow &a, const QueryRow &b) {
+                  return a.key < b.key;
+              });
+    return rows;
+}
+
+} // namespace smartconf::store

@@ -1,0 +1,84 @@
+#ifndef SMARTCONF_STORE_QUERY_H_
+#define SMARTCONF_STORE_QUERY_H_
+
+/**
+ * @file
+ * Range queries over the segment store's index — zero simulation,
+ * zero payload IO.
+ *
+ * Run-cache keys are structured text:
+ *
+ *   <scenario_key>|<policy cache key>|s=<seed>
+ *
+ * where the policy cache key itself embeds the policy kind, tuned
+ * values, an optional chaos spec (`:chaos:s=...`), and the label.  The
+ * parser splits on the *first* and *last* unescaped '|' so policy keys
+ * containing future separators keep working, and the scenario family
+ * is the prefix of the scenario key up to its first '/' or ':'.
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace smartconf::store {
+
+class SegmentStore;
+
+/** A run-cache key split into its queryable parts. */
+struct ParsedRunKey
+{
+    std::string_view scenario; ///< full scenario key
+    std::string_view family;   ///< scenario prefix before '/' or ':'
+    std::string_view policy;   ///< full policy cache key
+    std::string_view chaos;    ///< chaos suffix inside policy ("" = none)
+    std::uint64_t seed = 0;
+    bool seed_valid = false;
+};
+
+/**
+ * Parse @p key (must outlive the views).  @return false when the key
+ * does not have the `<scenario>|<policy>|s=<seed>` shape; such keys
+ * still live in the store but match only empty filters.
+ */
+bool parseRunKey(std::string_view key, ParsedRunKey &out);
+
+/** Conjunctive filter; default-constructed matches everything. */
+struct QueryFilter
+{
+    std::string scenario_prefix; ///< family or any scenario-key prefix
+    std::string policy_substr;   ///< substring of the policy cache key
+    std::string chaos_substr;    ///< substring of the chaos suffix;
+                                 ///< "*" = any chaos, "-" = no chaos
+    std::uint64_t seed_min = 0;
+    std::uint64_t seed_max = UINT64_MAX;
+
+    bool matches(const ParsedRunKey &k) const;
+};
+
+/** One query result row (owning copies; safe to keep). */
+struct QueryRow
+{
+    std::string key;
+    std::string scenario;
+    std::string policy;
+    std::uint64_t seed = 0;
+    bool seed_valid = false;
+    std::uint32_t payload_len = 0;
+    std::uint32_t shard = 0;
+    std::string segment; ///< "" = pending buffer
+};
+
+/**
+ * Scan the store's live index (pending + published, newest wins) and
+ * return every row whose key matches @p f, sorted by key.  Touches no
+ * payload bytes and runs no scenario.
+ */
+std::vector<QueryRow> queryStore(SegmentStore &store,
+                                 const QueryFilter &f);
+
+} // namespace smartconf::store
+
+#endif // SMARTCONF_STORE_QUERY_H_

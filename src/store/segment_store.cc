@@ -1,0 +1,964 @@
+#include "store/segment_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <unordered_set>
+
+namespace smartconf::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+/** seg-<shard 2hex>-<seq 16hex>-<pid hex>.seg */
+std::string
+segmentName(std::uint32_t shard, std::uint64_t seq)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof buf, "seg-%02x-%016llx-%lx.seg", shard,
+                  static_cast<unsigned long long>(seq),
+                  static_cast<unsigned long>(::getpid()));
+    return buf;
+}
+
+bool
+parseSegmentName(const std::string &name, std::uint32_t &shard,
+                 std::uint64_t &seq)
+{
+    unsigned s = 0;
+    unsigned long long q = 0;
+    unsigned long pid = 0;
+    char tail = 0;
+    // %c catches trailing garbage after ".seg".
+    if (std::sscanf(name.c_str(), "seg-%2x-%16llx-%lx.se%c%c", &s, &q,
+                    &pid, &tail, &tail) != 4 ||
+        tail != 'g')
+        return false;
+    shard = s;
+    seq = q;
+    return true;
+}
+
+/** Directory mtime as an opaque stamp; -2 when the dir is missing. */
+std::int64_t
+dirStamp(const std::string &dir)
+{
+    std::error_code ec;
+    const auto t = fs::last_write_time(dir, ec);
+    if (ec)
+        return -2;
+    return static_cast<std::int64_t>(t.time_since_epoch().count());
+}
+
+} // namespace
+
+OpenSegment::~OpenSegment()
+{
+    if (fd >= 0)
+        ::close(fd);
+}
+
+SegmentStore::SegmentStore(std::string dir)
+    : SegmentStore(std::move(dir), Options{})
+{}
+
+SegmentStore::SegmentStore(std::string dir, Options opts)
+    : dir_(std::move(dir)), opts_(opts)
+{
+    // Shard count must be a power of two so `hash & (n-1)` partitions.
+    std::size_t n = 1;
+    while (n < opts_.shard_count && n < 4096)
+        n <<= 1;
+    opts_.shard_count = n;
+    shards_.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+        shards_.push_back(std::make_unique<Shard>());
+    if (opts_.auto_compact)
+        compactor_ = std::thread([this] { compactionLoop(); });
+}
+
+SegmentStore::~SegmentStore()
+{
+    if (compactor_.joinable()) {
+        {
+            std::lock_guard<std::mutex> lock(compact_mu_);
+            stopping_ = true;
+        }
+        compact_cv_.notify_all();
+        compactor_.join();
+    }
+    flush();
+}
+
+std::uint32_t
+SegmentStore::shardOf(const std::string &key) const
+{
+    return static_cast<std::uint32_t>(fnv1a64(key) &
+                                      (opts_.shard_count - 1));
+}
+
+bool
+SegmentStore::seedOfKey(const std::string &key, std::uint64_t &seed)
+{
+    const std::size_t pos = key.rfind("|s=");
+    if (pos == std::string::npos)
+        return false;
+    const char *p = key.c_str() + pos + 3;
+    if (*p == '\0')
+        return false;
+    std::uint64_t v = 0;
+    for (; *p; ++p) {
+        if (*p < '0' || *p > '9')
+            return false;
+        v = v * 10 + static_cast<std::uint64_t>(*p - '0');
+    }
+    seed = v;
+    return true;
+}
+
+bool
+SegmentStore::put(const std::string &key, const void *payload,
+                  std::size_t payload_len,
+                  std::uint64_t payload_checksum)
+{
+    rescanIfStale(); // also seeds the cross-process seq floor
+    const std::uint32_t shard_id = shardOf(key);
+    Shard &sh = *shards_[shard_id];
+    bool sealed_ok = true;
+    bool sealed = false;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.pending_slots.find(key);
+        if (it != sh.pending_slots.end()) {
+            // Duplicate put (two processes raced, or a re-store of a
+            // pure result): overwrite in place.
+            Shard::PendingEntry &e = sh.pending[it->second];
+            sh.pending_bytes -= e.payload.size();
+            e.checksum = payload_checksum;
+            e.payload.assign(static_cast<const char *>(payload),
+                             static_cast<const char *>(payload) +
+                                 payload_len);
+            sh.pending_bytes += payload_len;
+        } else {
+            Shard::PendingEntry e;
+            e.seed_valid = seedOfKey(key, e.seed);
+            if (!e.seed_valid)
+                e.seed = 0;
+            e.checksum = payload_checksum;
+            e.payload.assign(static_cast<const char *>(payload),
+                             static_cast<const char *>(payload) +
+                                 payload_len);
+            sh.pending_slots.emplace(key, sh.pending.size());
+            sh.pending_keys.push_back(key);
+            sh.pending.push_back(std::move(e));
+            sh.pending_bytes += payload_len;
+        }
+        if (sh.pending.size() >= opts_.flush_entries ||
+            sh.pending_bytes >= opts_.flush_bytes) {
+            sealed_ok = sealShardLocked(sh, shard_id);
+            sealed = true;
+        }
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.puts;
+        stats_.put_bytes += payload_len;
+    }
+    if (sealed && sealed_ok) {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        writeManifestLocked();
+    }
+    if (sealed)
+        kickCompactor();
+    return sealed_ok;
+}
+
+bool
+SegmentStore::get(const std::string &key, std::vector<char> &out)
+{
+    const std::uint64_t hash = fnv1a64(key);
+    const std::uint32_t shard_id =
+        static_cast<std::uint32_t>(hash & (opts_.shard_count - 1));
+    Shard &sh = *shards_[shard_id];
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.gets;
+    }
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        auto it = sh.pending_slots.find(key);
+        if (it != sh.pending_slots.end()) {
+            out = sh.pending[it->second].payload;
+            std::lock_guard<std::mutex> slock(stats_mu_);
+            ++stats_.hits;
+            return true;
+        }
+    }
+    if (lookupSegments(key, hash, sh, out))
+        return true;
+    // Miss: another process may have published since our last scan.
+    std::int64_t stamp_before;
+    {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        stamp_before = last_scan_stamp_;
+    }
+    rescanIfStale();
+    {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        if (last_scan_stamp_ == stamp_before && scanned_)
+            return false; // nothing new appeared
+    }
+    return lookupSegments(key, hash, sh, out);
+}
+
+bool
+SegmentStore::lookupSegments(const std::string &key, std::uint64_t hash,
+                             Shard &sh, std::vector<char> &out)
+{
+    rescanIfStale();
+    std::vector<std::shared_ptr<OpenSegment>> segs;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        segs = sh.segments; // newest-first snapshot
+    }
+    for (const auto &seg : segs) {
+        const auto &entries = seg->index.entries;
+        auto it = std::lower_bound(
+            entries.begin(), entries.end(), hash,
+            [](const IndexEntry &e, std::uint64_t h) {
+                return e.hash < h;
+            });
+        for (; it != entries.end() && it->hash == hash; ++it) {
+            if (seg->index.keyOf(*it) != key)
+                continue; // hash collision: keep looking
+            std::vector<char> payload(it->payload_len);
+            const ::ssize_t n =
+                ::pread(seg->fd, payload.data(), payload.size(),
+                        static_cast<::off_t>(it->payload_off));
+            {
+                std::lock_guard<std::mutex> lock(stats_mu_);
+                ++stats_.reads;
+                stats_.read_bytes += it->payload_len;
+            }
+            if (n != static_cast<::ssize_t>(payload.size()))
+                return false; // torn segment tail: miss
+            if (blockChecksum(payload.data(), payload.size()) !=
+                it->payload_checksum)
+                return false; // flipped payload bit: miss
+            out = std::move(payload);
+            std::lock_guard<std::mutex> lock(stats_mu_);
+            ++stats_.hits;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+SegmentStore::sealShardLocked(Shard &sh, std::uint32_t shard_id)
+{
+    if (sh.pending.empty())
+        return true;
+    SegmentBuilder b(opts_.format, opts_.engine, shard_id, 0);
+    for (std::size_t i = 0; i < sh.pending.size(); ++i) {
+        const Shard::PendingEntry &e = sh.pending[i];
+        b.add(sh.pending_keys[i], e.seed, e.seed_valid, e.checksum,
+              e.payload.data(), e.payload.size());
+    }
+    std::string name;
+    if (!publishSegment(b, shard_id, &name))
+        return false;
+    // Keep read-your-writes: swap the pending buffer for the published
+    // segment in one step, while this shard's lock is held.
+    std::shared_ptr<OpenSegment> seg = openSegment(name);
+    sh.pending.clear();
+    sh.pending_keys.clear();
+    sh.pending_slots.clear();
+    sh.pending_bytes = 0;
+    if (seg) {
+        sh.segments.push_back(std::move(seg));
+        std::sort(sh.segments.begin(), sh.segments.end(),
+                  [](const auto &a, const auto &b2) {
+                      return a->seq > b2->seq;
+                  });
+    }
+    return true;
+}
+
+bool
+SegmentStore::publishSegment(const SegmentBuilder &b,
+                             std::uint32_t shard_id,
+                             std::string *published_name)
+{
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec)
+        return false;
+    // Claim a name nobody holds: seq + pid make collisions possible
+    // only through pid reuse against leftover files, which the
+    // existence check turns into a retry.
+    std::string name;
+    for (int attempt = 0; attempt < 64; ++attempt) {
+        name = segmentName(shard_id, nextSeq());
+        if (!fs::exists(dir_ + "/" + name, ec))
+            break;
+        name.clear();
+    }
+    if (name.empty())
+        return false;
+    const std::string tmp = dir_ + "/" + name + ".tmp";
+    if (!b.writeFile(tmp)) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    fs::rename(tmp, dir_ + "/" + name, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.segments_published;
+    }
+    if (published_name)
+        *published_name = name;
+    return true;
+}
+
+std::shared_ptr<OpenSegment>
+SegmentStore::openSegment(const std::string &name)
+{
+    const std::string path = dir_ + "/" + name;
+    SegmentHeader h;
+    if (!readSegmentHeader(path, h, opts_.format, opts_.engine))
+        return nullptr;
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0)
+        return nullptr;
+    auto seg = std::make_shared<OpenSegment>();
+    seg->fd = fd;
+    if (!readSegmentIndex(fd, h, seg->index))
+        return nullptr; // fd closed by ~OpenSegment
+    seg->name = name;
+    seg->header = h;
+    std::uint32_t shard = 0;
+    if (!parseSegmentName(name, shard, seg->seq))
+        seg->seq = 0;
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.segments_opened;
+    }
+    return seg;
+}
+
+void
+SegmentStore::rescanIfStale()
+{
+    std::lock_guard<std::mutex> lock(store_mu_);
+    const std::int64_t stamp = dirStamp(dir_);
+    if (scanned_ && stamp == last_scan_stamp_)
+        return;
+    rescanLocked();
+}
+
+void
+SegmentStore::rescanLocked()
+{
+    // Stamp *before* listing: a publish racing the scan then re-dirties
+    // the stamp and the next miss rescans again.
+    last_scan_stamp_ = dirStamp(dir_);
+
+    std::vector<std::vector<std::string>> names(opts_.shard_count);
+    std::uint64_t max_seq = 0;
+    std::error_code ec;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string name = it->path().filename().string();
+        std::uint32_t shard = 0;
+        std::uint64_t seq = 0;
+        if (!parseSegmentName(name, shard, seq) ||
+            shard >= opts_.shard_count)
+            continue;
+        names[shard].push_back(name);
+        max_seq = std::max(max_seq, seq);
+    }
+    // Lift the seq floor above every file on disk (ours or another
+    // process's) so new names never collide with published ones.
+    std::uint64_t cur = seq_.load();
+    while (cur < max_seq && !seq_.compare_exchange_weak(cur, max_seq)) {
+    }
+
+    if (!scanned_) {
+        Manifest m;
+        if (readManifest(dir_, m))
+            manifest_epoch_ = m.epoch;
+    }
+    scanned_ = true;
+
+    for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        std::set<std::string> on_disk(names[s].begin(), names[s].end());
+        // Drop vanished segments (compacted away by another process)…
+        sh.segments.erase(
+            std::remove_if(sh.segments.begin(), sh.segments.end(),
+                           [&](const auto &seg) {
+                               return on_disk.find(seg->name) ==
+                                      on_disk.end();
+                           }),
+            sh.segments.end());
+        // …and open newcomers.  A name that fails to open was either
+        // deleted between listing and open or is damaged: skip it —
+        // every entry it held degrades to a miss.
+        std::unordered_set<std::string> known;
+        for (const auto &seg : sh.segments)
+            known.insert(seg->name);
+        for (const std::string &name : names[s]) {
+            if (known.count(name))
+                continue;
+            if (auto seg = openSegment(name))
+                sh.segments.push_back(std::move(seg));
+        }
+        std::sort(sh.segments.begin(), sh.segments.end(),
+                  [](const auto &a, const auto &b) {
+                      return a->seq > b->seq;
+                  });
+    }
+    std::lock_guard<std::mutex> slock(stats_mu_);
+    ++stats_.rescans;
+}
+
+bool
+SegmentStore::flush()
+{
+    bool ok = true;
+    bool published = false;
+    for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        if (sh.pending.empty())
+            continue;
+        if (sealShardLocked(sh, s))
+            published = true;
+        else
+            ok = false;
+    }
+    if (published) {
+        {
+            std::lock_guard<std::mutex> lock(store_mu_);
+            writeManifestLocked();
+        }
+        kickCompactor();
+    }
+    return ok;
+}
+
+void
+SegmentStore::writeManifestLocked()
+{
+    Manifest m;
+    m.format = opts_.format;
+    m.engine = opts_.engine;
+    m.epoch = ++manifest_epoch_;
+    for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+        Shard &sh = *shards_[s];
+        std::lock_guard<std::mutex> lock(sh.mu);
+        for (const auto &seg : sh.segments)
+            m.segments.emplace_back(seg->name, seg->header.count);
+    }
+    std::sort(m.segments.begin(), m.segments.end());
+    (void)writeManifest(dir_, m); // advisory: failure never blocks IO
+}
+
+CompactionResult
+SegmentStore::compact()
+{
+    rescanIfStale();
+    CompactionResult agg;
+    for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+        bool multi;
+        {
+            Shard &sh = *shards_[s];
+            std::lock_guard<std::mutex> lock(sh.mu);
+            multi = sh.segments.size() > 1;
+        }
+        if (multi && compactShard(s, agg))
+            ++agg.shards_compacted;
+    }
+    if (agg.shards_compacted > 0) {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        writeManifestLocked();
+    }
+    return agg;
+}
+
+bool
+SegmentStore::compactShard(std::uint32_t shard_id,
+                           CompactionResult &agg)
+{
+    Shard &sh = *shards_[shard_id];
+    std::vector<std::shared_ptr<OpenSegment>> inputs;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        inputs = sh.segments; // newest-first
+    }
+    if (inputs.size() < 2)
+        return false;
+
+    // External-merge over the already-sorted per-segment indexes: a
+    // cursor per input, always advancing the smallest (hash, key).
+    // Duplicate keys are superseded by the newest segment's copy (the
+    // values are pure, so this is tie-breaking, not semantics).
+    std::uint32_t level = 0;
+    std::uint64_t entries_in = 0;
+    for (const auto &seg : inputs) {
+        level = std::max(level, seg->header.level);
+        entries_in += seg->header.count;
+    }
+    SegmentBuilder b(opts_.format, opts_.engine, shard_id, level + 1);
+
+    std::vector<std::size_t> cursor(inputs.size(), 0);
+    std::vector<char> payload;
+    std::string last_key;
+    bool have_last = false;
+    for (;;) {
+        // inputs is newest-first, so scanning in order and keeping the
+        // first occurrence of a (hash, key) implements newest-wins.
+        std::size_t pick = inputs.size();
+        for (std::size_t i = 0; i < inputs.size(); ++i) {
+            if (cursor[i] >= inputs[i]->index.entries.size())
+                continue;
+            if (pick == inputs.size()) {
+                pick = i;
+                continue;
+            }
+            const IndexEntry &a = inputs[i]->index.entries[cursor[i]];
+            const IndexEntry &p =
+                inputs[pick]->index.entries[cursor[pick]];
+            if (a.hash < p.hash ||
+                (a.hash == p.hash &&
+                 inputs[i]->index.keyOf(a) <
+                     inputs[pick]->index.keyOf(p)))
+                pick = i;
+        }
+        if (pick == inputs.size())
+            break;
+        const IndexEntry &e = inputs[pick]->index.entries[cursor[pick]];
+        const std::string key(inputs[pick]->index.keyOf(e));
+        ++cursor[pick];
+        if (have_last && key == last_key)
+            continue; // superseded duplicate: dropped
+        last_key = key;
+        have_last = true;
+
+        payload.resize(e.payload_len);
+        const ::ssize_t n =
+            ::pread(inputs[pick]->fd, payload.data(), payload.size(),
+                    static_cast<::off_t>(e.payload_off));
+        if (n != static_cast<::ssize_t>(payload.size()) ||
+            blockChecksum(payload.data(), payload.size()) !=
+                e.payload_checksum)
+            continue; // damaged record: drop it (miss, not wrong data)
+        b.add(key, e.seed, (e.flags & kIndexFlagSeedValid) != 0,
+              e.payload_checksum, payload.data(), payload.size());
+    }
+
+    std::string name;
+    if (!publishSegment(b, shard_id, &name))
+        return false;
+    std::shared_ptr<OpenSegment> merged = openSegment(name);
+    if (!merged)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(sh.mu);
+        // Drop exactly the inputs; segments published mid-merge stay.
+        sh.segments.erase(
+            std::remove_if(sh.segments.begin(), sh.segments.end(),
+                           [&](const auto &seg) {
+                               for (const auto &in : inputs)
+                                   if (in.get() == seg.get())
+                                       return true;
+                               return false;
+                           }),
+            sh.segments.end());
+        sh.segments.push_back(merged);
+        std::sort(sh.segments.begin(), sh.segments.end(),
+                  [](const auto &a, const auto &b2) {
+                      return a->seq > b2->seq;
+                  });
+    }
+    {
+        std::lock_guard<std::mutex> lock(store_mu_);
+        writeManifestLocked();
+    }
+    // Unlink the inputs only after the merged segment and manifest are
+    // live.  In-flight readers keep their fds; listings from here on
+    // see the merged segment.
+    std::error_code ec;
+    for (const auto &seg : inputs)
+        fs::remove(dir_ + "/" + seg->name, ec);
+
+    agg.segments_in += inputs.size();
+    agg.segments_out += 1;
+    agg.entries_in += entries_in;
+    agg.entries_out += merged->header.count;
+    agg.bytes_written +=
+        merged->header.index_off + merged->header.index_len;
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        ++stats_.compactions;
+        stats_.compacted_segments_in += inputs.size();
+    }
+    return true;
+}
+
+void
+SegmentStore::kickCompactor()
+{
+    if (!compactor_.joinable())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(compact_mu_);
+        compact_wanted_ = true;
+    }
+    compact_cv_.notify_all();
+}
+
+void
+SegmentStore::compactionLoop()
+{
+    std::unique_lock<std::mutex> lock(compact_mu_);
+    for (;;) {
+        compact_cv_.wait(lock, [this] {
+            return stopping_ || compact_wanted_;
+        });
+        if (stopping_)
+            return;
+        compact_wanted_ = false;
+        // Debounce: let a burst of publishes land before merging.
+        compact_cv_.wait_for(lock, std::chrono::milliseconds(20),
+                             [this] { return stopping_; });
+        if (stopping_)
+            return;
+        lock.unlock();
+        CompactionResult agg;
+        for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+            std::size_t count;
+            {
+                Shard &sh = *shards_[s];
+                std::lock_guard<std::mutex> shlock(sh.mu);
+                count = sh.segments.size();
+            }
+            if (count >= opts_.compact_min_segments)
+                compactShard(s, agg);
+        }
+        lock.lock();
+    }
+}
+
+VerifyResult
+SegmentStore::verify()
+{
+    // Flush first so pending entries are on disk and checkable.
+    flush();
+    rescanIfStale();
+    VerifyResult r;
+
+    std::error_code ec;
+    std::vector<std::string> names;
+    for (fs::directory_iterator it(dir_, ec), end; !ec && it != end;
+         it.increment(ec)) {
+        if (!it->is_regular_file(ec))
+            continue;
+        const std::string name = it->path().filename().string();
+        std::uint32_t shard = 0;
+        std::uint64_t seq = 0;
+        if (parseSegmentName(name, shard, seq))
+            names.push_back(name);
+    }
+    std::sort(names.begin(), names.end());
+
+    for (const std::string &name : names) {
+        const std::string path = dir_ + "/" + name;
+        SegmentHeader h;
+        if (!readSegmentHeader(path, h, opts_.format, opts_.engine)) {
+            ++r.segments_corrupt;
+            r.issues.push_back({name, "bad header (magic/checksum/"
+                                      "version)"});
+            continue;
+        }
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            ++r.segments_corrupt;
+            r.issues.push_back({name, "unreadable"});
+            continue;
+        }
+        SegmentIndex idx;
+        if (!readSegmentIndex(fd, h, idx)) {
+            ++r.segments_corrupt;
+            r.issues.push_back({name, "index block torn or checksum "
+                                      "mismatch"});
+            ::close(fd);
+            continue;
+        }
+        // Records: re-read and re-checksum every payload, and walk the
+        // self-describing record region to cross-check the index.
+        bool seg_ok = true;
+        std::vector<char> buf;
+        for (const IndexEntry &e : idx.entries) {
+            buf.resize(e.payload_len);
+            const ::ssize_t n =
+                ::pread(fd, buf.data(), buf.size(),
+                        static_cast<::off_t>(e.payload_off));
+            if (n != static_cast<::ssize_t>(buf.size()) ||
+                blockChecksum(buf.data(), buf.size()) !=
+                    e.payload_checksum ||
+                fnv1a64(std::string(idx.keyOf(e))) != e.hash) {
+                ++r.entries_corrupt;
+                seg_ok = false;
+            } else {
+                ++r.entries_ok;
+            }
+        }
+        // Record-region walk: headers must chain exactly to index_off.
+        std::uint64_t off = kSegmentHeaderBytes;
+        std::uint64_t walked = 0;
+        while (off + kRecordHeaderBytes <= h.index_off) {
+            char rh[kRecordHeaderBytes];
+            if (::pread(fd, rh, sizeof rh,
+                        static_cast<::off_t>(off)) !=
+                static_cast<::ssize_t>(sizeof rh))
+                break;
+            std::uint32_t klen, plen;
+            std::memcpy(&klen, rh, 4);
+            std::memcpy(&plen, rh + 4, 4);
+            const std::uint64_t next =
+                off + kRecordHeaderBytes + klen + plen;
+            if (next > h.index_off)
+                break;
+            off = next;
+            ++walked;
+        }
+        if (off != h.index_off || walked != h.count) {
+            seg_ok = false;
+            r.issues.push_back({name, "record region does not chain "
+                                      "to the index block"});
+        }
+        ::close(fd);
+        if (seg_ok) {
+            ++r.segments_ok;
+        } else {
+            ++r.segments_corrupt;
+            if (r.issues.empty() || r.issues.back().segment != name)
+                r.issues.push_back(
+                    {name, "payload checksum mismatch"});
+        }
+    }
+
+    // Manifest: advisory, but verify reports tears and stale listings.
+    Manifest m;
+    const std::string mpath = dir_ + "/" + kManifestName;
+    if (fs::exists(mpath, ec)) {
+        if (!readManifest(dir_, m)) {
+            r.manifest_ok = false;
+            r.issues.push_back({"MANIFEST", "torn (bad trailer "
+                                            "checksum)"});
+        } else {
+            for (const auto &[name, count] : m.segments) {
+                if (std::find(names.begin(), names.end(), name) ==
+                    names.end()) {
+                    r.manifest_ok = false;
+                    r.issues.push_back(
+                        {"MANIFEST", "lists missing segment " + name});
+                }
+                (void)count;
+            }
+        }
+    }
+    return r;
+}
+
+void
+SegmentStore::forEachEntry(
+    const std::function<void(const IndexedEntry &)> &fn)
+{
+    rescanIfStale();
+    std::unordered_set<std::string> seen;
+    for (std::uint32_t s = 0; s < opts_.shard_count; ++s) {
+        Shard &sh = *shards_[s];
+        std::vector<std::shared_ptr<OpenSegment>> segs;
+        {
+            std::lock_guard<std::mutex> lock(sh.mu);
+            segs = sh.segments;
+            for (std::size_t i = 0; i < sh.pending.size(); ++i) {
+                if (!seen.insert(sh.pending_keys[i]).second)
+                    continue;
+                IndexedEntry e;
+                e.key = sh.pending_keys[i];
+                e.seed = sh.pending[i].seed;
+                e.seed_valid = sh.pending[i].seed_valid;
+                e.payload_len = static_cast<std::uint32_t>(
+                    sh.pending[i].payload.size());
+                e.shard = s;
+                fn(e);
+            }
+        }
+        for (const auto &seg : segs) {
+            for (const IndexEntry &ie : seg->index.entries) {
+                const std::string key(seg->index.keyOf(ie));
+                if (!seen.insert(key).second)
+                    continue; // superseded by a newer segment
+                IndexedEntry e;
+                e.key = key;
+                e.seed = ie.seed;
+                e.seed_valid = (ie.flags & kIndexFlagSeedValid) != 0;
+                e.payload_len = ie.payload_len;
+                e.shard = s;
+                e.segment = seg->name;
+                fn(e);
+            }
+        }
+    }
+}
+
+StoreStats
+SegmentStore::stats() const
+{
+    StoreStats out;
+    {
+        std::lock_guard<std::mutex> lock(stats_mu_);
+        out = stats_;
+    }
+    out.pending_entries = 0;
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        out.pending_entries += sh->pending.size();
+    }
+    return out;
+}
+
+std::size_t
+SegmentStore::segmentCount()
+{
+    rescanIfStale();
+    std::size_t n = 0;
+    for (const auto &sh : shards_) {
+        std::lock_guard<std::mutex> lock(sh->mu);
+        n += sh->segments.size();
+    }
+    return n;
+}
+
+// --- Manifest ----------------------------------------------------------
+
+bool
+readManifest(const std::string &dir, Manifest &out)
+{
+    std::FILE *f =
+        std::fopen((dir + "/" + SegmentStore::kManifestName).c_str(),
+                   "rb");
+    if (!f)
+        return false;
+    std::string text;
+    char buf[4096];
+    std::size_t n;
+    while ((n = std::fread(buf, 1, sizeof buf, f)) > 0)
+        text.append(buf, n);
+    std::fclose(f);
+
+    // The trailer line `end <checksum>` covers every preceding byte; a
+    // torn write (no trailer, or half a line) fails here and the whole
+    // manifest is ignored.
+    const std::size_t tail = text.rfind("\nend ");
+    if (tail == std::string::npos)
+        return false;
+    const std::string body = text.substr(0, tail + 1);
+    unsigned long long recorded = 0;
+    if (std::sscanf(text.c_str() + tail + 5, "%llx", &recorded) != 1)
+        return false;
+    if (fnv1a64(body.data(), body.size()) != recorded)
+        return false;
+
+    Manifest m;
+    std::size_t pos = 0;
+    bool have_magic = false;
+    while (pos < body.size()) {
+        std::size_t eol = body.find('\n', pos);
+        if (eol == std::string::npos)
+            eol = body.size();
+        const std::string line = body.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind("SCMF ", 0) == 0) {
+            have_magic = true;
+        } else if (line.rfind("format ", 0) == 0) {
+            m.format = static_cast<std::uint32_t>(
+                std::strtoul(line.c_str() + 7, nullptr, 10));
+        } else if (line.rfind("engine ", 0) == 0) {
+            m.engine = static_cast<std::uint32_t>(
+                std::strtoul(line.c_str() + 7, nullptr, 10));
+        } else if (line.rfind("epoch ", 0) == 0) {
+            m.epoch = std::strtoull(line.c_str() + 6, nullptr, 10);
+        } else if (line.rfind("segment ", 0) == 0) {
+            char name[128];
+            unsigned long long count = 0;
+            if (std::sscanf(line.c_str() + 8, "%127s %llu", name,
+                            &count) == 2)
+                m.segments.emplace_back(name, count);
+        }
+    }
+    if (!have_magic)
+        return false;
+    out = std::move(m);
+    return true;
+}
+
+bool
+writeManifest(const std::string &dir, const Manifest &m)
+{
+    std::string body = "SCMF 1\n";
+    body += "format " + std::to_string(m.format) + "\n";
+    body += "engine " + std::to_string(m.engine) + "\n";
+    body += "epoch " + std::to_string(m.epoch) + "\n";
+    for (const auto &[name, count] : m.segments)
+        body += "segment " + name + " " + std::to_string(count) + "\n";
+    char trailer[32];
+    std::snprintf(trailer, sizeof trailer, "end %016llx\n",
+                  static_cast<unsigned long long>(
+                      fnv1a64(body.data(), body.size())));
+
+    const std::string path =
+        dir + "/" + SegmentStore::kManifestName;
+    const std::string tmp =
+        path + ".tmp." +
+        std::to_string(static_cast<unsigned long>(::getpid()));
+    std::FILE *f = std::fopen(tmp.c_str(), "wb");
+    if (!f)
+        return false;
+    const bool wrote =
+        std::fwrite(body.data(), 1, body.size(), f) == body.size() &&
+        std::fwrite(trailer, 1, std::strlen(trailer), f) ==
+            std::strlen(trailer);
+    const bool closed = std::fclose(f) == 0;
+    std::error_code ec;
+    if (!wrote || !closed) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    fs::rename(tmp, path, ec);
+    if (ec) {
+        fs::remove(tmp, ec);
+        return false;
+    }
+    return true;
+}
+
+} // namespace smartconf::store

@@ -1,0 +1,283 @@
+#ifndef SMARTCONF_STORE_SEGMENT_STORE_H_
+#define SMARTCONF_STORE_SEGMENT_STORE_H_
+
+/**
+ * @file
+ * Sharded, compacted, queryable segment store for cached run results.
+ *
+ * Replaces the one-file-per-entry blob layout: entries are hashed into
+ * a fixed power-of-two number of logical shards (independent of how
+ * many processes write), buffered per shard, and published as
+ * immutable append-only segment files — each carrying a sorted index
+ * block (see store/segment.h) so a lookup costs one in-memory binary
+ * search plus one pread of the payload.  50k entries land in dozens of
+ * files instead of 50k.
+ *
+ * Multi-process discipline:
+ *  - writers never touch a shared file: each process seals its own
+ *    segments into uniquely named temp files and publishes them with
+ *    one atomic rename — the same discipline the blob store used, now
+ *    amortized over hundreds of entries per rename;
+ *  - readers discover segments by directory listing (rescanned when
+ *    the directory mtime moves), so a concurrent writer's published
+ *    segments become visible without any coordination;
+ *  - compaction merges a shard's sealed segments into one sorted
+ *    higher-level segment (external-merge over the already-sorted
+ *    indexes), publishes it by rename, atomically swaps the MANIFEST,
+ *    and only then unlinks the inputs.  A reader races this safely:
+ *    either it still holds the old fds (POSIX keeps the bytes alive),
+ *    or its listing sees the merged segment; duplicate coverage during
+ *    the swap window is harmless because entries are pure values and
+ *    lookups stop at the newest match.
+ *
+ * The MANIFEST is advisory bookkeeping (epoch, live-segment list with
+ * expected record counts) used by `verify` and `stats`; a torn or
+ * missing manifest never blocks reads — the directory listing is the
+ * source of truth.
+ *
+ * Thread safety: all public methods are safe to call concurrently;
+ * per-shard mutexes guard pending buffers and segment lists, a store
+ * mutex guards scans and the manifest.  An optional background thread
+ * compacts shards whose segment count crosses a threshold.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "store/segment.h"
+
+namespace smartconf::store {
+
+/** A published segment with its index resident in memory. */
+struct OpenSegment
+{
+    std::string name; ///< file name (not path)
+    std::uint64_t seq = 0;
+    SegmentHeader header;
+    SegmentIndex index;
+    int fd = -1;
+
+    ~OpenSegment();
+    OpenSegment() = default;
+    OpenSegment(const OpenSegment &) = delete;
+    OpenSegment &operator=(const OpenSegment &) = delete;
+};
+
+/** Aggregate counters; all monotonically increasing per instance. */
+struct StoreStats
+{
+    std::uint64_t puts = 0;
+    std::uint64_t put_bytes = 0;
+    std::uint64_t gets = 0;
+    std::uint64_t hits = 0;
+    std::uint64_t reads = 0;      ///< payload preads served
+    std::uint64_t read_bytes = 0; ///< payload bytes pread
+    std::uint64_t segments_opened = 0;
+    std::uint64_t segments_published = 0;
+    std::uint64_t compactions = 0;
+    std::uint64_t compacted_segments_in = 0;
+    std::uint64_t rescans = 0;
+    std::uint64_t pending_entries = 0; ///< snapshot, not monotonic
+};
+
+struct CompactionResult
+{
+    std::size_t shards_compacted = 0;
+    std::size_t segments_in = 0;
+    std::size_t segments_out = 0;
+    std::uint64_t entries_in = 0;
+    std::uint64_t entries_out = 0; ///< after dedup
+    std::uint64_t bytes_written = 0;
+};
+
+struct VerifyIssue
+{
+    std::string segment; ///< file name, or "MANIFEST"
+    std::string what;
+};
+
+struct VerifyResult
+{
+    std::size_t segments_ok = 0;
+    std::size_t segments_corrupt = 0;
+    std::uint64_t entries_ok = 0;
+    std::uint64_t entries_corrupt = 0;
+    bool manifest_ok = true;
+    std::vector<VerifyIssue> issues;
+
+    bool clean() const
+    {
+        return segments_corrupt == 0 && entries_corrupt == 0 &&
+               manifest_ok;
+    }
+};
+
+/** One live index slot surfaced to queries. */
+struct IndexedEntry
+{
+    std::string_view key;
+    std::uint64_t seed = 0;
+    bool seed_valid = false;
+    std::uint32_t payload_len = 0;
+    std::uint32_t shard = 0;
+    std::string_view segment; ///< file name; empty = pending buffer
+};
+
+class SegmentStore
+{
+  public:
+    struct Options
+    {
+        std::size_t shard_count = 16; ///< power of two
+        std::size_t flush_entries = 256; ///< per-shard seal threshold
+        std::size_t flush_bytes = 4u << 20;
+        bool auto_compact = true; ///< background thread
+        std::size_t compact_min_segments = 8; ///< per shard
+        std::uint32_t format = 0;
+        std::uint32_t engine = 0;
+    };
+
+    /**
+     * Open (lazily creating) the store in @p dir — the *versioned*
+     * directory, e.g. `<root>/v6-e5`.  Nothing is created on disk
+     * until the first flush.
+     */
+    explicit SegmentStore(std::string dir);
+    SegmentStore(std::string dir, Options opts);
+    ~SegmentStore(); ///< flushes pending entries, joins compaction
+
+    SegmentStore(const SegmentStore &) = delete;
+    SegmentStore &operator=(const SegmentStore &) = delete;
+
+    /**
+     * Buffer @p payload under @p key.  @p payload_checksum is the
+     * caller's whole-payload checksum (DiskRunCache::checksum64) and
+     * is verified again on every read.  Seals and publishes the
+     * shard's segment when the pending buffer crosses the flush
+     * threshold.  @return false when sealing was required and failed
+     * (unwritable directory).
+     */
+    bool put(const std::string &key, const void *payload,
+             std::size_t payload_len, std::uint64_t payload_checksum);
+
+    /**
+     * Fetch the payload stored under @p key into @p out.  Checks the
+     * pending buffer, then published segments newest-first; validates
+     * the full key and the payload checksum.  @return true on a hit.
+     */
+    bool get(const std::string &key, std::vector<char> &out);
+
+    /** Publish every shard's pending entries as sealed segments. */
+    bool flush();
+
+    /** Synchronously merge every shard with more than one segment. */
+    CompactionResult compact();
+
+    /** Full-store scan: headers, indexes, records, manifest. */
+    VerifyResult verify();
+
+    /**
+     * Invoke @p fn for every live index entry (pending + published,
+     * newest wins on duplicate keys).  Serves range queries with zero
+     * payload IO.  The views passed to @p fn die with the call.
+     */
+    void forEachEntry(const std::function<void(const IndexedEntry &)> &fn);
+
+    StoreStats stats() const;
+    const std::string &dir() const { return dir_; }
+    std::size_t shardCount() const { return opts_.shard_count; }
+
+    /** Published segment count (all shards); rescans first. */
+    std::size_t segmentCount();
+
+    /** Shard for a key: fnv1a64(key) masked to the shard count. */
+    std::uint32_t shardOf(const std::string &key) const;
+
+    /** Parse `|s=<N>` from a run-cache key. @return validity. */
+    static bool seedOfKey(const std::string &key, std::uint64_t &seed);
+
+    static constexpr const char *kManifestName = "MANIFEST";
+
+  private:
+    struct Shard
+    {
+        mutable std::mutex mu;
+        // Pending entries in insertion order with a key->slot map so a
+        // racing duplicate put overwrites instead of duplicating.
+        std::vector<std::string> pending_keys;
+        std::unordered_map<std::string, std::size_t> pending_slots;
+        struct PendingEntry
+        {
+            std::uint64_t seed;
+            bool seed_valid;
+            std::uint64_t checksum;
+            std::vector<char> payload;
+        };
+        std::vector<PendingEntry> pending;
+        std::size_t pending_bytes = 0;
+        // Newest-first (descending seq).
+        std::vector<std::shared_ptr<OpenSegment>> segments;
+    };
+
+    bool sealShardLocked(Shard &sh, std::uint32_t shard_id);
+    bool publishSegment(const SegmentBuilder &b, std::uint32_t shard_id,
+                        std::string *published_name);
+    std::shared_ptr<OpenSegment> openSegment(const std::string &name);
+    void rescanIfStale();
+    void rescanLocked();
+    bool lookupSegments(const std::string &key, std::uint64_t hash,
+                        Shard &sh, std::vector<char> &out);
+    void writeManifestLocked();
+    void kickCompactor();
+    void compactionLoop();
+    bool compactShard(std::uint32_t shard_id, CompactionResult &agg);
+    std::uint64_t nextSeq() { return seq_.fetch_add(1) + 1; }
+
+    std::string dir_;
+    Options opts_;
+    std::vector<std::unique_ptr<Shard>> shards_;
+
+    mutable std::mutex store_mu_; ///< scan state + manifest + seq floor
+    bool scanned_ = false;
+    std::int64_t last_scan_stamp_ = -1;
+    std::uint64_t manifest_epoch_ = 0;
+    std::atomic<std::uint64_t> seq_{0};
+
+    mutable std::mutex stats_mu_;
+    StoreStats stats_;
+
+    // Background compaction.
+    std::thread compactor_;
+    std::mutex compact_mu_;
+    std::condition_variable compact_cv_;
+    bool compact_wanted_ = false;
+    bool stopping_ = false;
+};
+
+/**
+ * Manifest IO (exposed for tests and smartconfctl).  The manifest is
+ * line-oriented text ending in `end <fnv1a64-of-preceding-bytes>`; a
+ * missing or mismatching trailer marks it torn and it is ignored.
+ */
+struct Manifest
+{
+    std::uint32_t format = 0;
+    std::uint32_t engine = 0;
+    std::uint64_t epoch = 0;
+    std::vector<std::pair<std::string, std::uint64_t>> segments;
+};
+
+bool readManifest(const std::string &dir, Manifest &out);
+bool writeManifest(const std::string &dir, const Manifest &m);
+
+} // namespace smartconf::store
+
+#endif // SMARTCONF_STORE_SEGMENT_STORE_H_

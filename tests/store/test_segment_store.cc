@@ -1,0 +1,449 @@
+/**
+ * @file
+ * SegmentStore unit coverage: the segment format itself, put/get
+ * round-trips, sealing thresholds, rescan-based cross-instance
+ * visibility, compaction (dedup, level bump, input unlinking),
+ * manifest atomicity, verify, and the corruption contract at segment
+ * granularity (torn tail, flipped index page, forged hash collision).
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "fault/cache_faults.h"
+#include "store/query.h"
+#include "store/segment.h"
+#include "store/segment_store.h"
+
+namespace smartconf::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+class SegmentStoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        dir_ = (fs::temp_directory_path() /
+                ("smartconf-store-test-" +
+                 std::to_string(::testing::UnitTest::GetInstance()
+                                    ->random_seed()) +
+                 "-" +
+                 ::testing::UnitTest::GetInstance()
+                     ->current_test_info()
+                     ->name()))
+                   .string();
+        fs::remove_all(dir_);
+    }
+    void TearDown() override { fs::remove_all(dir_); }
+
+    static SegmentStore::Options quiet(std::size_t flush_entries = 4)
+    {
+        SegmentStore::Options o;
+        o.auto_compact = false;
+        o.flush_entries = flush_entries;
+        return o;
+    }
+
+    static std::string payloadFor(int i)
+    {
+        std::string p = "payload-" + std::to_string(i) + "-";
+        p.append(static_cast<std::size_t>(17 + i % 31), 'x');
+        return p;
+    }
+
+    static bool putStr(SegmentStore &s, const std::string &key,
+                       const std::string &payload)
+    {
+        return s.put(key, payload.data(), payload.size(),
+                     blockChecksum(payload.data(), payload.size()));
+    }
+
+    static std::string keyFor(int i)
+    {
+        return "scn" + std::to_string(i % 3) + "|policy|s=" +
+               std::to_string(i);
+    }
+
+    std::string dir_;
+};
+
+TEST_F(SegmentStoreTest, PutGetRoundTripsThroughPendingAndSealed)
+{
+    SegmentStore s(dir_, quiet(4));
+    ASSERT_TRUE(putStr(s, "k1", "hello"));
+    std::vector<char> out;
+    ASSERT_TRUE(s.get("k1", out)) << "read-your-writes from pending";
+    EXPECT_EQ(std::string(out.begin(), out.end()), "hello");
+
+    ASSERT_TRUE(s.flush());
+    ASSERT_TRUE(s.get("k1", out)) << "read after seal";
+    EXPECT_EQ(std::string(out.begin(), out.end()), "hello");
+    EXPECT_FALSE(s.get("missing", out));
+}
+
+TEST_F(SegmentStoreTest, SealsAtEntryThresholdWithoutExplicitFlush)
+{
+    SegmentStore s(dir_, quiet(4));
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(putStr(s, keyFor(i), payloadFor(i)));
+    // 16 entries with threshold 4 must have published something even
+    // before flush() — exact counts depend on shard distribution.
+    EXPECT_GT(s.stats().segments_published, 0u);
+    ASSERT_TRUE(s.flush());
+    for (int i = 0; i < 16; ++i) {
+        std::vector<char> out;
+        ASSERT_TRUE(s.get(keyFor(i), out)) << keyFor(i);
+        EXPECT_EQ(std::string(out.begin(), out.end()), payloadFor(i));
+    }
+}
+
+TEST_F(SegmentStoreTest, DuplicatePutOverwritesInPendingBuffer)
+{
+    SegmentStore s(dir_, quiet(64));
+    ASSERT_TRUE(putStr(s, "k", "old"));
+    ASSERT_TRUE(putStr(s, "k", "new"));
+    std::vector<char> out;
+    ASSERT_TRUE(s.get("k", out));
+    EXPECT_EQ(std::string(out.begin(), out.end()), "new");
+    EXPECT_EQ(s.stats().pending_entries, 1u);
+}
+
+TEST_F(SegmentStoreTest, FreshInstanceSeesPublishedSegments)
+{
+    {
+        SegmentStore w(dir_, quiet());
+        for (int i = 0; i < 12; ++i)
+            ASSERT_TRUE(putStr(w, keyFor(i), payloadFor(i)));
+        ASSERT_TRUE(w.flush());
+    }
+    SegmentStore r(dir_, quiet());
+    for (int i = 0; i < 12; ++i) {
+        std::vector<char> out;
+        ASSERT_TRUE(r.get(keyFor(i), out)) << keyFor(i);
+        EXPECT_EQ(std::string(out.begin(), out.end()), payloadFor(i));
+    }
+}
+
+TEST_F(SegmentStoreTest, RescanPicksUpSegmentsPublishedByAPeer)
+{
+    SegmentStore reader(dir_, quiet());
+    std::vector<char> out;
+    EXPECT_FALSE(reader.get("k-late", out));
+    {
+        SegmentStore peer(dir_, quiet());
+        ASSERT_TRUE(putStr(peer, "k-late", "from-peer"));
+        ASSERT_TRUE(peer.flush());
+    }
+    // The miss-path rescan must discover the peer's segment without a
+    // new reader instance.
+    ASSERT_TRUE(reader.get("k-late", out));
+    EXPECT_EQ(std::string(out.begin(), out.end()), "from-peer");
+    EXPECT_GT(reader.stats().rescans, 0u);
+}
+
+TEST_F(SegmentStoreTest, CompactionMergesDedupsAndUnlinksInputs)
+{
+    SegmentStore s(dir_, quiet(2));
+    // Several generations of the same keys: later puts supersede.
+    for (int round = 0; round < 4; ++round) {
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(putStr(s, keyFor(i),
+                               payloadFor(i + round * 100)));
+        ASSERT_TRUE(s.flush());
+    }
+    const std::size_t before = s.segmentCount();
+    ASSERT_GT(before, 1u);
+
+    const CompactionResult cr = s.compact();
+    EXPECT_GT(cr.shards_compacted, 0u);
+    EXPECT_GT(cr.segments_in, cr.segments_out);
+    EXPECT_LT(cr.entries_out, cr.entries_in) << "dedup did not happen";
+    EXPECT_LE(s.segmentCount(), before);
+
+    // Newest generation wins for every key.
+    for (int i = 0; i < 8; ++i) {
+        std::vector<char> out;
+        ASSERT_TRUE(s.get(keyFor(i), out));
+        EXPECT_EQ(std::string(out.begin(), out.end()),
+                  payloadFor(i + 300));
+    }
+    // Compacted segments carry a bumped level.
+    bool saw_level = false;
+    for (const std::string &path :
+         fault::listSegmentFiles(dir_)) {
+        SegmentHeader h;
+        ASSERT_TRUE(readSegmentHeader(path, h));
+        if (h.level > 0)
+            saw_level = true;
+    }
+    EXPECT_TRUE(saw_level);
+    // And a fresh instance reads the post-compaction layout.
+    SegmentStore r(dir_, quiet());
+    std::vector<char> out;
+    ASSERT_TRUE(r.get(keyFor(0), out));
+    EXPECT_EQ(std::string(out.begin(), out.end()), payloadFor(300));
+}
+
+TEST_F(SegmentStoreTest, BackgroundCompactionTriggersAtThreshold)
+{
+    SegmentStore::Options o;
+    o.flush_entries = 1;
+    o.compact_min_segments = 4;
+    o.auto_compact = true;
+    o.shard_count = 1; // all keys in one shard: threshold is exact
+    SegmentStore s(dir_, o);
+    for (int i = 0; i < 12; ++i)
+        ASSERT_TRUE(putStr(s, keyFor(i), payloadFor(i)));
+    // The background thread owes us at least one merge; poll briefly.
+    bool compacted = false;
+    for (int spin = 0; spin < 200 && !compacted; ++spin) {
+        compacted = s.stats().compactions > 0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    EXPECT_TRUE(compacted);
+    for (int i = 0; i < 12; ++i) {
+        std::vector<char> out;
+        ASSERT_TRUE(s.get(keyFor(i), out)) << keyFor(i);
+    }
+}
+
+TEST_F(SegmentStoreTest, CompactionRacingReadersNeverDropsAnEntry)
+{
+    SegmentStore s(dir_, quiet(1)); // one segment per put
+    constexpr int kKeys = 32;
+    for (int i = 0; i < kKeys; ++i)
+        ASSERT_TRUE(putStr(s, keyFor(i), payloadFor(i)));
+    ASSERT_TRUE(s.flush());
+
+    std::atomic<bool> stop{false};
+    std::atomic<int> failures{0};
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+        readers.emplace_back([&] {
+            std::vector<char> out;
+            while (!stop.load()) {
+                for (int i = 0; i < kKeys; ++i) {
+                    if (!s.get(keyFor(i), out) ||
+                        std::string(out.begin(), out.end()) !=
+                            payloadFor(i))
+                        failures.fetch_add(1);
+                }
+            }
+        });
+    }
+    // Compact (twice — second is mostly a no-op) while readers hammer.
+    (void)s.compact();
+    (void)s.compact();
+    stop.store(true);
+    for (std::thread &th : readers)
+        th.join();
+    EXPECT_EQ(failures.load(), 0)
+        << "a reader observed a miss or a wrong payload mid-compaction";
+}
+
+TEST_F(SegmentStoreTest, VerifyIsCleanOnAHealthyStore)
+{
+    SegmentStore s(dir_, quiet(4));
+    for (int i = 0; i < 16; ++i)
+        ASSERT_TRUE(putStr(s, keyFor(i), payloadFor(i)));
+    const VerifyResult v = s.verify();
+    EXPECT_TRUE(v.clean());
+    EXPECT_GT(v.segments_ok, 0u);
+    EXPECT_EQ(v.entries_ok, 16u);
+    EXPECT_EQ(v.entries_corrupt, 0u);
+}
+
+TEST_F(SegmentStoreTest, TruncatedSegmentTailDegradesToMissAndVerifyFlags)
+{
+    SegmentStore::Options one = quiet(64);
+    one.shard_count = 1; // exactly one segment holds all 8 entries
+    {
+        SegmentStore w(dir_, one);
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(putStr(w, keyFor(i), payloadFor(i)));
+        ASSERT_TRUE(w.flush());
+    }
+    const std::vector<std::string> segs = fault::listSegmentFiles(dir_);
+    ASSERT_EQ(segs.size(), 1u);
+    ASSERT_TRUE(fault::truncateSegmentTail(segs[0], 5));
+
+    SegmentStore r(dir_, one);
+    std::vector<char> out;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(r.get(keyFor(i), out)) << keyFor(i);
+    const VerifyResult v = r.verify();
+    EXPECT_FALSE(v.clean());
+    EXPECT_GT(v.segments_corrupt, 0u);
+}
+
+TEST_F(SegmentStoreTest, FlippedIndexPageRejectsWholeSegment)
+{
+    SegmentStore::Options one = quiet(64);
+    one.shard_count = 1;
+    {
+        SegmentStore w(dir_, one);
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(putStr(w, keyFor(i), payloadFor(i)));
+        ASSERT_TRUE(w.flush());
+    }
+    const std::vector<std::string> segs = fault::listSegmentFiles(dir_);
+    ASSERT_EQ(segs.size(), 1u);
+    ASSERT_TRUE(fault::flipIndexBit(segs[0], 11, 3));
+
+    SegmentStore r(dir_, one);
+    std::vector<char> out;
+    for (int i = 0; i < 8; ++i)
+        EXPECT_FALSE(r.get(keyFor(i), out))
+            << keyFor(i) << " served from a checksum-failing index";
+    const VerifyResult v = r.verify();
+    EXPECT_FALSE(v.clean());
+}
+
+TEST_F(SegmentStoreTest, TornManifestIsIgnoredReadsStillWork)
+{
+    {
+        SegmentStore w(dir_, quiet(4));
+        for (int i = 0; i < 8; ++i)
+            ASSERT_TRUE(putStr(w, keyFor(i), payloadFor(i)));
+        ASSERT_TRUE(w.flush());
+    }
+    ASSERT_TRUE(fault::tearManifest(dir_));
+    Manifest m;
+    EXPECT_FALSE(readManifest(dir_, m)) << "torn manifest parsed";
+
+    // The listing is the source of truth: every entry still readable.
+    SegmentStore r(dir_, quiet());
+    std::vector<char> out;
+    for (int i = 0; i < 8; ++i)
+        ASSERT_TRUE(r.get(keyFor(i), out)) << keyFor(i);
+    // verify() reports the tear...
+    VerifyResult v = r.verify();
+    EXPECT_FALSE(v.manifest_ok);
+    // ...and the next publish rewrites a good manifest.
+    ASSERT_TRUE(putStr(r, "k-repair", "x"));
+    ASSERT_TRUE(r.flush());
+    EXPECT_TRUE(readManifest(dir_, m));
+    EXPECT_TRUE(r.verify().manifest_ok);
+}
+
+TEST_F(SegmentStoreTest, ManifestRoundTripsAndRejectsTampering)
+{
+    fs::create_directories(dir_);
+    Manifest m;
+    m.format = 6;
+    m.engine = 5;
+    m.epoch = 42;
+    m.segments.emplace_back("seg-00-0000000000000001-1.seg", 10);
+    ASSERT_TRUE(writeManifest(dir_, m));
+    Manifest back;
+    ASSERT_TRUE(readManifest(dir_, back));
+    EXPECT_EQ(back.format, 6u);
+    EXPECT_EQ(back.engine, 5u);
+    EXPECT_EQ(back.epoch, 42u);
+    ASSERT_EQ(back.segments.size(), 1u);
+    EXPECT_EQ(back.segments[0].second, 10u);
+
+    // Flip one body byte: the trailer checksum must reject the file.
+    ASSERT_TRUE(fault::flipBit(dir_ + "/MANIFEST", 3, 0));
+    EXPECT_FALSE(readManifest(dir_, back));
+}
+
+TEST_F(SegmentStoreTest, ForgedHashCollisionStillMissesOnFullKey)
+{
+    // Surgery at the format level: rewrite the single index entry's
+    // hash to the one "victim-key" would look up, fixing both
+    // checksums so the segment parses cleanly.  The lookup must still
+    // miss, because the full key in the blob says "real-key".
+    {
+        SegmentStore w(dir_, quiet(64));
+        ASSERT_TRUE(putStr(w, "real-key", "data"));
+        ASSERT_TRUE(w.flush());
+    }
+    const std::vector<std::string> segs = fault::listSegmentFiles(dir_);
+    ASSERT_EQ(segs.size(), 1u);
+
+    SegmentHeader h;
+    ASSERT_TRUE(readSegmentHeader(segs[0], h));
+    std::FILE *f = std::fopen(segs[0].c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    std::vector<char> block(h.index_len);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(h.index_off), SEEK_SET),
+              0);
+    ASSERT_EQ(std::fread(block.data(), 1, block.size(), f),
+              block.size());
+    IndexEntry e;
+    std::memcpy(&e, block.data(), sizeof e);
+    ASSERT_EQ(e.hash, fnv1a64(std::string("real-key")));
+    e.hash = fnv1a64(std::string("victim-key"));
+    std::memcpy(block.data(), &e, sizeof e);
+    h.index_checksum = blockChecksum(block.data(), block.size());
+    h.header_checksum = headerChecksum(h);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(h.index_off), SEEK_SET),
+              0);
+    ASSERT_EQ(std::fwrite(block.data(), 1, block.size(), f),
+              block.size());
+    ASSERT_EQ(std::fseek(f, 0, SEEK_SET), 0);
+    ASSERT_EQ(std::fwrite(&h, 1, kSegmentHeaderBytes, f),
+              kSegmentHeaderBytes);
+    ASSERT_EQ(std::fclose(f), 0);
+
+    // Same shard only by luck of the mask — force a fresh store and
+    // ask for the victim: full-key comparison must reject the forgery.
+    SegmentStore::Options o = quiet();
+    o.shard_count = 1; // every hash lands in the one shard
+    SegmentStore r(dir_, o);
+    std::vector<char> out;
+    EXPECT_FALSE(r.get("victim-key", out))
+        << "forged hash collision served a foreign payload";
+}
+
+TEST_F(SegmentStoreTest, SeedParsesFromRunKeys)
+{
+    std::uint64_t seed = 0;
+    EXPECT_TRUE(SegmentStore::seedOfKey("a|b|s=42", seed));
+    EXPECT_EQ(seed, 42u);
+    EXPECT_TRUE(SegmentStore::seedOfKey("a|b:s=9|s=7", seed));
+    EXPECT_EQ(seed, 7u);
+    EXPECT_FALSE(SegmentStore::seedOfKey("a|b", seed));
+    EXPECT_FALSE(SegmentStore::seedOfKey("a|b|s=", seed));
+    EXPECT_FALSE(SegmentStore::seedOfKey("a|b|s=4x", seed));
+}
+
+TEST_F(SegmentStoreTest, ConcurrentPutsAndGetsKeepEveryEntry)
+{
+    SegmentStore s(dir_, quiet(16));
+    constexpr int kPerThread = 64;
+    std::vector<std::thread> writers;
+    for (int t = 0; t < 4; ++t) {
+        writers.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                const int id = t * kPerThread + i;
+                const std::string p = payloadFor(id);
+                ASSERT_TRUE(s.put("w|p|s=" + std::to_string(id),
+                                  p.data(), p.size(),
+                                  blockChecksum(p.data(), p.size())));
+            }
+        });
+    }
+    for (std::thread &th : writers)
+        th.join();
+    ASSERT_TRUE(s.flush());
+    for (int id = 0; id < 4 * kPerThread; ++id) {
+        std::vector<char> out;
+        ASSERT_TRUE(s.get("w|p|s=" + std::to_string(id), out)) << id;
+        EXPECT_EQ(std::string(out.begin(), out.end()), payloadFor(id));
+    }
+}
+
+} // namespace
+} // namespace smartconf::store

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * v5 -> v6 migration: a seeded old-layout (`v5-e5/<hash>.bin`)
+ * directory is absorbed into the segment store on construction.
+ * Intact entries survive byte-exactly; damaged ones are cleanly
+ * orphaned and counted; foreign-engine layouts are left alone.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "exec/disk_cache.h"
+#include "fault/cache_faults.h"
+#include "scenarios/scenario.h"
+#include "sim/metrics.h"
+
+namespace smartconf::exec {
+namespace {
+
+namespace fs = std::filesystem;
+
+class StoreMigrationTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        root_ = (fs::temp_directory_path() /
+                 ("smartconf-migrate-test-" +
+                  std::to_string(::testing::UnitTest::GetInstance()
+                                     ->random_seed()) +
+                  "-" +
+                  ::testing::UnitTest::GetInstance()
+                      ->current_test_info()
+                      ->name()))
+                    .string();
+        fs::remove_all(root_);
+    }
+    void TearDown() override { fs::remove_all(root_); }
+
+    static scenarios::ScenarioResult resultFor(int i)
+    {
+        scenarios::ScenarioResult r;
+        r.scenario_id = "HB3813";
+        r.policy_label = "SmartConf";
+        r.goal_value = 100.0 + i;
+        r.tradeoff = 7.0 * i;
+        r.ops_simulated = static_cast<std::uint64_t>(1000 + i);
+        r.perf_series = sim::TimeSeries("m");
+        for (int t = 0; t < 50; ++t)
+            r.perf_series.record(t, i + 0.5 * t);
+        r.conf_series = sim::TimeSeries("c");
+        r.tradeoff_series = sim::TimeSeries("t");
+        return r;
+    }
+
+    /** Write one v5-layout entry file exactly as format 5 did. */
+    static void writeV5Entry(const std::string &dir,
+                             const std::string &key,
+                             const scenarios::ScenarioResult &r,
+                             std::uint32_t engine =
+                                 DiskRunCache::kEngineVersion)
+    {
+        fs::create_directories(dir);
+        const std::vector<char> payload =
+            DiskRunCache::serializeResult(r);
+        std::string head;
+        head.append("SCRC", 4);
+        const std::uint32_t fmt = DiskRunCache::kLegacyFormatVersion;
+        head.append(reinterpret_cast<const char *>(&fmt), 4);
+        head.append(reinterpret_cast<const char *>(&engine), 4);
+        const std::uint64_t klen = key.size();
+        head.append(reinterpret_cast<const char *>(&klen), 8);
+        head += key;
+        const std::uint64_t sum = DiskRunCache::checksum64(
+            payload.data(), payload.size());
+        head.append(reinterpret_cast<const char *>(&sum), 8);
+
+        char hex[17];
+        std::snprintf(hex, sizeof hex, "%016llx",
+                      static_cast<unsigned long long>(
+                          DiskRunCache::fnv1a(key)));
+        std::FILE *f = std::fopen(
+            (dir + "/" + hex + ".bin").c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(head.data(), 1, head.size(), f),
+                  head.size());
+        ASSERT_EQ(std::fwrite(payload.data(), 1, payload.size(), f),
+                  payload.size());
+        ASSERT_EQ(std::fclose(f), 0);
+    }
+
+    std::string root_;
+};
+
+TEST_F(StoreMigrationTest, IntactV5EntriesSurviveMigration)
+{
+    const std::string legacy = DiskRunCache::legacyDir(root_);
+    for (int i = 0; i < 10; ++i)
+        writeV5Entry(legacy, "key-" + std::to_string(i),
+                     resultFor(i));
+
+    DiskRunCache cache(root_);
+    EXPECT_EQ(cache.migratedEntries(), 10u);
+    EXPECT_EQ(cache.orphanedEntries(), 0u);
+    for (int i = 0; i < 10; ++i) {
+        scenarios::ScenarioResult out;
+        ASSERT_TRUE(cache.load("key-" + std::to_string(i), out)) << i;
+        EXPECT_EQ(out.goal_value, 100.0 + i);
+        EXPECT_EQ(out.ops_simulated,
+                  static_cast<std::uint64_t>(1000 + i));
+        ASSERT_EQ(out.perf_series.size(), 50u);
+        EXPECT_EQ(out.perf_series.points()[7].value, i + 3.5);
+    }
+    // The old layout is retired: a second construction re-migrates
+    // nothing.
+    EXPECT_FALSE(fs::exists(legacy));
+    EXPECT_TRUE(fs::exists(legacy + ".migrated"));
+    DiskRunCache again(root_);
+    EXPECT_EQ(again.migratedEntries(), 0u);
+    scenarios::ScenarioResult out;
+    EXPECT_TRUE(again.load("key-3", out));
+}
+
+TEST_F(StoreMigrationTest, DamagedV5EntriesAreOrphanedWithCount)
+{
+    const std::string legacy = DiskRunCache::legacyDir(root_);
+    for (int i = 0; i < 6; ++i)
+        writeV5Entry(legacy, "key-" + std::to_string(i),
+                     resultFor(i));
+    // Damage two: one bit flip in a payload, one truncation.
+    const std::vector<std::string> files =
+        fault::listEntryFiles(legacy);
+    ASSERT_EQ(files.size(), 6u);
+    ASSERT_TRUE(fault::flipBit(files[1], 200, 4));
+    ASSERT_TRUE(fault::truncateFile(
+        files[4],
+        static_cast<std::uint64_t>(fault::fileSize(files[4])) / 3));
+
+    DiskRunCache cache(root_);
+    EXPECT_EQ(cache.migratedEntries(), 4u);
+    EXPECT_EQ(cache.orphanedEntries(), 2u);
+
+    int hits = 0;
+    for (int i = 0; i < 6; ++i) {
+        scenarios::ScenarioResult out;
+        if (cache.load("key-" + std::to_string(i), out)) {
+            ++hits;
+            EXPECT_EQ(out.goal_value, 100.0 + i)
+                << "a damaged v5 entry migrated into a wrong result";
+        }
+    }
+    EXPECT_EQ(hits, 4);
+}
+
+TEST_F(StoreMigrationTest, ForeignEngineV5LayoutIsLeftAlone)
+{
+    // v5 files for an *older engine* are stale by definition: the
+    // migration must not absorb them, and must not delete them either
+    // (directory-name versioning orphans them wholesale).
+    const std::string foreign =
+        root_ + "/v5-e" +
+        std::to_string(DiskRunCache::kEngineVersion - 1);
+    writeV5Entry(foreign, "stale-key", resultFor(1),
+                 DiskRunCache::kEngineVersion - 1);
+
+    DiskRunCache cache(root_);
+    EXPECT_EQ(cache.migratedEntries(), 0u);
+    scenarios::ScenarioResult out;
+    EXPECT_FALSE(cache.load("stale-key", out));
+    EXPECT_TRUE(fs::exists(foreign)) << "foreign layout was touched";
+}
+
+TEST_F(StoreMigrationTest, MixedLayoutMigratesAndKeepsNewWrites)
+{
+    const std::string legacy = DiskRunCache::legacyDir(root_);
+    writeV5Entry(legacy, "old-key", resultFor(1));
+
+    DiskRunCache cache(root_);
+    EXPECT_EQ(cache.migratedEntries(), 1u);
+    ASSERT_TRUE(cache.store("new-key", resultFor(2)));
+    ASSERT_TRUE(cache.flush());
+
+    DiskRunCache fresh(root_);
+    scenarios::ScenarioResult out;
+    ASSERT_TRUE(fresh.load("old-key", out));
+    EXPECT_EQ(out.goal_value, 101.0);
+    ASSERT_TRUE(fresh.load("new-key", out));
+    EXPECT_EQ(out.goal_value, 102.0);
+}
+
+} // namespace
+} // namespace smartconf::exec
